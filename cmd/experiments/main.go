@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. By default it runs the full suite at full fidelity and writes
+// one text file per artifact under -out, plus a combined report on stdout.
+//
+// Usage:
+//
+//	experiments [-run F5,T4,...] [-quick] [-out results] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "reduced workload counts and cycles")
+		outDir  = flag.String("out", "", "directory for per-experiment result files")
+		seed    = flag.Int64("seed", 1, "workload construction seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *runList == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	x := exp.NewContext(*quick)
+	x.Seed = *seed
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Title)
+		tb, err := e.Run(x)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(tb.String())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(tb.String()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

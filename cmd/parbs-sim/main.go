@@ -1,0 +1,126 @@
+// Command parbs-sim runs one multiprogrammed workload under one DRAM
+// scheduler and prints the paper's evaluation metrics.
+//
+// Usage:
+//
+//	parbs-sim -sched PAR-BS -mix libquantum,mcf,GemsFDTD,xalancbmk
+//	parbs-sim -sched STFM -mix CSII
+//	parbs-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "PAR-BS", "scheduler: "+strings.Join(sched.Names(), ", "))
+		mixSpec   = flag.String("mix", "CSI", "named mix (CSI, CSII, CSIII, F9) or comma-separated benchmarks")
+		cycles    = flag.Int64("cycles", 2_000_000, "measured CPU cycles")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		list      = flag.Bool("list", false, "list benchmarks and named mixes, then exit")
+		timeline  = flag.Int64("timeline", 0, "print an ASCII per-bank command timeline of the first N DRAM cycles")
+		batchInfo = flag.Bool("batchstats", false, "print PAR-BS batch telemetry (size/duration histograms)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("schedulers:", strings.Join(sched.Names(), ", "))
+		fmt.Println("named mixes: CSI, CSII, CSIII, F9")
+		fmt.Println("benchmarks (Table 3):")
+		for _, p := range workload.Benchmarks() {
+			fmt.Printf("  %-12s cat=%d MPKI=%.2f RBhit=%.3f BLP=%.2f\n",
+				p.Name, p.Category, p.MPKI, p.RowHit, p.BLP)
+		}
+		return
+	}
+
+	mix, err := resolveMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig(len(mix.Benchmarks))
+	cfg.MeasureCPUCycles = *cycles
+	cfg.Seed = *seed
+	var tl *memctrl.Timeline
+	if *timeline > 0 {
+		tl = memctrl.NewTimeline(cfg.Geometry.Banks)
+		tl.WithThreads = true
+		cfg.CommandLog = tl.Record
+	}
+
+	policy, err := sched.ByName(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(cfg, mix, policy)
+	if err != nil {
+		fatal(err)
+	}
+	var cs []metrics.Comparison
+	fmt.Printf("mix %s under %s (%d cores, %d lock-step channels)\n",
+		mix.Name, res.Policy, cfg.Cores, cfg.Geometry.Channels)
+	fmt.Printf("%-12s %10s %8s %8s %8s %8s %10s\n",
+		"thread", "slowdown", "IPC", "MCPI", "BLP", "RBhit", "AST/req")
+	for i, th := range res.Threads {
+		alone, err := sim.RunAlone(cfg, mix.Benchmarks[i])
+		if err != nil {
+			fatal(err)
+		}
+		c := metrics.Comparison{Alone: alone, Shared: th}
+		cs = append(cs, c)
+		fmt.Printf("%-12s %10.2f %8.3f %8.2f %8.2f %8.3f %10.1f\n",
+			th.Benchmark, c.MemSlowdown(), th.CPU.IPC(), th.CPU.MCPI(),
+			th.Mem.BLP(), th.Mem.RowHitRate(), th.CPU.ASTPerReq())
+	}
+	fmt.Printf("\nunfairness        %8.2f\n", metrics.Unfairness(cs))
+	fmt.Printf("weighted speedup  %8.3f\n", metrics.WeightedSpeedup(cs))
+	fmt.Printf("hmean speedup     %8.3f\n", metrics.HmeanSpeedup(cs))
+	fmt.Printf("avg AST/req       %8.1f cycles\n", metrics.AvgASTPerReq(cs))
+	fmt.Printf("worst-case lat.   %8d cycles\n", metrics.WorstCaseLatency(cs, cfg.CPUCyclesPerDRAM))
+	fmt.Printf("bus utilization   %8.1f%%\n", 100*res.BusUtilization())
+	if tl != nil {
+		fmt.Printf("\n%s", tl.Render(0, *timeline))
+	}
+	if *batchInfo {
+		if eng, ok := policy.(*core.Engine); ok {
+			fmt.Printf("\n%s", eng.BatchStats())
+			fmt.Printf("max batches any request waited unmarked: %d\n", eng.MaxBatchWait())
+		} else {
+			fmt.Println("\n-batchstats requires a PAR-BS scheduler")
+		}
+	}
+}
+
+func resolveMix(spec string) (workload.Mix, error) {
+	switch spec {
+	case "CSI":
+		return workload.CaseStudyI(), nil
+	case "CSII":
+		return workload.CaseStudyII(), nil
+	case "CSIII":
+		return workload.CaseStudyIII(), nil
+	case "F9":
+		return workload.Figure9Workload(), nil
+	}
+	names := strings.Split(spec, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	return workload.MixOf("custom", names...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parbs-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command parbs-trace records synthetic benchmark traces to text files and
+// replays trace files through the simulator, so external traces can drive
+// the reproduction.
+//
+// Usage:
+//
+//	parbs-trace record -bench lbm -n 50000 -out lbm.trace
+//	parbs-trace replay -sched PAR-BS -traces lbm.trace,mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: parbs-trace record|replay [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "lbm", "Table 3 benchmark name")
+	n := fs.Int("n", 50_000, "trace items to record")
+	out := fs.String("out", "", "output file (default <bench>.trace)")
+	thread := fs.Int("thread", 0, "thread slot (selects the address slice)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args) //nolint:errcheck
+
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *bench + ".trace"
+	}
+	g := dram.DefaultGeometry()
+	items := workload.RecordTrace(p, *thread, g, *seed, *n)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := workload.WriteItems(f, items); err != nil {
+		fatal(err)
+	}
+	loads := 0
+	for _, it := range items {
+		if it.HasAccess && !it.Access.IsWrite {
+			loads++
+		}
+	}
+	fmt.Printf("wrote %d items (%d loads) to %s\n", len(items), loads, path)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	schedName := fs.String("sched", "PAR-BS", "scheduler")
+	traces := fs.String("traces", "", "comma-separated trace files, one per core")
+	cycles := fs.Int64("cycles", 2_000_000, "measured CPU cycles")
+	loop := fs.Bool("loop", true, "loop traces when exhausted")
+	fs.Parse(args) //nolint:errcheck
+
+	files := strings.Split(*traces, ",")
+	if *traces == "" || len(files) == 0 {
+		fatal(fmt.Errorf("replay needs -traces file1,file2,..."))
+	}
+	g := dram.DefaultGeometry()
+	mix := workload.Mix{Name: "replay"}
+	for _, path := range files {
+		f, err := os.Open(strings.TrimSpace(path))
+		if err != nil {
+			fatal(err)
+		}
+		items, err := workload.ReadItems(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		mix.Benchmarks = append(mix.Benchmarks, workload.TraceProfile(path, items, g, *loop))
+	}
+	cfg := sim.DefaultConfig(len(mix.Benchmarks))
+	cfg.MeasureCPUCycles = *cycles
+	policy, err := sched.ByName(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(cfg, mix, policy)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d traces under %s\n", len(files), res.Policy)
+	fmt.Printf("%-30s %8s %8s %8s %8s %10s\n", "trace", "IPC", "MCPI", "BLP", "RBhit", "AST/req")
+	for _, th := range res.Threads {
+		fmt.Printf("%-30s %8.3f %8.2f %8.2f %8.3f %10.1f\n",
+			th.Benchmark, th.CPU.IPC(), th.CPU.MCPI(), th.Mem.BLP(), th.Mem.RowHitRate(), th.CPU.ASTPerReq())
+	}
+	fmt.Printf("bus utilization %.1f%%\n", 100*res.BusUtilization())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parbs-trace:", err)
+	os.Exit(1)
+}

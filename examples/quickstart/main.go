@@ -1,0 +1,36 @@
+// Quickstart: run the paper's memory-intensive case study under FR-FCFS
+// and PAR-BS and compare fairness and throughput.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	parbs "repro"
+)
+
+func main() {
+	system := parbs.DefaultSystem(4)
+	workload := parbs.CaseStudyI() // libquantum + mcf + GemsFDTD + xalancbmk
+
+	fmt.Printf("workload %v on a 4-core CMP sharing one DRAM channel\n\n", workload.Benchmarks())
+
+	baseline, err := parbs.Run(system, workload, parbs.NewFRFCFS())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(baseline)
+
+	ours, err := parbs.Run(system, workload, parbs.NewPARBS(parbs.PARBSOptions{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ours)
+
+	fmt.Printf("PAR-BS vs FR-FCFS: unfairness %.2f -> %.2f, weighted speedup %+.1f%%, hmean speedup %+.1f%%\n",
+		baseline.Unfairness, ours.Unfairness,
+		100*(ours.WeightedSpeedup/baseline.WeightedSpeedup-1),
+		100*(ours.HmeanSpeedup/baseline.HmeanSpeedup-1))
+}

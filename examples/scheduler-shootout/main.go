@@ -1,0 +1,66 @@
+// Scheduler-shootout: run every scheduler the paper evaluates on a random
+// category-balanced workload set and rank them by fairness and throughput,
+// a miniature of the paper's Figure 8.
+//
+//	go run ./examples/scheduler-shootout [-n workloads]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	parbs "repro"
+)
+
+func main() {
+	n := flag.Int("n", 6, "number of random 4-core workloads")
+	flag.Parse()
+
+	system := parbs.DefaultSystem(4)
+	system.MeasureCycles = 1_000_000
+	workloads := parbs.RandomWorkloads(*n, 4, 42)
+
+	type agg struct {
+		name        string
+		unfair, wsp float64
+		count       int
+	}
+	results := map[string]*agg{}
+	for _, name := range parbs.SchedulerNames() {
+		results[name] = &agg{name: name}
+	}
+
+	for _, w := range workloads {
+		fmt.Printf("workload %v\n", w.Benchmarks())
+		for _, name := range parbs.SchedulerNames() {
+			s, err := parbs.SchedulerByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := parbs.Run(system, w, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s unfairness %5.2f  weighted %6.3f  hmean %6.3f\n",
+				name, rep.Unfairness, rep.WeightedSpeedup, rep.HmeanSpeedup)
+			a := results[name]
+			a.unfair += math.Log(rep.Unfairness)
+			a.wsp += math.Log(rep.WeightedSpeedup)
+			a.count++
+		}
+	}
+
+	var order []*agg
+	for _, a := range results {
+		order = append(order, a)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].unfair < order[j].unfair })
+	fmt.Printf("\nGMEAN over %d workloads (best fairness first):\n", *n)
+	for _, a := range order {
+		fmt.Printf("  %-8s unfairness %5.2f  weighted speedup %6.3f\n",
+			a.name, math.Exp(a.unfair/float64(a.count)), math.Exp(a.wsp/float64(a.count)))
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestFigure3 reproduces the paper's Figure 3 batch-completion-time tables
+// exactly: FCFS (4,4,5,7; avg 5), FR-FCFS (5.5,3,4.5,4.5; avg 4.375),
+// PAR-BS (1,2,4,5.5; avg 3.125).
+func TestFigure3(t *testing.T) {
+	b := Figure3Batch()
+	cases := []struct {
+		policy AbsPolicy
+		finish [4]float64
+		avg    float64
+	}{
+		{AbsFCFS, [4]float64{4, 4, 5, 7}, 5},
+		{AbsFRFCFS, [4]float64{5.5, 3, 4.5, 4.5}, 4.375},
+		{AbsPARBS, [4]float64{1, 2, 4, 5.5}, 3.125},
+	}
+	for _, c := range cases {
+		t.Run(c.policy.String(), func(t *testing.T) {
+			finish, avg := b.Simulate(c.policy)
+			if len(finish) != 4 {
+				t.Fatalf("got %d threads, want 4", len(finish))
+			}
+			for i := range c.finish {
+				if !almostEq(finish[i], c.finish[i]) {
+					t.Errorf("thread %d completion = %v, want %v", i+1, finish[i], c.finish[i])
+				}
+			}
+			if !almostEq(avg, c.avg) {
+				t.Errorf("average completion = %v, want %v", avg, c.avg)
+			}
+		})
+	}
+}
+
+// TestFigure3Constraints checks the thread-load constraints the paper states
+// about the example: T1 has 3 requests in 3 banks, T2/T3 max-bank-load 2
+// with T2's total smaller, T4 max-bank-load 5.
+func TestFigure3Constraints(t *testing.T) {
+	b := Figure3Batch()
+	if got := b.NumThreads(); got != 4 {
+		t.Fatalf("threads = %d, want 4", got)
+	}
+	if b.MaxBankLoad(0) != 1 || b.TotalLoad(0) != 3 {
+		t.Errorf("T1: max=%d total=%d, want max=1 total=3", b.MaxBankLoad(0), b.TotalLoad(0))
+	}
+	if b.MaxBankLoad(1) != 2 {
+		t.Errorf("T2 max-bank-load = %d, want 2", b.MaxBankLoad(1))
+	}
+	if b.MaxBankLoad(2) != 2 {
+		t.Errorf("T3 max-bank-load = %d, want 2", b.MaxBankLoad(2))
+	}
+	if b.TotalLoad(1) >= b.TotalLoad(2) {
+		t.Errorf("T2 total (%d) must be below T3 total (%d)", b.TotalLoad(1), b.TotalLoad(2))
+	}
+	if b.MaxBankLoad(3) != 5 {
+		t.Errorf("T4 max-bank-load = %d, want 5", b.MaxBankLoad(3))
+	}
+	// First request to each bank must be a row conflict by construction
+	// (openRow starts empty), and no two threads share a row.
+	seen := map[int]int{}
+	for _, bank := range b.Banks {
+		for _, r := range bank {
+			if th, ok := seen[r.Row]; ok && th != r.Thread {
+				t.Errorf("row %d shared by threads %d and %d", r.Row, th, r.Thread)
+			}
+			seen[r.Row] = r.Thread
+		}
+	}
+}
+
+// TestFigure3Ranking checks Rule 3 on the example: ranking must be
+// T1 > T2 > T3 > T4, for the reasons the paper gives.
+func TestFigure3Ranking(t *testing.T) {
+	b := Figure3Batch()
+	got := b.Ranking()
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranking = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAbstractPARBSNeverWorseThanFCFSOnAvg spot-checks the shortest-job-first
+// intuition on a set of random batches: PAR-BS's average completion time is
+// never worse than FCFS's on these inputs (row hits and ranking only help).
+func TestAbstractPARBSBeatsFCFSOnFig3Permutations(t *testing.T) {
+	base := Figure3Batch()
+	// Rotate arrival order within each bank to build variants.
+	for shift := 0; shift < 3; shift++ {
+		b := AbsBatch{Banks: make([][]AbsRequest, len(base.Banks))}
+		for i, bank := range base.Banks {
+			r := make([]AbsRequest, len(bank))
+			for j := range bank {
+				r[j] = bank[(j+shift)%len(bank)]
+			}
+			b.Banks[i] = r
+		}
+		_, fcfsAvg := b.Simulate(AbsFCFS)
+		_, parbsAvg := b.Simulate(AbsPARBS)
+		if parbsAvg > fcfsAvg+1e-9 {
+			t.Errorf("shift %d: PAR-BS avg %v worse than FCFS avg %v", shift, parbsAvg, fcfsAvg)
+		}
+	}
+}
+
+func TestAbsPolicyString(t *testing.T) {
+	if AbsFCFS.String() != "FCFS" || AbsFRFCFS.String() != "FR-FCFS" || AbsPARBS.String() != "PAR-BS" {
+		t.Error("unexpected AbsPolicy names")
+	}
+	if AbsPolicy(9).String() != "???" {
+		t.Error("out-of-range AbsPolicy should stringify to ???")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	var b AbsBatch
+	finish, avg := b.Simulate(AbsPARBS)
+	if len(finish) != 0 || avg != 0 {
+		t.Errorf("empty batch: finish=%v avg=%v, want empty and 0", finish, avg)
+	}
+}
+
+func TestBatchString(t *testing.T) {
+	s := Figure3Batch().String()
+	if s == "" {
+		t.Error("String returned empty")
+	}
+}
+
+// TestAbstractMakespanProperty: per-bank total service time is minimized by
+// maximal row-hit chaining. PAR-BS and FR-FCFS both chain all open-row
+// requests before closing a row, so on any batch their bank makespans are
+// equal to each other and never worse than FCFS's.
+func TestAbstractMakespanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	makespan := func(b AbsBatch, p AbsPolicy) float64 {
+		finish, _ := b.Simulate(p)
+		m := 0.0
+		for _, f := range finish {
+			if f > m {
+				m = f
+			}
+		}
+		return m
+	}
+	for trial := 0; trial < 60; trial++ {
+		b := AbsBatch{Banks: make([][]AbsRequest, 1+rng.Intn(4))}
+		threads := 2 + rng.Intn(3)
+		for bank := range b.Banks {
+			n := rng.Intn(8)
+			for i := 0; i < n; i++ {
+				th := rng.Intn(threads)
+				b.Banks[bank] = append(b.Banks[bank], AbsRequest{Thread: th, Row: th*100 + rng.Intn(2)})
+			}
+		}
+		fc := makespan(b, AbsFCFS)
+		fr := makespan(b, AbsFRFCFS)
+		pb := makespan(b, AbsPARBS)
+		if pb > fc+1e-9 {
+			t.Fatalf("trial %d: PAR-BS makespan %v exceeds FCFS %v on\n%s", trial, pb, fc, b)
+		}
+		if fr > fc+1e-9 {
+			t.Fatalf("trial %d: FR-FCFS makespan %v exceeds FCFS %v on\n%s", trial, fr, fc, b)
+		}
+		if pb != fr {
+			t.Fatalf("trial %d: PAR-BS makespan %v != FR-FCFS %v (both chain maximally) on\n%s", trial, pb, fr, b)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memctrl"
+)
+
+func TestAdaptiveCapOptionValidation(t *testing.T) {
+	good := []Options{
+		{MarkingCap: 5, AdaptiveCap: true},
+		{AdaptiveCap: true, CapMin: 2, CapMax: 8, TargetBatchCycles: 100},
+		{Batch: EmptySlotBatching, AdaptiveCap: true},
+	}
+	for i, o := range good {
+		if err := o.Validate(4); err != nil {
+			t.Errorf("good adaptive options %d rejected: %v", i, err)
+		}
+	}
+	bad := []Options{
+		{Batch: StaticBatching, BatchDuration: 100, AdaptiveCap: true},
+		{AdaptiveCap: true, CapMin: 5, CapMax: 2},
+		{AdaptiveCap: true, TargetBatchCycles: -1},
+		{CapMin: 2},            // bounds without AdaptiveCap
+		{TargetBatchCycles: 5}, // target without AdaptiveCap
+	}
+	for i, o := range bad {
+		if err := o.Validate(4); err == nil {
+			t.Errorf("bad adaptive options %d accepted", i)
+		}
+	}
+}
+
+func TestAdaptiveCapShrinksUnderLoad(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AdaptiveCap = true
+	opts.CapMin = 1
+	opts.CapMax = 10
+	opts.TargetBatchCycles = 40 // tiny setpoint: real batches overshoot
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	start := e.AdaptiveCapValue()
+	// Sustained heavy load in one bank: batches take far longer than 40
+	// cycles, so the cap must walk down to its minimum.
+	row := int64(0)
+	for now := int64(0); now < 20000; now++ {
+		for c.ReadsPerThread(0) < 12 {
+			c.EnqueueRead(0, addrFor(g, 0, row%97, 0), now)
+			row++
+		}
+		c.Tick(now)
+	}
+	if got := e.AdaptiveCapValue(); got >= start {
+		t.Errorf("adaptive cap = %d after overload, want below initial %d", got, start)
+	}
+	if got := e.AdaptiveCapValue(); got < opts.CapMin {
+		t.Errorf("adaptive cap %d fell below CapMin %d", got, opts.CapMin)
+	}
+}
+
+func TestAdaptiveCapGrowsWhenBatchesAreShort(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MarkingCap = 2
+	opts.AdaptiveCap = true
+	opts.CapMin = 1
+	opts.CapMax = 10
+	opts.TargetBatchCycles = 100_000 // huge setpoint: every batch is "short"
+	c, e := newEngineController(t, 1, opts)
+	g := c.Device().Geometry()
+	row := int64(0)
+	for now := int64(0); now < 20000; now++ {
+		if c.ReadsPerThread(0) < 4 {
+			c.EnqueueRead(0, addrFor(g, int(row)%8, row%97, 0), now)
+			row++
+		}
+		c.Tick(now)
+	}
+	if got := e.AdaptiveCapValue(); got <= 2 {
+		t.Errorf("adaptive cap = %d, want growth above initial 2", got)
+	}
+	if got := e.AdaptiveCapValue(); got > opts.CapMax {
+		t.Errorf("adaptive cap %d exceeded CapMax %d", got, opts.CapMax)
+	}
+}
+
+func TestAdaptiveCapDisabledKeepsStaticValue(t *testing.T) {
+	opts := DefaultOptions() // cap 5, no adaptation
+	c, e := newEngineController(t, 1, opts)
+	g := c.Device().Geometry()
+	for now := int64(0); now < 5000; now++ {
+		if c.ReadsPerThread(0) < 8 {
+			c.EnqueueRead(0, addrFor(g, 0, now%31, 0), now)
+		}
+		c.Tick(now)
+	}
+	if got := e.AdaptiveCapValue(); got != 5 {
+		t.Errorf("static cap drifted to %d, want 5", got)
+	}
+}
+
+// TestAdaptiveEngineCompletesWork is a liveness check: adaptation must not
+// break batching invariants.
+func TestAdaptiveEngineCompletesWork(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AdaptiveCap = true
+	c, _ := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	done := 0
+	c.SetOnComplete(func(r *memctrl.Request, end int64) { done++ })
+	sent := 0
+	for now := int64(0); now < 30000; now++ {
+		if now%9 == 0 && sent < 400 {
+			th := sent % 2
+			c.EnqueueRead(th, addrFor(g, sent%8, int64(sent%53)+int64(th)*500, 0), now)
+			sent++
+		}
+		c.Tick(now)
+	}
+	for now := int64(30000); now < 90000 && done < sent; now++ {
+		c.Tick(now)
+	}
+	if done != sent {
+		t.Errorf("completed %d of %d under adaptive batching", done, sent)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BatchStats summarizes PAR-BS batch telemetry over a run: how large
+// batches were (marked requests at formation) and how long they took to
+// complete, in DRAM cycles. The paper reports the average batch duration
+// (~1269 CPU cycles in Case Study II, Section 8.1.2); the histograms here
+// expose the full shape for analysis and debugging.
+type BatchStats struct {
+	// Formed is the number of batches formed.
+	Formed int64
+	// SizeHist buckets batch sizes: [1], [2-3], [4-7], [8-15], ... powers
+	// of two up to the last bucket which is unbounded.
+	SizeHist [10]int64
+	// DurHist buckets completed batch durations in DRAM cycles with the
+	// same power-of-two layout starting at 16.
+	DurHist [10]int64
+	// MaxSize and MaxDuration track the extremes.
+	MaxSize     int
+	MaxDuration int64
+}
+
+// bucket maps v into a power-of-two histogram slot with base `base`.
+func bucket(v int64, base int64) int {
+	b := 0
+	for v >= base && b < 9 {
+		v /= 2
+		b++
+	}
+	return b
+}
+
+// recordSize accounts a batch's size at formation.
+func (s *BatchStats) recordSize(n int) {
+	s.Formed++
+	s.SizeHist[bucket(int64(n), 2)]++
+	if n > s.MaxSize {
+		s.MaxSize = n
+	}
+}
+
+// recordDuration accounts a completed batch's duration.
+func (s *BatchStats) recordDuration(d int64) {
+	s.DurHist[bucket(d, 32)]++
+	if d > s.MaxDuration {
+		s.MaxDuration = d
+	}
+}
+
+// String renders the histograms compactly.
+func (s BatchStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batches formed: %d (max size %d, max duration %d DRAM cycles)\n", s.Formed, s.MaxSize, s.MaxDuration)
+	b.WriteString("size histogram (1,2,4,...):     ")
+	for _, v := range s.SizeHist {
+		fmt.Fprintf(&b, " %d", v)
+	}
+	b.WriteString("\nduration histogram (16,32,...): ")
+	for _, v := range s.DurHist {
+		fmt.Fprintf(&b, " %d", v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// BatchStats returns a copy of the engine's batch telemetry.
+func (e *Engine) BatchStats() BatchStats { return e.batchStats }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// candidate fabricates a comparator input.
+func candidate(id int64, thread int, marked, hit bool) memctrl.Candidate {
+	state := dram.RowConflict
+	cmd := dram.CmdPrecharge
+	if hit {
+		state = dram.RowHit
+		cmd = dram.CmdRead
+	}
+	return memctrl.Candidate{
+		Req:      &memctrl.Request{ID: id, Thread: thread, Marked: marked},
+		Cmd:      cmd,
+		RowState: state,
+	}
+}
+
+// attachedEngine returns an engine wired to a controller so rank state is
+// allocated; rank positions are forced through a crafted batch.
+func attachedEngine(t *testing.T, threads int, opts Options) (*memctrl.Controller, *Engine) {
+	t.Helper()
+	return newEngineController(t, threads, opts)
+}
+
+// TestRule2Order checks each prioritization rule in sequence on crafted
+// candidate pairs: BS > RH > RANK > FCFS.
+func TestRule2Order(t *testing.T) {
+	c, e := attachedEngine(t, 2, DefaultOptions())
+	g := c.Device().Geometry()
+	// Give thread 0 a lighter load than thread 1 so rank(0) < rank(1).
+	c.EnqueueRead(0, addrFor(g, 0, 1, 0), 0)
+	c.EnqueueRead(1, addrFor(g, 1, 2, 0), 0)
+	c.EnqueueRead(1, addrFor(g, 1, 3, 0), 0)
+	c.Tick(0)
+	if !(e.RankPosition(0) < e.RankPosition(1)) {
+		t.Fatalf("setup: rank(0)=%d rank(1)=%d", e.RankPosition(0), e.RankPosition(1))
+	}
+
+	// Rule 1 (BS): marked conflict beats unmarked row hit.
+	if !e.Better(candidate(9, 1, true, false), candidate(1, 0, false, true)) {
+		t.Error("marked-first violated")
+	}
+	// Rule 2 (RH): both marked, row hit beats older conflict.
+	if !e.Better(candidate(9, 1, true, true), candidate(1, 0, true, false)) {
+		t.Error("row-hit-first violated among marked")
+	}
+	// Rule 3 (RANK): both marked, both hits, higher rank beats older.
+	if !e.Better(candidate(9, 0, true, true), candidate(1, 1, true, true)) {
+		t.Error("higher-rank-first violated")
+	}
+	// Rule 4 (FCFS): identical otherwise, older first.
+	if !e.Better(candidate(1, 0, true, true), candidate(9, 0, true, true)) {
+		t.Error("oldest-first violated")
+	}
+	// Antisymmetry spot check.
+	a, b := candidate(1, 0, true, true), candidate(9, 0, true, true)
+	if e.Better(a, b) && e.Better(b, a) {
+		t.Error("comparator not antisymmetric")
+	}
+}
+
+// TestPriorityRulePosition checks the Section 5 PRIORITY rule sits between
+// BS and RH: a higher-priority thread's conflict beats a lower-priority
+// thread's row hit when both are marked, but marking still dominates.
+func TestPriorityRulePosition(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Priorities = []int{1, 2}
+	_, e := attachedEngine(t, 2, opts)
+
+	// PRIORITY above RH: priority-1 conflict beats priority-2 hit.
+	if !e.Better(candidate(9, 0, true, false), candidate(1, 1, true, true)) {
+		t.Error("higher-priority-first must precede row-hit-first")
+	}
+	// BS above PRIORITY: a marked priority-2 request beats an unmarked
+	// priority-1 request.
+	if !e.Better(candidate(9, 1, true, false), candidate(1, 0, false, true)) {
+		t.Error("marked-first must precede priority")
+	}
+}
+
+// TestOpportunisticBelowEverything: an opportunistic thread's candidates
+// lose to any normal-priority unmarked candidate.
+func TestOpportunisticBelowEverything(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Priorities = []int{1, OpportunisticPriority}
+	_, e := attachedEngine(t, 2, opts)
+	if !e.Better(candidate(9, 0, false, false), candidate(1, 1, false, true)) {
+		t.Error("opportunistic row hit must lose to a normal conflict")
+	}
+}
+
+// TestNoRankVariantsDropRules verifies the Figure 13 rank-free modes.
+func TestNoRankVariantsDropRules(t *testing.T) {
+	frOpts := DefaultOptions()
+	frOpts.Rank = NoRankFRFCFS
+	_, fr := attachedEngine(t, 2, frOpts)
+	// Row-hit still honored...
+	if !fr.Better(candidate(9, 1, true, true), candidate(1, 0, true, false)) {
+		t.Error("no-rank(FR-FCFS) must keep row-hit-first")
+	}
+	// ...but rank is not: with equal hit status, age decides regardless of
+	// thread loads.
+	if !fr.Better(candidate(1, 1, true, true), candidate(9, 0, true, true)) {
+		t.Error("no-rank(FR-FCFS) must fall back to age, not rank")
+	}
+
+	fcOpts := DefaultOptions()
+	fcOpts.Rank = NoRankFCFS
+	_, fc := attachedEngine(t, 2, fcOpts)
+	// Row-hit dropped too: older conflict beats younger hit.
+	if !fc.Better(candidate(1, 0, true, false), candidate(9, 1, true, true)) {
+		t.Error("no-rank(FCFS) must ignore row-hit status")
+	}
+	// Marking still dominates in both.
+	if !fc.Better(candidate(9, 0, true, false), candidate(1, 1, false, false)) {
+		t.Error("no-rank(FCFS) must keep marked-first")
+	}
+}

@@ -1,0 +1,231 @@
+// Package core implements the paper's primary contribution: the
+// Parallelism-Aware Batch Scheduler (PAR-BS) of Mutlu & Moscibroda,
+// "Parallelism-Aware Batch Scheduling: Enhancing both Performance and
+// Fairness of Shared DRAM Systems" (ISCA 2008).
+//
+// PAR-BS combines two ideas:
+//
+//   - Request batching (Section 4.1): outstanding requests are grouped into
+//     batches; requests of the current batch ("marked" requests) are strictly
+//     prioritized over newer requests, which bounds the delay any request can
+//     suffer and makes the scheduler starvation-free. Up to Marking-Cap
+//     requests per thread per bank are marked when a batch forms.
+//
+//   - Parallelism-aware within-batch scheduling (Section 4.2): within a
+//     batch, requests are prioritized marked-first, then row-hit-first, then
+//     by a per-batch thread ranking (Max-Total, a shortest-job-first rule),
+//     then oldest-first. Ranking threads identically across all banks
+//     restores each thread's intra-thread bank-level parallelism.
+//
+// The Engine type implements the full scheduler as a memctrl.Policy,
+// including the paper's design alternatives (Section 4.4: time-based static
+// batching, empty-slot batching, Total-Max / random / round-robin rankings,
+// and rank-free FR-FCFS/FCFS within a batch) and its system-level thread
+// priority support (Section 5: priority-based marking, a PRIORITY rule
+// between the BS and RH rules, and purely opportunistic service).
+//
+// The package also contains an abstract within-batch model (abstract.go)
+// reproducing the paper's Figure 3 worked example, the Figure 4 priority
+// value encoding, and the Table 1 hardware cost arithmetic.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchMode selects how batches are formed (Sections 4.1 and 4.4).
+type BatchMode int
+
+const (
+	// FullBatching forms a new batch only when every marked request has been
+	// fully serviced. This is PAR-BS's batching mode.
+	FullBatching BatchMode = iota
+	// StaticBatching re-marks outstanding requests every BatchDuration DRAM
+	// cycles regardless of whether the previous batch finished
+	// ("Time-Based Static Batching", Section 4.4).
+	StaticBatching
+	// EmptySlotBatching is FullBatching plus late admission: a request
+	// arriving mid-batch joins the batch if its thread has used fewer than
+	// Marking-Cap marked slots for that bank ("Eslot", Section 4.4).
+	EmptySlotBatching
+)
+
+// String names the batch mode as in the paper's figures.
+func (m BatchMode) String() string {
+	switch m {
+	case FullBatching:
+		return "full"
+	case StaticBatching:
+		return "static"
+	case EmptySlotBatching:
+		return "eslot"
+	default:
+		return "???"
+	}
+}
+
+// RankMode selects the within-batch thread ranking (Sections 4.2 and 8.3.3).
+type RankMode int
+
+const (
+	// MaxTotal is PAR-BS's shortest-job-first ranking (Rule 3): threads with
+	// lower max-bank-load rank higher; ties broken by lower total-load, then
+	// randomly.
+	MaxTotal RankMode = iota
+	// TotalMax swaps the two rules: total-load first, then max-bank-load.
+	TotalMax
+	// RandomRank assigns a random permutation each batch.
+	RandomRank
+	// RoundRobin rotates thread ranks across consecutive batches.
+	RoundRobin
+	// NoRankFRFCFS disables ranking; within a batch requests follow
+	// FR-FCFS (row-hit first, then oldest).
+	NoRankFRFCFS
+	// NoRankFCFS disables ranking and row-hit-first; within a batch
+	// requests are serviced strictly oldest-first.
+	NoRankFCFS
+)
+
+// String names the rank mode as in the paper's Figure 13.
+func (m RankMode) String() string {
+	switch m {
+	case MaxTotal:
+		return "max-total"
+	case TotalMax:
+		return "total-max"
+	case RandomRank:
+		return "random"
+	case RoundRobin:
+		return "round-robin"
+	case NoRankFRFCFS:
+		return "no-rank(FR-FCFS)"
+	case NoRankFCFS:
+		return "no-rank(FCFS)"
+	default:
+		return "???"
+	}
+}
+
+// OpportunisticPriority is the special lowest priority level L (Section 5):
+// requests from such threads are never marked and rank below every other
+// unmarked request, so they are serviced only when the memory system would
+// otherwise be idle.
+const OpportunisticPriority = -1
+
+// Options configures a PAR-BS Engine. The zero value of most fields selects
+// the paper's defaults; use DefaultOptions for the evaluated configuration.
+type Options struct {
+	// MarkingCap limits how many requests per thread per bank join a batch.
+	// Zero means no cap (all outstanding requests are marked). The paper's
+	// default is 5 (Section 7.2).
+	MarkingCap int
+	// Batch selects the batching mode; PAR-BS uses FullBatching.
+	Batch BatchMode
+	// BatchDuration is the re-marking period in DRAM cycles for
+	// StaticBatching. The paper sweeps 400..25600 CPU cycles (Figure 12).
+	BatchDuration int64
+	// Rank selects the within-batch ranking; PAR-BS uses MaxTotal.
+	Rank RankMode
+	// Priorities holds the per-thread priority level: 1 is highest, larger
+	// is lower, OpportunisticPriority is never marked. Nil or an empty
+	// slice means every thread has priority 1. A thread with priority X has
+	// its requests marked only every Xth batch (Section 5).
+	Priorities []int
+	// Seed drives the random tie-breaks in ranking.
+	Seed int64
+
+	// AdaptiveCap enables the extension the paper suggests in Section
+	// 8.3.1 ("it is possible to improve our mechanism by making the
+	// Marking-Cap adaptive"): the cap is adjusted at each batch formation
+	// to keep batch turnaround near TargetBatchCycles — long batches
+	// shrink the cap (bounding the delay of unmarked requests), short
+	// batches grow it (recovering row-buffer locality). Requires
+	// FullBatching or EmptySlotBatching.
+	AdaptiveCap bool
+	// CapMin and CapMax bound the adaptive cap (defaults 1 and 10).
+	CapMin, CapMax int
+	// TargetBatchCycles is the batch-turnaround setpoint in DRAM cycles
+	// (default 128, about the paper's observed ~1269 CPU cycles).
+	TargetBatchCycles int64
+}
+
+// DefaultOptions returns the configuration evaluated in the paper:
+// full batching with Marking-Cap 5 and Max-Total ranking.
+func DefaultOptions() Options {
+	return Options{MarkingCap: 5, Batch: FullBatching, Rank: MaxTotal, Seed: 1}
+}
+
+// Validate reports whether the options are usable for numThreads threads.
+func (o Options) Validate(numThreads int) error {
+	if o.MarkingCap < 0 {
+		return fmt.Errorf("core: options: MarkingCap must be >= 0, got %d", o.MarkingCap)
+	}
+	if o.Batch == StaticBatching && o.BatchDuration <= 0 {
+		return fmt.Errorf("core: options: StaticBatching requires a positive BatchDuration")
+	}
+	if o.Batch != StaticBatching && o.BatchDuration != 0 {
+		return fmt.Errorf("core: options: BatchDuration is only meaningful with StaticBatching")
+	}
+	if len(o.Priorities) != 0 && len(o.Priorities) != numThreads {
+		return fmt.Errorf("core: options: got %d priorities for %d threads", len(o.Priorities), numThreads)
+	}
+	for t, p := range o.Priorities {
+		if p < 1 && p != OpportunisticPriority {
+			return fmt.Errorf("core: options: thread %d has priority %d; want >= 1 or OpportunisticPriority", t, p)
+		}
+	}
+	if o.AdaptiveCap {
+		if o.Batch == StaticBatching {
+			return fmt.Errorf("core: options: AdaptiveCap requires full or empty-slot batching")
+		}
+		min, max := o.capBounds()
+		if min < 1 || min > max {
+			return fmt.Errorf("core: options: adaptive cap bounds [%d,%d] invalid", min, max)
+		}
+		if o.TargetBatchCycles < 0 {
+			return fmt.Errorf("core: options: TargetBatchCycles must be non-negative")
+		}
+	} else if o.CapMin != 0 || o.CapMax != 0 || o.TargetBatchCycles != 0 {
+		return fmt.Errorf("core: options: CapMin/CapMax/TargetBatchCycles are only meaningful with AdaptiveCap")
+	}
+	return nil
+}
+
+// capBounds returns the adaptive cap bounds with defaults applied.
+func (o Options) capBounds() (min, max int) {
+	min, max = o.CapMin, o.CapMax
+	if min == 0 {
+		min = 1
+	}
+	if max == 0 {
+		max = 10
+	}
+	return min, max
+}
+
+// targetBatch returns the adaptive turnaround setpoint with its default:
+// ~128 DRAM cycles, the batch turnaround the paper's default cap of 5
+// achieves (it reports ~1269 CPU cycles for Case Study II).
+func (o Options) targetBatch() int64 {
+	if o.TargetBatchCycles == 0 {
+		return 128
+	}
+	return o.TargetBatchCycles
+}
+
+// priorityOf returns the priority level of a thread, defaulting to 1.
+func (o Options) priorityOf(thread int) int {
+	if len(o.Priorities) == 0 {
+		return 1
+	}
+	return o.Priorities[thread]
+}
+
+// effectiveCap returns the marking cap with 0 meaning unlimited.
+func (o Options) effectiveCap() int {
+	if o.MarkingCap == 0 {
+		return math.MaxInt
+	}
+	return o.MarkingCap
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/memctrl"
+)
+
+// Engine is the PAR-BS scheduler: a memctrl.Policy implementing request
+// batching (Rule 1), the within-batch prioritization rules (Rule 2, plus the
+// PRIORITY rule of Section 5), and per-batch thread ranking (Rule 3).
+type Engine struct {
+	opts Options
+	ctrl *memctrl.Controller
+	rng  *rand.Rand
+
+	threads int
+	banks   int
+
+	// rankOf maps thread -> rank position; 0 is the highest rank.
+	rankOf []int
+	// markedInBatch counts requests marked this batch per thread per bank;
+	// it implements the Marking-Cap and empty-slot admission checks.
+	markedInBatch [][]int
+	// totalMarked mirrors Table 1's TotalMarkedRequests register: marked
+	// requests not yet fully serviced.
+	totalMarked int
+	// batchIndex counts formed batches, starting at 1; a thread with
+	// priority X is marked only when batchIndex is a multiple of X.
+	batchIndex int64
+
+	// nextStaticMark is the next re-marking cycle for StaticBatching.
+	nextStaticMark int64
+
+	batchStart    int64
+	batchesFormed int64
+	batchCycleSum int64
+
+	// adaptiveCap is the live Marking-Cap under Options.AdaptiveCap.
+	adaptiveCap  int
+	lastBatchLen int64
+
+	// arrivalBatch records the batch index current when each buffered
+	// request arrived; maxBatchWait tracks the most batches any request
+	// waited before being marked — the paper's starvation bound made
+	// observable.
+	arrivalBatch map[*memctrl.Request]int64
+	maxBatchWait int64
+
+	batchStats BatchStats
+}
+
+// NewEngine builds a PAR-BS engine with the given options. Option validity
+// is checked against the controller's thread count at attach time.
+func NewEngine(opts Options) *Engine {
+	return &Engine{
+		opts:         opts,
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		arrivalBatch: make(map[*memctrl.Request]int64),
+	}
+}
+
+// Name identifies the engine configuration in result tables.
+func (e *Engine) Name() string {
+	d := DefaultOptions()
+	if e.opts.Batch == d.Batch && e.opts.Rank == d.Rank && e.opts.MarkingCap == d.MarkingCap {
+		return "PAR-BS"
+	}
+	cap := "no-cap"
+	if e.opts.MarkingCap > 0 {
+		cap = fmt.Sprintf("cap=%d", e.opts.MarkingCap)
+	}
+	if e.opts.Batch == StaticBatching {
+		return fmt.Sprintf("BS(static-%d,%s,%s)", e.opts.BatchDuration, cap, e.opts.Rank)
+	}
+	return fmt.Sprintf("BS(%s,%s,%s)", e.opts.Batch, cap, e.opts.Rank)
+}
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// BatchesFormed returns how many batches have been formed.
+func (e *Engine) BatchesFormed() int64 { return e.batchesFormed }
+
+// AvgBatchCycles returns the mean batch completion time in DRAM cycles
+// (the paper reports ~1269 CPU cycles for Case Study II).
+func (e *Engine) AvgBatchCycles() float64 {
+	if e.batchesFormed == 0 {
+		return 0
+	}
+	return float64(e.batchCycleSum) / float64(e.batchesFormed)
+}
+
+// OnAttach wires the engine to its controller and allocates per-thread
+// per-bank marking state. It panics on invalid options: misconfiguration is
+// a programming error, and callers can pre-check with Options.Validate.
+func (e *Engine) OnAttach(c *memctrl.Controller) {
+	e.ctrl = c
+	e.threads = c.NumThreads()
+	e.banks = c.Device().Geometry().Banks
+	if err := e.opts.Validate(e.threads); err != nil {
+		panic(err)
+	}
+	e.rankOf = make([]int, e.threads)
+	e.markedInBatch = make([][]int, e.threads)
+	for t := range e.markedInBatch {
+		e.markedInBatch[t] = make([]int, e.banks)
+	}
+	if e.opts.AdaptiveCap {
+		e.adaptiveCap = e.opts.MarkingCap
+		min, max := e.opts.capBounds()
+		if e.adaptiveCap < min {
+			e.adaptiveCap = min
+		}
+		if e.adaptiveCap > max {
+			e.adaptiveCap = max
+		}
+	}
+}
+
+// OnCycle forms a new batch when due: for full and empty-slot batching, when
+// all marked requests have been serviced and work is waiting; for static
+// batching, every BatchDuration cycles.
+func (e *Engine) OnCycle(now int64) {
+	switch e.opts.Batch {
+	case StaticBatching:
+		if now >= e.nextStaticMark {
+			e.formBatch(now)
+			e.nextStaticMark = now + e.opts.BatchDuration
+		}
+	default:
+		if e.totalMarked == 0 && e.ctrl.PendingReads() > 0 {
+			e.formBatch(now)
+		}
+	}
+}
+
+// currentCap returns the live marking cap: the adaptive value when
+// enabled, otherwise the configured Marking-Cap.
+func (e *Engine) currentCap() int {
+	if e.opts.AdaptiveCap {
+		return e.adaptiveCap
+	}
+	return e.opts.effectiveCap()
+}
+
+// AdaptiveCapValue exposes the live cap for tests and experiments.
+func (e *Engine) AdaptiveCapValue() int { return e.currentCap() }
+
+// adaptCap moves the cap toward the batch-turnaround setpoint: batches
+// much longer than the target shrink the cap (less delay for unmarked
+// requests); much shorter ones grow it (more locality per batch).
+func (e *Engine) adaptCap() {
+	if !e.opts.AdaptiveCap || e.lastBatchLen == 0 {
+		return
+	}
+	min, max := e.opts.capBounds()
+	target := e.opts.targetBatch()
+	switch {
+	case e.lastBatchLen > target*3/2 && e.adaptiveCap > min:
+		e.adaptiveCap--
+	case e.lastBatchLen < target/2 && e.adaptiveCap < max:
+		e.adaptiveCap++
+	}
+}
+
+// formBatch implements Rule 1 (batch formation and marking) and Rule 3
+// (thread ranking).
+func (e *Engine) formBatch(now int64) {
+	e.adaptCap()
+	e.batchIndex++
+	e.batchesFormed++
+	e.batchStart = now
+	for t := range e.markedInBatch {
+		for b := range e.markedInBatch[t] {
+			e.markedInBatch[t][b] = 0
+		}
+	}
+	capacity := e.currentCap()
+	for _, r := range e.ctrl.ReadRequests() { // buffer order == oldest first
+		if r.Marked {
+			// Only possible under StaticBatching: leftovers stay marked and
+			// consume their thread's slots in the new batch.
+			e.markedInBatch[r.Thread][r.Loc.Bank]++
+			continue
+		}
+		if !e.threadMarkedThisBatch(r.Thread) {
+			continue
+		}
+		if e.markedInBatch[r.Thread][r.Loc.Bank] >= capacity {
+			continue
+		}
+		r.Marked = true
+		e.markedInBatch[r.Thread][r.Loc.Bank]++
+		e.totalMarked++
+		if arrived, ok := e.arrivalBatch[r]; ok {
+			if waited := e.batchIndex - 1 - arrived; waited > e.maxBatchWait {
+				e.maxBatchWait = waited
+			}
+			delete(e.arrivalBatch, r)
+		}
+	}
+	e.batchStats.recordSize(e.totalMarked)
+	e.computeRanking()
+}
+
+// threadMarkedThisBatch implements priority-based marking (Section 5):
+// priority-X threads participate in every Xth batch; opportunistic threads
+// never participate.
+func (e *Engine) threadMarkedThisBatch(thread int) bool {
+	p := e.opts.priorityOf(thread)
+	if p == OpportunisticPriority {
+		return false
+	}
+	return e.batchIndex%int64(p) == 0
+}
+
+// computeRanking implements Rule 3 and the Section 4.4 alternatives. Threads
+// with marked requests are ranked by the selected scheme; threads without
+// marked requests are ranked below them (their requests are unmarked, so
+// this ordering only breaks ties among unmarked requests).
+func (e *Engine) computeRanking() {
+	switch e.opts.Rank {
+	case NoRankFRFCFS, NoRankFCFS:
+		return // ranking unused
+	case RandomRank:
+		for i, p := range e.rng.Perm(e.threads) {
+			e.rankOf[i] = p
+		}
+		return
+	case RoundRobin:
+		for t := 0; t < e.threads; t++ {
+			e.rankOf[t] = (t + int(e.batchIndex)) % e.threads
+		}
+		return
+	}
+
+	// Max-Total / Total-Max over marked request counts.
+	type key struct {
+		thread  int
+		max     int
+		total   int
+		tiebrk  int64
+		inBatch bool
+	}
+	keys := make([]key, e.threads)
+	for t := 0; t < e.threads; t++ {
+		k := key{thread: t, tiebrk: e.rng.Int63()}
+		for b := 0; b < e.banks; b++ {
+			n := e.markedInBatch[t][b]
+			if n == 0 {
+				// Rank batch-less threads by their outstanding load so the
+				// ordering is still shortest-job-first among them.
+				n = e.ctrl.ReadsInBank(t, b)
+			} else {
+				k.inBatch = true
+			}
+			k.total += n
+			if n > k.max {
+				k.max = n
+			}
+		}
+		keys[t] = k
+	}
+	totalMax := e.opts.Rank == TotalMax
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.inBatch != b.inBatch {
+			return a.inBatch
+		}
+		x1, y1, x2, y2 := a.max, a.total, b.max, b.total
+		if totalMax {
+			x1, y1, x2, y2 = a.total, a.max, b.total, b.max
+		}
+		if x1 != x2 {
+			return x1 < x2
+		}
+		if y1 != y2 {
+			return y1 < y2
+		}
+		return a.tiebrk < b.tiebrk
+	})
+	for pos, k := range keys {
+		e.rankOf[k.thread] = pos
+	}
+}
+
+// OnEnqueue admits late-arriving requests into the current batch under
+// EmptySlotBatching (Section 4.4).
+func (e *Engine) OnEnqueue(r *memctrl.Request, now int64) {
+	e.arrivalBatch[r] = e.batchIndex
+	if e.opts.Batch != EmptySlotBatching || e.totalMarked == 0 {
+		return
+	}
+	if !e.threadMarkedThisBatch(r.Thread) {
+		return
+	}
+	if e.markedInBatch[r.Thread][r.Loc.Bank] >= e.currentCap() {
+		return
+	}
+	r.Marked = true
+	e.markedInBatch[r.Thread][r.Loc.Bank]++
+	e.totalMarked++
+	delete(e.arrivalBatch, r)
+}
+
+// OnIssue is part of memctrl.Policy; PAR-BS needs no per-command bookkeeping.
+func (e *Engine) OnIssue(memctrl.Candidate, int64) {}
+
+// OnComplete decrements TotalMarkedRequests when a marked request is fully
+// serviced; the batch ends when the count reaches zero.
+func (e *Engine) OnComplete(r *memctrl.Request, now int64) {
+	delete(e.arrivalBatch, r)
+	if !r.Marked {
+		return
+	}
+	e.totalMarked--
+	if e.totalMarked == 0 && e.opts.Batch != StaticBatching {
+		e.lastBatchLen = now - e.batchStart
+		e.batchCycleSum += e.lastBatchLen
+		e.batchStats.recordDuration(e.lastBatchLen)
+	}
+}
+
+// Better implements the PAR-BS request prioritization (Rule 2 with the
+// Section 5 PRIORITY rule): marked-first, higher-priority-thread-first,
+// row-hit-first, higher-rank-first, oldest-first. The rank-free variants
+// drop the rank rule (and, for NoRankFCFS, the row-hit rule).
+func (e *Engine) Better(a, b memctrl.Candidate) bool {
+	if a.Req.Marked != b.Req.Marked {
+		return a.Req.Marked
+	}
+	pa, pb := e.comparablePriority(a.Req.Thread), e.comparablePriority(b.Req.Thread)
+	if pa != pb {
+		return pa < pb
+	}
+	if e.opts.Rank != NoRankFCFS && a.IsRowHit() != b.IsRowHit() {
+		return a.IsRowHit()
+	}
+	if e.opts.Rank != NoRankFCFS && e.opts.Rank != NoRankFRFCFS {
+		if ra, rb := e.rankOf[a.Req.Thread], e.rankOf[b.Req.Thread]; ra != rb {
+			return ra < rb
+		}
+	}
+	return a.Req.ID < b.Req.ID
+}
+
+// comparablePriority maps a thread's priority level to a sortable value with
+// opportunistic threads last.
+func (e *Engine) comparablePriority(thread int) int {
+	p := e.opts.priorityOf(thread)
+	if p == OpportunisticPriority {
+		return math.MaxInt
+	}
+	return p
+}
+
+// TotalMarked exposes the TotalMarkedRequests register for tests and
+// invariant checks.
+func (e *Engine) TotalMarked() int { return e.totalMarked }
+
+// RankPosition returns thread's current rank position (0 = highest rank).
+func (e *Engine) RankPosition(thread int) int { return e.rankOf[thread] }
+
+// MaxBatchWait returns the largest number of whole batches any request
+// waited in the buffer before being marked. With Marking-Cap c, a thread
+// with q buffered requests to one bank waits at most ceil(q/c)-1 batches —
+// the starvation bound batching provides (Section 4.3).
+func (e *Engine) MaxBatchWait() int64 { return e.maxBatchWait }

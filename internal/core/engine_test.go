@@ -1,0 +1,475 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+func newEngineController(t *testing.T, threads int, opts Options) (*memctrl.Controller, *Engine) {
+	t.Helper()
+	dev, err := dram.NewDevice(dram.DDR2_800(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(opts)
+	c, err := memctrl.NewController(dev, e, memctrl.DefaultConfig(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, e
+}
+
+// addr builds a per-thread address hitting a chosen (bank, row) with the
+// default geometry's XOR hash, by inverting the mapping.
+func addrFor(g dram.Geometry, bank int, row, col int64) int64 {
+	return g.Unmap(dram.Location{Bank: bank, Row: row, Col: col})
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"defaults", DefaultOptions(), true},
+		{"no cap", Options{Batch: FullBatching}, true},
+		{"negative cap", Options{MarkingCap: -1}, false},
+		{"static without duration", Options{Batch: StaticBatching}, false},
+		{"duration without static", Options{BatchDuration: 100}, false},
+		{"static ok", Options{Batch: StaticBatching, BatchDuration: 100}, true},
+		{"priorities wrong len", Options{Priorities: []int{1, 2}}, false},
+		{"priority zero", Options{Priorities: []int{1, 0, 1, 1}}, false},
+		{"opportunistic ok", Options{Priorities: []int{1, 1, 2, OpportunisticPriority}}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.opts.Validate(4)
+			if (err == nil) != c.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if got := NewEngine(DefaultOptions()).Name(); got != "PAR-BS" {
+		t.Errorf("default name = %q, want PAR-BS", got)
+	}
+	e := NewEngine(Options{Batch: StaticBatching, BatchDuration: 320, MarkingCap: 5})
+	if got := e.Name(); got != "BS(static-320,cap=5,max-total)" {
+		t.Errorf("static name = %q", got)
+	}
+	e = NewEngine(Options{Batch: EmptySlotBatching, Rank: RoundRobin})
+	if got := e.Name(); got != "BS(eslot,no-cap,round-robin)" {
+		t.Errorf("eslot name = %q", got)
+	}
+}
+
+func TestBatchModeRankModeStrings(t *testing.T) {
+	if FullBatching.String() != "full" || StaticBatching.String() != "static" ||
+		EmptySlotBatching.String() != "eslot" || BatchMode(9).String() != "???" {
+		t.Error("unexpected BatchMode strings")
+	}
+	names := map[RankMode]string{
+		MaxTotal: "max-total", TotalMax: "total-max", RandomRank: "random",
+		RoundRobin: "round-robin", NoRankFRFCFS: "no-rank(FR-FCFS)",
+		NoRankFCFS: "no-rank(FCFS)", RankMode(9): "???",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("RankMode %d = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestMarkingCapLimitsBatch(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MarkingCap = 2
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	// Thread 0: 5 requests to one bank; only 2 may be marked.
+	for i := int64(0); i < 5; i++ {
+		c.EnqueueRead(0, addrFor(g, 3, 7, i), 0)
+	}
+	c.Tick(0) // forms the batch
+	marked := 0
+	for _, r := range c.ReadRequests() {
+		if r.Marked {
+			marked++
+		}
+	}
+	if marked != 2 {
+		t.Errorf("marked = %d, want 2 (Marking-Cap)", marked)
+	}
+	if e.TotalMarked() != 2 {
+		t.Errorf("TotalMarked = %d, want 2", e.TotalMarked())
+	}
+	// The two marked ones must be the oldest.
+	for i, r := range c.ReadRequests() {
+		want := i < 2
+		if r.Marked != want {
+			t.Errorf("request %d marked=%v, want %v (oldest-first marking)", i, r.Marked, want)
+		}
+	}
+}
+
+func TestNoCapMarksEverything(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MarkingCap = 0
+	c, e := newEngineController(t, 1, opts)
+	g := c.Device().Geometry()
+	for i := int64(0); i < 10; i++ {
+		c.EnqueueRead(0, addrFor(g, 0, 1, i%8), 0)
+	}
+	c.Tick(0)
+	if e.TotalMarked() != 10 {
+		t.Errorf("TotalMarked = %d, want 10 with no cap", e.TotalMarked())
+	}
+}
+
+func TestNewBatchOnlyAfterCompletion(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MarkingCap = 1
+	c, e := newEngineController(t, 1, opts)
+	g := c.Device().Geometry()
+	for i := int64(0); i < 3; i++ {
+		c.EnqueueRead(0, addrFor(g, 0, int64(i), 0), 0)
+	}
+	c.Tick(0)
+	if e.BatchesFormed() != 1 || e.TotalMarked() != 1 {
+		t.Fatalf("after first tick: batches=%d marked=%d, want 1/1", e.BatchesFormed(), e.TotalMarked())
+	}
+	// Run until everything drains; batches must have formed sequentially
+	// (3 requests, cap 1, same bank -> 3 batches).
+	for now := int64(1); now < 500; now++ {
+		c.Tick(now)
+	}
+	if got := c.ThreadStats(0).ReadsCompleted; got != 3 {
+		t.Fatalf("completed %d reads, want 3", got)
+	}
+	if e.BatchesFormed() != 3 {
+		t.Errorf("batches formed = %d, want 3", e.BatchesFormed())
+	}
+	if e.AvgBatchCycles() <= 0 {
+		t.Errorf("avg batch cycles = %f, want > 0", e.AvgBatchCycles())
+	}
+}
+
+// TestMarkedPrioritizedOverUnmarked constructs a batch, then adds a row-hit
+// request from another thread: the row-hit must NOT bypass marked requests
+// (Rule 2: BS before RH).
+func TestMarkedPrioritizedOverUnmarked(t *testing.T) {
+	opts := DefaultOptions()
+	c, _ := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	// Thread 0: two conflicting rows in bank 0 -> marked batch.
+	c.EnqueueRead(0, addrFor(g, 0, 1, 0), 0)
+	c.EnqueueRead(0, addrFor(g, 0, 2, 0), 0)
+	var order []int
+	c.SetOnComplete(func(r *memctrl.Request, end int64) { order = append(order, r.Thread) })
+	c.Tick(0) // batch formed: both thread-0 requests marked
+	// Open row 1 will be active after first request; thread 1 now issues a
+	// request to row 1 (a row hit once open) — but it is unmarked.
+	now := int64(1)
+	for ; now < 30; now++ {
+		c.Tick(now)
+	}
+	c.EnqueueRead(1, addrFor(g, 0, 1, 1), now)
+	for ; now < 400; now++ {
+		c.Tick(now)
+	}
+	if len(order) != 3 {
+		t.Fatalf("completed %d, want 3", len(order))
+	}
+	if order[0] != 0 || order[1] != 0 || order[2] != 1 {
+		t.Errorf("service order by thread = %v; marked requests must finish first", order)
+	}
+}
+
+// TestMaxTotalRankingOrdersThreads reproduces Rule 3 on a live controller:
+// a thread with low max-bank-load outranks one with high max-bank-load.
+func TestMaxTotalRankingOrdersThreads(t *testing.T) {
+	opts := DefaultOptions()
+	c, e := newEngineController(t, 3, opts)
+	g := c.Device().Geometry()
+	// Thread 0: 1 request in each of banks 0..2 (max 1, total 3).
+	for b := 0; b < 3; b++ {
+		c.EnqueueRead(0, addrFor(g, b, 1, 0)+1<<40*0, 0)
+	}
+	// Thread 1: 2 requests in bank 3 (max 2, total 2).
+	c.EnqueueRead(1, addrFor(g, 3, 2, 0), 0)
+	c.EnqueueRead(1, addrFor(g, 3, 3, 0), 0)
+	// Thread 2: 4 requests in bank 4 (max 4).
+	for i := int64(0); i < 4; i++ {
+		c.EnqueueRead(2, addrFor(g, 4, 4+i, 0), 0)
+	}
+	c.Tick(0)
+	if !(e.RankPosition(0) < e.RankPosition(1) && e.RankPosition(1) < e.RankPosition(2)) {
+		t.Errorf("rank positions = %d,%d,%d; want thread 0 < 1 < 2",
+			e.RankPosition(0), e.RankPosition(1), e.RankPosition(2))
+	}
+}
+
+func TestTotalMaxRankingSwapsRules(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Rank = TotalMax
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	// Thread 0: total 3 spread (max 1). Thread 1: total 2 in one bank (max 2).
+	for b := 0; b < 3; b++ {
+		c.EnqueueRead(0, addrFor(g, b, 1, 0), 0)
+	}
+	c.EnqueueRead(1, addrFor(g, 5, 2, 0), 0)
+	c.EnqueueRead(1, addrFor(g, 5, 3, 0), 0)
+	c.Tick(0)
+	// Under Total-Max, thread 1 (total 2) outranks thread 0 (total 3), the
+	// opposite of Max-Total.
+	if !(e.RankPosition(1) < e.RankPosition(0)) {
+		t.Errorf("Total-Max: rank(1)=%d rank(0)=%d; want thread 1 ranked higher",
+			e.RankPosition(1), e.RankPosition(0))
+	}
+}
+
+func TestRoundRobinRankingRotates(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Rank = RoundRobin
+	opts.MarkingCap = 1
+	c, e := newEngineController(t, 4, opts)
+	g := c.Device().Geometry()
+	c.EnqueueRead(0, addrFor(g, 0, 1, 0), 0)
+	c.Tick(0)
+	first := make([]int, 4)
+	for t := range first {
+		first[t] = e.RankPosition(t)
+	}
+	// Drain and trigger a second batch.
+	for now := int64(1); now < 200; now++ {
+		c.Tick(now)
+	}
+	c.EnqueueRead(0, addrFor(g, 0, 2, 0), 200)
+	c.Tick(200)
+	rotated := false
+	for t := range first {
+		if e.RankPosition(t) != first[t] {
+			rotated = true
+		}
+	}
+	if !rotated {
+		t.Error("round-robin ranking did not rotate between batches")
+	}
+}
+
+// TestStarvationFreedom is the paper's key fairness property: no request
+// waits more than a bounded number of batches. With cap c and T threads and
+// B banks, any marked batch is finite, so every request is serviced within
+// a finite number of batches. We drive an adversarial workload (one thread
+// hammering row hits) and check the victim's request completes.
+func TestStarvationFreedom(t *testing.T) {
+	opts := DefaultOptions()
+	c, _ := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	victimDone := false
+	c.SetOnComplete(func(r *memctrl.Request, end int64) {
+		if r.Thread == 1 {
+			victimDone = true
+		}
+	})
+	// Victim: a single row-conflict request in bank 0.
+	c.EnqueueRead(1, addrFor(g, 0, 99, 0), 0)
+	// Attacker: continuous stream of row hits to bank 0, row 1.
+	col := int64(0)
+	for now := int64(0); now < 3000 && !victimDone; now++ {
+		if now%4 == 0 {
+			c.EnqueueRead(0, addrFor(g, 0, 1, col%32), now)
+			col++
+		}
+		c.Tick(now)
+	}
+	if !victimDone {
+		t.Error("victim request starved despite batching (starvation-freedom violated)")
+	}
+}
+
+func TestOpportunisticNeverMarked(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Priorities = []int{1, OpportunisticPriority}
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	c.EnqueueRead(0, addrFor(g, 0, 1, 0), 0)
+	c.EnqueueRead(1, addrFor(g, 1, 1, 0), 0)
+	c.Tick(0)
+	for _, r := range c.ReadRequests() {
+		if r.Thread == 1 && r.Marked {
+			t.Error("opportunistic thread's request was marked")
+		}
+	}
+	if e.TotalMarked() != 1 {
+		t.Errorf("TotalMarked = %d, want 1", e.TotalMarked())
+	}
+	// Opportunistic requests still get service when the system is free.
+	done := 0
+	c.SetOnComplete(func(r *memctrl.Request, end int64) { done++ })
+	for now := int64(1); now < 500; now++ {
+		c.Tick(now)
+	}
+	if done != 2 {
+		t.Errorf("completed %d, want 2 (opportunistic request must not be dropped)", done)
+	}
+}
+
+func TestPriorityBasedMarkingEveryXthBatch(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MarkingCap = 1
+	opts.Priorities = []int{1, 2}
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	// Keep both threads supplied with requests; thread 1 (priority 2) must
+	// participate in only every other batch.
+	markedBatches := map[int64]bool{}
+	for now := int64(0); now < 4000; now++ {
+		if c.ReadsPerThread(0) < 2 {
+			c.EnqueueRead(0, addrFor(g, 0, int64(now%7), 0), now)
+		}
+		if c.ReadsPerThread(1) < 2 {
+			c.EnqueueRead(1, addrFor(g, 1, int64(now%5), 0), now)
+		}
+		c.Tick(now)
+		for _, r := range c.ReadRequests() {
+			if r.Thread == 1 && r.Marked {
+				markedBatches[e.BatchesFormed()] = true
+			}
+		}
+	}
+	if len(markedBatches) == 0 {
+		t.Fatal("priority-2 thread never marked")
+	}
+	for b := range markedBatches {
+		if b%2 != 0 {
+			t.Errorf("priority-2 thread marked in odd batch %d; want even batches only", b)
+		}
+	}
+}
+
+func TestEmptySlotAdmitsLateRequests(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Batch = EmptySlotBatching
+	opts.MarkingCap = 3
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	// Thread 0 starts a long batch.
+	for i := int64(0); i < 3; i++ {
+		c.EnqueueRead(0, addrFor(g, 0, 1+i, 0), 0)
+	}
+	c.Tick(0)
+	if e.TotalMarked() != 3 {
+		t.Fatalf("TotalMarked = %d, want 3", e.TotalMarked())
+	}
+	// Thread 1 arrives late; it has empty slots, so its request joins.
+	c.EnqueueRead(1, addrFor(g, 1, 9, 0), 1)
+	if e.TotalMarked() != 4 {
+		t.Errorf("TotalMarked = %d after late arrival, want 4 (eslot admission)", e.TotalMarked())
+	}
+	// A late arrival beyond the cap must NOT join.
+	for i := int64(0); i < 3; i++ {
+		c.EnqueueRead(1, addrFor(g, 1, 20+i, 0), 2)
+	}
+	if e.TotalMarked() != 6 {
+		t.Errorf("TotalMarked = %d, want 6 (cap 3 per thread per bank)", e.TotalMarked())
+	}
+}
+
+func TestFullBatchingDoesNotAdmitLateRequests(t *testing.T) {
+	opts := DefaultOptions()
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	c.EnqueueRead(0, addrFor(g, 0, 1, 0), 0)
+	c.Tick(0)
+	c.EnqueueRead(1, addrFor(g, 1, 9, 0), 1)
+	if e.TotalMarked() != 1 {
+		t.Errorf("TotalMarked = %d, want 1 (full batching must not admit late requests)", e.TotalMarked())
+	}
+}
+
+func TestStaticBatchingRemarksPeriodically(t *testing.T) {
+	opts := Options{Batch: StaticBatching, BatchDuration: 50, MarkingCap: 5, Rank: MaxTotal}
+	c, e := newEngineController(t, 1, opts)
+	g := c.Device().Geometry()
+	// Slow trickle of requests; batches must form on schedule regardless.
+	for now := int64(0); now < 500; now++ {
+		if now%40 == 0 {
+			c.EnqueueRead(0, addrFor(g, 0, int64(now), 0), now)
+		}
+		c.Tick(now)
+	}
+	// 500 cycles / 50 per batch = ~10 markings.
+	if got := e.BatchesFormed(); got < 9 || got > 11 {
+		t.Errorf("static batches formed = %d, want ~10", got)
+	}
+}
+
+func TestEngineAttachRejectsBadOptions(t *testing.T) {
+	dev, err := dram.NewDevice(dram.DDR2_800(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("attach with bad options did not panic")
+		}
+	}()
+	e := NewEngine(Options{MarkingCap: -3})
+	memctrl.NewController(dev, e, memctrl.DefaultConfig(2)) //nolint:errcheck
+}
+
+func TestBatchStatsTelemetry(t *testing.T) {
+	opts := DefaultOptions()
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	done := 0
+	c.SetOnComplete(func(r *memctrl.Request, end int64) { done++ })
+	sent := 0
+	for now := int64(0); now < 12000; now++ {
+		if now%25 == 0 && sent < 200 {
+			th := sent % 2
+			c.EnqueueRead(th, addrFor(g, sent%8, int64(sent%40)+int64(th)*600, 0), now)
+			sent++
+		}
+		c.Tick(now)
+	}
+	st := e.BatchStats()
+	if st.Formed == 0 || st.MaxSize == 0 {
+		t.Fatalf("telemetry dead: %+v", st)
+	}
+	var sizes, durs int64
+	for i := range st.SizeHist {
+		sizes += st.SizeHist[i]
+		durs += st.DurHist[i]
+	}
+	if sizes != st.Formed {
+		t.Errorf("size histogram total %d != batches formed %d", sizes, st.Formed)
+	}
+	if durs == 0 || durs > st.Formed {
+		t.Errorf("duration histogram total %d vs formed %d", durs, st.Formed)
+	}
+	if s := st.String(); !strings.Contains(s, "batches formed") {
+		t.Errorf("rendering broken: %q", s)
+	}
+}
+
+func TestBucketLayout(t *testing.T) {
+	cases := []struct {
+		v, base int64
+		want    int
+	}{
+		{1, 2, 0}, {2, 2, 1}, {3, 2, 1}, {4, 2, 2}, {7, 2, 2}, {8, 2, 3},
+		{1 << 20, 2, 9}, {15, 32, 0}, {32, 32, 1}, {64, 32, 2},
+	}
+	for _, c := range cases {
+		if got := bucket(c.v, c.base); got != c.want {
+			t.Errorf("bucket(%d,%d) = %d, want %d", c.v, c.base, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memctrl"
+)
+
+// TestStarvationBoundProperty drives PAR-BS with randomized adversarial
+// workloads and checks the Section 4.3 guarantee: with Marking-Cap c and a
+// B-entry buffer, no request waits more than ceil(B/c) whole batches
+// before being marked (in practice far fewer; the bound here is loose but
+// must never be exceeded).
+func TestStarvationBoundProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		opts := DefaultOptions()
+		opts.MarkingCap = 3
+		c, e := newEngineController(t, 4, opts)
+		g := c.Device().Geometry()
+		rng := rand.New(rand.NewSource(seed))
+		for now := int64(0); now < 30000; now++ {
+			// Aggressive threads flood two banks; a meek thread trickles.
+			if rng.Intn(2) == 0 {
+				th := rng.Intn(3)
+				c.EnqueueRead(th, addrFor(g, rng.Intn(2), int64(rng.Intn(64))+int64(th)*500, 0), now)
+			}
+			if now%500 == 0 {
+				c.EnqueueRead(3, addrFor(g, 5, 1600+now%32, 0), now)
+			}
+			c.Tick(now)
+		}
+		// Loose bound: buffer 128 entries, cap 3 per thread per bank;
+		// a batch can hold at most the whole buffer, so any request must
+		// be marked within buffer/cap batches.
+		bound := int64(128/3 + 1)
+		if got := e.MaxBatchWait(); got > bound {
+			t.Errorf("seed %d: a request waited %d batches (> bound %d)", seed, got, bound)
+		}
+		if e.MaxBatchWait() == 0 && e.BatchesFormed() > 10 {
+			// With flooding threads, some waiting must have occurred;
+			// a zero here would mean the instrumentation is dead.
+			t.Error("MaxBatchWait never moved despite backlog")
+		}
+	}
+}
+
+// TestNoBatchWaitWhenUnderCap: if every thread stays under the cap, all
+// requests join the next batch (wait 0).
+func TestNoBatchWaitWhenUnderCap(t *testing.T) {
+	opts := DefaultOptions() // cap 5
+	c, e := newEngineController(t, 2, opts)
+	g := c.Device().Geometry()
+	for now := int64(0); now < 5000; now++ {
+		if now%200 == 0 {
+			c.EnqueueRead(int(now/200)%2, addrFor(g, int(now)%8, now%31, 0), now)
+		}
+		c.Tick(now)
+	}
+	if got := e.MaxBatchWait(); got != 0 {
+		t.Errorf("max batch wait = %d with under-cap load, want 0", got)
+	}
+}
+
+// TestArrivalTrackingCleansUp: the arrival map must not leak entries once
+// requests complete (marked or not).
+func TestArrivalTrackingCleansUp(t *testing.T) {
+	opts := DefaultOptions()
+	c, e := newEngineController(t, 1, opts)
+	g := c.Device().Geometry()
+	done := 0
+	c.SetOnComplete(func(r *memctrl.Request, end int64) { done++ })
+	for i := int64(0); i < 20; i++ {
+		c.EnqueueRead(0, addrFor(g, int(i)%8, i, 0), 0)
+	}
+	for now := int64(0); now < 3000 && done < 20; now++ {
+		c.Tick(now)
+	}
+	if done != 20 {
+		t.Fatalf("completed %d of 20", done)
+	}
+	if n := len(e.arrivalBatch); n != 0 {
+		t.Errorf("arrival map leaked %d entries", n)
+	}
+}

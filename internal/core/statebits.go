@@ -1,0 +1,73 @@
+package core
+
+import "math/bits"
+
+// This file reproduces the paper's hardware-cost accounting: the Table 1
+// register inventory and the Figure 4 per-request priority value.
+
+// log2 returns ceil(log2(n)) for n >= 1, the register width needed to count
+// or index n things.
+func log2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// StateBits returns the additional hardware state, in bits, that PAR-BS
+// requires beyond an FR-FCFS controller, following Table 1:
+//
+//   - per request: the Marked bit (1), the thread-rank portion of the
+//     priority value (log2 threads, Figure 4), and a Thread-ID
+//     (log2 threads);
+//   - per thread per bank: ReqsInBankPerThread (log2 bufEntries), for the
+//     Max rule;
+//   - per thread: ReqsPerThread (log2 bufEntries), for the Total rule;
+//   - global: TotalMarkedRequests (log2 bufEntries) and the 5-bit
+//     Marking-Cap register.
+//
+// For the paper's example (8 threads, 128-entry request buffer, 8 banks)
+// this is 1412 bits.
+func StateBits(threads, bufEntries, banks int) int {
+	perRequest := 1 + log2(threads) + log2(threads)
+	perThreadPerBank := log2(bufEntries)
+	perThread := log2(bufEntries)
+	global := log2(bufEntries) + 5
+	return bufEntries*perRequest + threads*banks*perThreadPerBank + threads*perThread + global
+}
+
+// Priority is the Figure 4 priority value: a single comparable integer per
+// request, ordered so that a larger value is scheduled first. From most to
+// least significant: marked bit, row-hit bit, thread rank, request ID
+// (older = larger). The thread-rank field is the only storage PAR-BS adds
+// over FR-FCFS.
+type Priority uint64
+
+// idBits is the width of the request-ID field in the encoded priority.
+// 32 bits of ID far exceeds any request buffer while leaving room for the
+// rank field.
+const idBits = 32
+
+// EncodePriority packs a request's scheduling attributes into a Figure 4
+// priority value. rankPos is the thread's rank position (0 = highest rank),
+// numThreads bounds the rank field width, and id is the request's arrival
+// sequence number (smaller = older).
+func EncodePriority(marked, rowHit bool, rankPos, numThreads int, id int64) Priority {
+	rankWidth := log2(numThreads)
+	if rankWidth == 0 {
+		rankWidth = 1
+	}
+	// Invert rank and ID so that "better" becomes "numerically larger".
+	rankVal := uint64(numThreads-1-rankPos) & ((1 << rankWidth) - 1)
+	idVal := uint64((int64(1)<<idBits - 1) - id)
+	var p uint64
+	if marked {
+		p |= 1 << (idBits + rankWidth + 1)
+	}
+	if rowHit {
+		p |= 1 << (idBits + rankWidth)
+	}
+	p |= rankVal << idBits
+	p |= idVal
+	return Priority(p)
+}

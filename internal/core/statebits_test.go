@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1StateBits reproduces the paper's hardware-cost claim exactly:
+// "Assuming an 8-core CMP, 128-entry request buffer and 8 DRAM banks, the
+// extra hardware state ... required to implement PAR-BS (beyond FR-FCFS)
+// is 1412 bits."
+func TestTable1StateBits(t *testing.T) {
+	if got := StateBits(8, 128, 8); got != 1412 {
+		t.Errorf("StateBits(8, 128, 8) = %d, want 1412", got)
+	}
+}
+
+func TestStateBitsComponents(t *testing.T) {
+	// 4-core: per-request 1+2+2=5 bits x 128 = 640; 4*8*7 = 224; 4*7 = 28;
+	// 7+5 = 12 => 904.
+	if got := StateBits(4, 128, 8); got != 904 {
+		t.Errorf("StateBits(4, 128, 8) = %d, want 904", got)
+	}
+	// 16-core: per-request 1+4+4=9 x 128 = 1152; 16*8*7 = 896; 16*7 = 112;
+	// 12 => 2172.
+	if got := StateBits(16, 128, 8); got != 2172 {
+		t.Errorf("StateBits(16, 128, 8) = %d, want 2172", got)
+	}
+}
+
+func TestStateBitsMonotone(t *testing.T) {
+	f := func(t8 uint8, e8 uint8, b8 uint8) bool {
+		threads := int(t8%15) + 2
+		entries := int(e8%200) + 8
+		banks := int(b8%15) + 1
+		base := StateBits(threads, entries, banks)
+		return StateBits(threads+1, entries, banks) >= base &&
+			StateBits(threads, entries+1, banks) >= base &&
+			StateBits(threads, entries, banks+1) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 128: 7, 129: 8}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestEncodePriorityOrdering verifies the Figure 4 encoding yields the same
+// order as the Rule 2 comparator: marked > row-hit > rank > age, checked as
+// a property over random attribute pairs.
+func TestEncodePriorityOrdering(t *testing.T) {
+	const threads = 8
+	type attrs struct {
+		marked, hit bool
+		rank        int
+		id          int64
+	}
+	better := func(a, b attrs) bool { // Rule 2 reference order
+		if a.marked != b.marked {
+			return a.marked
+		}
+		if a.hit != b.hit {
+			return a.hit
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		return a.id < b.id
+	}
+	f := func(m1, h1 bool, r1 uint8, id1 uint16, m2, h2 bool, r2 uint8, id2 uint16) bool {
+		a := attrs{m1, h1, int(r1) % threads, int64(id1)}
+		b := attrs{m2, h2, int(r2) % threads, int64(id2)}
+		pa := EncodePriority(a.marked, a.hit, a.rank, threads, a.id)
+		pb := EncodePriority(b.marked, b.hit, b.rank, threads, b.id)
+		switch {
+		case better(a, b) && !better(b, a):
+			return pa > pb
+		case better(b, a) && !better(a, b):
+			return pb > pa
+		default:
+			return pa == pb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePrioritySingleThread(t *testing.T) {
+	// Degenerate single-thread system must still encode without overlap.
+	hi := EncodePriority(true, false, 0, 1, 0)
+	lo := EncodePriority(false, true, 0, 1, 0)
+	if hi <= lo {
+		t.Error("marked must outrank row-hit even with one thread")
+	}
+}

@@ -1,0 +1,430 @@
+// Package cpu models the processing cores of the paper's baseline CMP
+// (Table 2) at the abstraction level DRAM-scheduling studies need: a
+// 128-entry instruction window with in-order commit (3 instructions per
+// cycle), a cap of 32 outstanding misses (MSHRs), and precise stall
+// accounting — the core stalls when the oldest instruction in the window is
+// a load whose DRAM request is outstanding (Section 2 of the paper).
+//
+// Cores are trace-driven: a TraceSource supplies an instruction stream of
+// non-memory instruction runs punctuated by memory accesses. Multiple
+// last-level-cache misses inside the window overlap naturally, producing
+// the memory-level parallelism whose preservation PAR-BS is about.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/memctrl"
+)
+
+// Config sizes a core. Use DefaultConfig for the paper's baseline.
+type Config struct {
+	// WindowSize is the instruction window capacity (Table 2: 128).
+	WindowSize int
+	// CommitWidth is the per-cycle fetch and commit width (Table 2: 3).
+	CommitWidth int
+	// MSHRs caps outstanding load misses (Table 2: 32).
+	MSHRs int
+	// MaxPerBank caps outstanding load misses per DRAM bank (0 = no cap,
+	// the default). A cap of 1 is an ablation knob that models fully
+	// dependent per-bank miss chains; the baseline instead relies on the
+	// device's non-pipelined banks (dram.Timing.TBankCAS) to reproduce the
+	// paper's per-request stall times.
+	MaxPerBank int
+}
+
+// DefaultConfig returns the paper's baseline core configuration.
+func DefaultConfig() Config {
+	return Config{WindowSize: 128, CommitWidth: 3, MSHRs: 32}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.WindowSize <= 0 || c.CommitWidth <= 0 || c.MSHRs <= 0 {
+		return fmt.Errorf("cpu: config fields must be positive: %+v", c)
+	}
+	if c.MaxPerBank < 0 {
+		return fmt.Errorf("cpu: MaxPerBank must be non-negative, got %d", c.MaxPerBank)
+	}
+	return nil
+}
+
+// Access is one memory access in a trace.
+type Access struct {
+	// Addr is the physical byte address of the cache line.
+	Addr int64
+	// Bank is the DRAM bank the address maps to; the trace generator fills
+	// it in so the core can enforce Config.MaxPerBank.
+	Bank int
+	// IsWrite marks a writeback (dirty eviction) rather than a load miss.
+	IsWrite bool
+}
+
+// Item is one trace element: a run of non-memory instructions followed by
+// one memory access. A terminal run with no access has HasAccess false.
+type Item struct {
+	// NonMem is the number of non-memory instructions preceding the access.
+	NonMem int64
+	// Access is the memory access, valid when HasAccess.
+	Access Access
+	// HasAccess distinguishes a trailing instruction run from an access.
+	HasAccess bool
+}
+
+// TraceSource supplies an unbounded instruction stream.
+type TraceSource interface {
+	// Next returns the next trace item. Sources for finite traces may
+	// return items with HasAccess == false forever once exhausted.
+	Next() Item
+}
+
+// MemPort is the core's connection to the memory system.
+type MemPort interface {
+	// IssueRead sends a load miss to DRAM. It returns the request handle
+	// and true, or nil and false when the memory system cannot accept the
+	// request this cycle (buffer full); the core retries.
+	IssueRead(thread int, addr int64) (*memctrl.Request, bool)
+	// IssueWrite sends a writeback. It returns false when the write buffer
+	// is full; the core stalls the store's commit and retries.
+	IssueWrite(thread int, addr int64) bool
+}
+
+// Stats aggregates a core's execution counters.
+type Stats struct {
+	// Cycles is the number of CPU cycles simulated.
+	Cycles int64
+	// Instructions is the number of committed instructions.
+	Instructions int64
+	// MemStallCycles counts cycles in which nothing committed because the
+	// oldest instruction was a load with an outstanding DRAM request —
+	// the paper's memory stall time.
+	MemStallCycles int64
+	// StoreStallCycles counts cycles blocked on a full write buffer.
+	StoreStallCycles int64
+	// LoadsIssued counts load misses sent to DRAM.
+	LoadsIssued int64
+	// LoadsCompleted counts load misses whose data returned.
+	LoadsCompleted int64
+	// WritesIssued counts writebacks sent to DRAM.
+	WritesIssued int64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MCPI returns memory stall cycles per instruction, the paper's memory
+// intensity metric (Table 3).
+func (s Stats) MCPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.MemStallCycles) / float64(s.Instructions)
+}
+
+// MPKI returns load misses per 1000 instructions (Table 3's L2 MPKI).
+func (s Stats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.LoadsIssued) / float64(s.Instructions)
+}
+
+// ASTPerReq returns the average stall time per DRAM request in CPU cycles
+// (Table 3 and Table 4's "AST/req").
+func (s Stats) ASTPerReq() float64 {
+	if s.LoadsIssued == 0 {
+		return 0
+	}
+	return float64(s.MemStallCycles) / float64(s.LoadsIssued)
+}
+
+// Sub returns s - o field-wise; used to discard warmup.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Cycles:           s.Cycles - o.Cycles,
+		Instructions:     s.Instructions - o.Instructions,
+		MemStallCycles:   s.MemStallCycles - o.MemStallCycles,
+		StoreStallCycles: s.StoreStallCycles - o.StoreStallCycles,
+		LoadsIssued:      s.LoadsIssued - o.LoadsIssued,
+		LoadsCompleted:   s.LoadsCompleted - o.LoadsCompleted,
+		WritesIssued:     s.WritesIssued - o.WritesIssued,
+	}
+}
+
+type entryKind uint8
+
+const (
+	entryNonMem entryKind = iota
+	entryLoad
+	entryStore
+)
+
+type entry struct {
+	kind  entryKind
+	count int64 // remaining instructions for entryNonMem
+	addr  int64
+	bank  int
+	// pending marks a load whose data has not returned.
+	pending bool
+	// issued marks a load whose request was accepted by the memory system.
+	issued bool
+	req    *memctrl.Request
+}
+
+// Core is one trace-driven processing core.
+type Core struct {
+	cfg    Config
+	id     int
+	trace  TraceSource
+	port   MemPort
+	window []*entry // FIFO; index 0 is the oldest instruction
+	// windowCount is the number of instructions occupying the window
+	// (non-memory entries count their run length).
+	windowCount int
+	outstanding int // loads in flight (MSHR occupancy)
+	// fetchItem is the partially-consumed current trace item.
+	fetchItem    Item
+	fetchPending bool
+	// byReq finds the window entry for a completed request.
+	byReq map[*memctrl.Request]*entry
+	// perBank tracks outstanding loads per DRAM bank for Config.MaxPerBank;
+	// it grows on demand to the highest bank index seen.
+	perBank []int
+	// completions due for delivery: CPU cycle -> requests. Bursts complete
+	// in order, so a FIFO suffices.
+	completions []completion
+	stats       Stats
+}
+
+type completion struct {
+	at  int64
+	req *memctrl.Request
+}
+
+// NewCore builds a core reading from trace and issuing to port.
+func NewCore(id int, cfg Config, trace TraceSource, port MemPort) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg:   cfg,
+		id:    id,
+		trace: trace,
+		port:  port,
+		byReq: make(map[*memctrl.Request]*entry),
+	}, nil
+}
+
+// ID returns the core's thread index.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns the accumulated counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters, e.g. after warmup. Window contents and
+// in-flight requests are preserved.
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Outstanding returns current MSHR occupancy (loads in flight).
+func (c *Core) Outstanding() int { return c.outstanding }
+
+// Complete schedules delivery of a finished DRAM read at CPU cycle `at`.
+// The controller's completion callback must route requests to the issuing
+// core.
+func (c *Core) Complete(req *memctrl.Request, at int64) {
+	c.completions = append(c.completions, completion{at: at, req: req})
+}
+
+// Tick simulates CPU cycles [start, start+n). The sim layer calls it once
+// per DRAM cycle with the CPU:DRAM clock ratio.
+func (c *Core) Tick(start int64, n int) {
+	for cyc := start; cyc < start+int64(n); cyc++ {
+		c.deliver(cyc)
+		c.fetch()
+		c.commit(cyc)
+		c.stats.Cycles++
+	}
+}
+
+// deliver marks loads whose data has arrived by cycle cyc.
+func (c *Core) deliver(cyc int64) {
+	for len(c.completions) > 0 && c.completions[0].at <= cyc {
+		comp := c.completions[0]
+		c.completions = c.completions[1:]
+		e, ok := c.byReq[comp.req]
+		if !ok {
+			panic("cpu: completion for unknown request")
+		}
+		delete(c.byReq, comp.req)
+		e.pending = false
+		c.outstanding--
+		c.bankDelta(e.bank, -1)
+		c.stats.LoadsCompleted++
+	}
+}
+
+// fetch brings up to CommitWidth instructions into the window, issuing load
+// misses to the memory system as they enter (at most one memory op per
+// cycle, per Table 2).
+func (c *Core) fetch() {
+	budget := c.cfg.CommitWidth
+	memOpDone := false
+	for budget > 0 {
+		if !c.fetchPending {
+			c.fetchItem = c.trace.Next()
+			c.fetchPending = true
+			if c.fetchItem.NonMem == 0 && !c.fetchItem.HasAccess {
+				// Empty item: the source has nothing this cycle. Treat it
+				// as a fetch bubble rather than spinning.
+				c.fetchPending = false
+				return
+			}
+		}
+		it := &c.fetchItem
+		if it.NonMem > 0 {
+			room := c.cfg.WindowSize - c.windowCount
+			take := int64(budget)
+			if take > it.NonMem {
+				take = it.NonMem
+			}
+			if take > int64(room) {
+				take = int64(room)
+			}
+			if take == 0 {
+				return // window full
+			}
+			c.appendNonMem(take)
+			it.NonMem -= take
+			budget -= int(take)
+			continue
+		}
+		if !it.HasAccess {
+			// Pure gap item exhausted; move on.
+			c.fetchPending = false
+			continue
+		}
+		if memOpDone {
+			return // one memory op per cycle
+		}
+		if c.windowCount >= c.cfg.WindowSize {
+			return
+		}
+		if it.Access.IsWrite {
+			c.window = append(c.window, &entry{kind: entryStore, addr: it.Access.Addr})
+			c.windowCount++
+		} else {
+			if c.outstanding >= c.cfg.MSHRs {
+				return // no MSHR: fetch stalls
+			}
+			if c.cfg.MaxPerBank > 0 && c.bankLoad(it.Access.Bank) >= c.cfg.MaxPerBank {
+				return // same-bank dependence: wait for the previous miss
+			}
+			req, ok := c.port.IssueRead(c.id, it.Access.Addr)
+			if !ok {
+				return // request buffer full: retry next cycle
+			}
+			e := &entry{kind: entryLoad, addr: it.Access.Addr, bank: it.Access.Bank, pending: true, issued: true, req: req}
+			c.window = append(c.window, e)
+			c.byReq[req] = e
+			c.windowCount++
+			c.outstanding++
+			c.bankDelta(it.Access.Bank, 1)
+			c.stats.LoadsIssued++
+		}
+		memOpDone = true
+		budget--
+		c.fetchPending = false
+	}
+}
+
+// appendNonMem adds a run of non-memory instructions, merging with the tail
+// entry when possible to keep the window compact.
+func (c *Core) appendNonMem(n int64) {
+	if len(c.window) > 0 {
+		if tail := c.window[len(c.window)-1]; tail.kind == entryNonMem {
+			tail.count += n
+			c.windowCount += int(n)
+			return
+		}
+	}
+	c.window = append(c.window, &entry{kind: entryNonMem, count: n})
+	c.windowCount += int(n)
+}
+
+// commit retires up to CommitWidth instructions from the window head and
+// accounts stall cycles.
+func (c *Core) commit(cyc int64) {
+	budget := c.cfg.CommitWidth
+	committed := 0
+	for budget > 0 && len(c.window) > 0 {
+		head := c.window[0]
+		switch head.kind {
+		case entryNonMem:
+			take := int64(budget)
+			if take > head.count {
+				take = head.count
+			}
+			head.count -= take
+			c.windowCount -= int(take)
+			c.stats.Instructions += take
+			committed += int(take)
+			budget -= int(take)
+			if head.count == 0 {
+				c.popHead()
+			}
+		case entryLoad:
+			if head.pending {
+				if committed == 0 {
+					c.stats.MemStallCycles++
+				}
+				return
+			}
+			c.popHead()
+			c.windowCount--
+			c.stats.Instructions++
+			committed++
+			budget--
+		case entryStore:
+			if !c.port.IssueWrite(c.id, head.addr) {
+				if committed == 0 {
+					c.stats.StoreStallCycles++
+				}
+				return
+			}
+			c.stats.WritesIssued++
+			c.popHead()
+			c.windowCount--
+			c.stats.Instructions++
+			committed++
+			budget--
+		}
+	}
+}
+
+func (c *Core) popHead() {
+	c.window[0] = nil
+	c.window = c.window[1:]
+}
+
+// bankLoad returns outstanding loads to bank, growing the table on demand.
+func (c *Core) bankLoad(bank int) int {
+	if bank < 0 || bank >= len(c.perBank) {
+		return 0
+	}
+	return c.perBank[bank]
+}
+
+func (c *Core) bankDelta(bank, d int) {
+	if bank < 0 {
+		return
+	}
+	for bank >= len(c.perBank) {
+		c.perBank = append(c.perBank, 0)
+	}
+	c.perBank[bank] += d
+}

@@ -1,0 +1,319 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/memctrl"
+)
+
+// scriptTrace replays a fixed item list, then yields empty items.
+type scriptTrace struct {
+	items []Item
+	pos   int
+}
+
+func (s *scriptTrace) Next() Item {
+	if s.pos >= len(s.items) {
+		return Item{}
+	}
+	it := s.items[s.pos]
+	s.pos++
+	return it
+}
+
+// fakePort accepts requests and lets tests complete them manually.
+type fakePort struct {
+	issued      []*memctrl.Request
+	writes      []int64
+	rejectReads bool
+	rejectWrite bool
+	nextID      int64
+}
+
+func (p *fakePort) IssueRead(thread int, addr int64) (*memctrl.Request, bool) {
+	if p.rejectReads {
+		return nil, false
+	}
+	r := &memctrl.Request{ID: p.nextID, Thread: thread, Addr: addr}
+	p.nextID++
+	p.issued = append(p.issued, r)
+	return r, true
+}
+
+func (p *fakePort) IssueWrite(thread int, addr int64) bool {
+	if p.rejectWrite {
+		return false
+	}
+	p.writes = append(p.writes, addr)
+	return true
+}
+
+func newCore(t *testing.T, items []Item) (*Core, *fakePort) {
+	t.Helper()
+	port := &fakePort{}
+	c, err := NewCore(0, DefaultConfig(), &scriptTrace{items: items}, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, port
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.WindowSize = 0
+	if bad.Validate() == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestDefaultConfigMatchesPaperTable2(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.WindowSize != 128 || cfg.CommitWidth != 3 || cfg.MSHRs != 32 {
+		t.Errorf("config %+v does not match Table 2 (128-entry window, 3-wide, 32 MSHRs)", cfg)
+	}
+}
+
+func TestPureComputeRetiresAtCommitWidth(t *testing.T) {
+	c, _ := newCore(t, []Item{{NonMem: 300}})
+	c.Tick(0, 100)
+	st := c.Stats()
+	if st.Instructions != 300 {
+		t.Errorf("instructions = %d, want 300", st.Instructions)
+	}
+	if st.MemStallCycles != 0 {
+		t.Errorf("memory stalls = %d, want 0 for pure compute", st.MemStallCycles)
+	}
+	// 300 instructions at width 3 need >= 100 cycles... the first cycle
+	// both fetches and commits, so IPC approaches 3.
+	if ipc := st.IPC(); ipc < 2.5 || ipc > 3.0 {
+		t.Errorf("IPC = %f, want ~3", ipc)
+	}
+}
+
+func TestLoadMissStallsUntilCompletion(t *testing.T) {
+	c, port := newCore(t, []Item{{NonMem: 0, Access: Access{Addr: 64}, HasAccess: true}, {NonMem: 100}})
+	c.Tick(0, 10)
+	if len(port.issued) != 1 {
+		t.Fatalf("loads issued = %d, want 1", len(port.issued))
+	}
+	st := c.Stats()
+	if st.MemStallCycles < 5 {
+		t.Errorf("memory stall cycles = %d, want most of the 10 cycles", st.MemStallCycles)
+	}
+	if st.LoadsCompleted != 0 {
+		t.Error("load completed without delivery")
+	}
+	// Deliver at cycle 12 and continue: commit resumes.
+	c.Complete(port.issued[0], 12)
+	c.Tick(10, 40)
+	st = c.Stats()
+	if st.LoadsCompleted != 1 {
+		t.Errorf("loads completed = %d, want 1", st.LoadsCompleted)
+	}
+	if st.Instructions != 101 {
+		t.Errorf("instructions = %d, want 101 (load + 100 compute)", st.Instructions)
+	}
+	if c.Outstanding() != 0 {
+		t.Errorf("outstanding = %d, want 0", c.Outstanding())
+	}
+}
+
+func TestOverlappedMissesStallOnce(t *testing.T) {
+	// Figure 1: two independent load misses close together expose roughly
+	// one memory latency, not two.
+	mk := func() []Item {
+		return []Item{
+			{NonMem: 1, Access: Access{Addr: 64, Bank: 0}, HasAccess: true},
+			{NonMem: 1, Access: Access{Addr: 1 << 20, Bank: 1}, HasAccess: true},
+			{NonMem: 50},
+		}
+	}
+	const lat = 160
+	// Serial: second load's data arrives one latency after the first.
+	c1, p1 := newCore(t, mk())
+	c1.Tick(0, 5)
+	if len(p1.issued) != 2 {
+		t.Fatalf("issued %d, want 2", len(p1.issued))
+	}
+	c1.Complete(p1.issued[0], lat)
+	c1.Complete(p1.issued[1], 2*lat)
+	c1.Tick(5, 3*lat)
+	serial := c1.Stats().MemStallCycles
+
+	// Overlapped: both arrive around one latency.
+	c2, p2 := newCore(t, mk())
+	c2.Tick(0, 5)
+	c2.Complete(p2.issued[0], lat)
+	c2.Complete(p2.issued[1], lat+10)
+	c2.Tick(5, 3*lat)
+	overlapped := c2.Stats().MemStallCycles
+
+	if overlapped >= serial {
+		t.Errorf("overlapped stall %d !< serialized stall %d", overlapped, serial)
+	}
+	if float64(serial) < 1.8*float64(overlapped) {
+		t.Errorf("stall ratio %d/%d; want near 2x (Figure 1 behaviour)", serial, overlapped)
+	}
+}
+
+func TestMSHRLimitBlocksFetch(t *testing.T) {
+	// Distinct banks so MaxPerBank does not bind before the MSHR cap.
+	var items []Item
+	for i := 0; i < 40; i++ {
+		items = append(items, Item{NonMem: 0, Access: Access{Addr: int64(i) * 64, Bank: i}, HasAccess: true})
+	}
+	c, port := newCore(t, items)
+	c.Tick(0, 100)
+	if got := c.Outstanding(); got != 32 {
+		t.Errorf("outstanding = %d, want MSHR cap 32", got)
+	}
+	if len(port.issued) != 32 {
+		t.Errorf("issued = %d, want 32", len(port.issued))
+	}
+}
+
+func TestMaxPerBankSerializesSameBank(t *testing.T) {
+	items := []Item{
+		{NonMem: 0, Access: Access{Addr: 64, Bank: 3}, HasAccess: true},
+		{NonMem: 0, Access: Access{Addr: 128, Bank: 3}, HasAccess: true},
+		{NonMem: 10},
+	}
+	port := &fakePort{}
+	cfg := DefaultConfig()
+	cfg.MaxPerBank = 1
+	c, err := NewCore(0, cfg, &scriptTrace{items: items}, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(0, 10)
+	if len(port.issued) != 1 {
+		t.Fatalf("issued %d, want 1 (second same-bank miss must wait)", len(port.issued))
+	}
+	c.Complete(port.issued[0], 11)
+	c.Tick(10, 10)
+	if len(port.issued) != 2 {
+		t.Errorf("issued %d after completion, want 2", len(port.issued))
+	}
+}
+
+func TestMaxPerBankZeroDisablesCap(t *testing.T) {
+	port := &fakePort{}
+	cfg := DefaultConfig()
+	cfg.MaxPerBank = 0
+	items := []Item{
+		{NonMem: 0, Access: Access{Addr: 64, Bank: 3}, HasAccess: true},
+		{NonMem: 0, Access: Access{Addr: 128, Bank: 3}, HasAccess: true},
+		{NonMem: 10},
+	}
+	c, err := NewCore(0, cfg, &scriptTrace{items: items}, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(0, 10)
+	if len(port.issued) != 2 {
+		t.Errorf("issued %d, want 2 with cap disabled", len(port.issued))
+	}
+}
+
+func TestWindowLimitBlocksFetch(t *testing.T) {
+	// One pending load at the head plus compute: window fills at 128.
+	c, port := newCore(t, []Item{
+		{NonMem: 0, Access: Access{Addr: 64}, HasAccess: true},
+		{NonMem: 1000},
+	})
+	c.Tick(0, 200)
+	if got := c.Stats().Instructions; got != 0 {
+		t.Errorf("committed %d instructions behind a pending head load", got)
+	}
+	// The window holds the load + 127 compute instructions.
+	c.Complete(port.issued[0], 201)
+	c.Tick(200, 2)
+	if got := c.Stats().Instructions; got == 0 {
+		t.Error("no instructions committed after load completion")
+	}
+}
+
+func TestRejectedReadRetries(t *testing.T) {
+	c, port := newCore(t, []Item{{NonMem: 0, Access: Access{Addr: 64}, HasAccess: true}, {NonMem: 10}})
+	port.rejectReads = true
+	c.Tick(0, 5)
+	if len(port.issued) != 0 {
+		t.Fatal("request issued despite rejection")
+	}
+	port.rejectReads = false
+	c.Tick(5, 5)
+	if len(port.issued) != 1 {
+		t.Error("request not retried after rejection cleared")
+	}
+}
+
+func TestStoreIssuesAtCommitAndRetries(t *testing.T) {
+	c, port := newCore(t, []Item{
+		{NonMem: 2, Access: Access{Addr: 64, IsWrite: true}, HasAccess: true},
+		{NonMem: 10},
+	})
+	port.rejectWrite = true
+	c.Tick(0, 10)
+	st := c.Stats()
+	if st.WritesIssued != 0 {
+		t.Fatal("write issued despite full buffer")
+	}
+	if st.StoreStallCycles == 0 {
+		t.Error("store stall cycles not accounted")
+	}
+	port.rejectWrite = false
+	c.Tick(10, 10)
+	st = c.Stats()
+	if st.WritesIssued != 1 {
+		t.Errorf("writes issued = %d, want 1 after retry", st.WritesIssued)
+	}
+	if st.Instructions != 13 {
+		t.Errorf("instructions = %d, want 13", st.Instructions)
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{Cycles: 1000, Instructions: 500, MemStallCycles: 300, LoadsIssued: 10}
+	if s.IPC() != 0.5 {
+		t.Errorf("IPC = %f", s.IPC())
+	}
+	if s.MCPI() != 0.6 {
+		t.Errorf("MCPI = %f", s.MCPI())
+	}
+	if s.MPKI() != 20 {
+		t.Errorf("MPKI = %f", s.MPKI())
+	}
+	if s.ASTPerReq() != 30 {
+		t.Errorf("AST/req = %f", s.ASTPerReq())
+	}
+	var zero Stats
+	if zero.IPC() != 0 || zero.MCPI() != 0 || zero.MPKI() != 0 || zero.ASTPerReq() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+	d := s.Sub(Stats{Cycles: 400, Instructions: 100, MemStallCycles: 100, LoadsIssued: 4})
+	if d.Cycles != 600 || d.Instructions != 400 || d.MemStallCycles != 200 || d.LoadsIssued != 6 {
+		t.Errorf("Sub wrong: %+v", d)
+	}
+}
+
+func TestUnknownCompletionPanics(t *testing.T) {
+	c, _ := newCore(t, []Item{{NonMem: 10}})
+	c.Complete(&memctrl.Request{ID: 999}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown completion did not panic")
+		}
+	}()
+	c.Tick(0, 1)
+}
+
+func TestEmptyTraceDoesNotSpin(t *testing.T) {
+	c, _ := newCore(t, nil)
+	c.Tick(0, 100) // must terminate
+	if c.Stats().Instructions != 0 {
+		t.Error("phantom instructions committed")
+	}
+}

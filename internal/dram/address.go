@@ -1,0 +1,125 @@
+package dram
+
+import "fmt"
+
+// Geometry describes the organization of the memory system visible to the
+// address mapping: how many lock-step channels, banks, rows and columns.
+type Geometry struct {
+	// Channels is the number of parallel lock-step channels. Lock-step
+	// channels act as one wide channel (a single command stream); their only
+	// effect is to divide the data-burst occupancy. See Device.
+	Channels int
+	// Banks is the number of DRAM banks.
+	Banks int
+	// RowBytes is the size of one row (row-buffer) in bytes.
+	RowBytes int64
+	// LineBytes is the cache-line (and burst) size in bytes.
+	LineBytes int64
+	// Rows is the number of rows per bank.
+	Rows int64
+	// XORBankHash enables the XOR/permutation-based bank-index hashing of
+	// Frailong et al. and Zhang et al., which the paper's baseline uses to
+	// spread row-conflicting strides across banks.
+	XORBankHash bool
+	// LineInterleaved switches the address layout from row-interleaved
+	// (default: consecutive cache lines walk one row of one bank, giving
+	// streams row-buffer hits) to cache-line-interleaved (consecutive
+	// lines alternate banks, spreading streams across banks at the cost of
+	// row locality) — the classic mapping trade-off.
+	LineInterleaved bool
+}
+
+// DefaultGeometry returns the paper's baseline geometry: 8 banks with 2 KB
+// row buffers, 64-byte cache lines, and a single lock-step channel group.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:    1,
+		Banks:       8,
+		RowBytes:    2048,
+		LineBytes:   64,
+		Rows:        1 << 14,
+		XORBankHash: true,
+	}
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("dram: geometry: channels must be positive, got %d", g.Channels)
+	case g.Banks <= 0 || g.Banks&(g.Banks-1) != 0:
+		return fmt.Errorf("dram: geometry: banks must be a positive power of two, got %d", g.Banks)
+	case g.RowBytes <= 0 || g.RowBytes&(g.RowBytes-1) != 0:
+		return fmt.Errorf("dram: geometry: row size must be a positive power of two, got %d", g.RowBytes)
+	case g.LineBytes <= 0 || g.LineBytes&(g.LineBytes-1) != 0:
+		return fmt.Errorf("dram: geometry: line size must be a positive power of two, got %d", g.LineBytes)
+	case g.LineBytes > g.RowBytes:
+		return fmt.Errorf("dram: geometry: line size %d exceeds row size %d", g.LineBytes, g.RowBytes)
+	case g.Rows <= 0 || g.Rows&(g.Rows-1) != 0:
+		return fmt.Errorf("dram: geometry: rows must be a positive power of two, got %d", g.Rows)
+	}
+	return nil
+}
+
+// ColumnsPerRow returns the number of cache lines per row.
+func (g Geometry) ColumnsPerRow() int64 { return g.RowBytes / g.LineBytes }
+
+// Location identifies a cache line within the memory system.
+type Location struct {
+	Bank int
+	Row  int64
+	Col  int64
+}
+
+// Map decodes a physical byte address to its DRAM location using a
+// row:bank:column ordering (consecutive rows of one bank are far apart,
+// consecutive cache lines walk a row, then move to the next bank), with an
+// optional XOR hash of the bank index against the low row bits.
+//
+// The ordering places the bank index above the column bits so a unit-stride
+// stream enjoys row hits, while the XOR hash decorrelates power-of-two
+// strides, matching the paper's "XOR-based address-to-bank mapping".
+func (g Geometry) Map(addr int64) Location {
+	if addr < 0 {
+		addr = -addr
+	}
+	line := addr / g.LineBytes
+	cols := g.ColumnsPerRow()
+	var bank int
+	var col int64
+	if g.LineInterleaved {
+		bank = int(line % int64(g.Banks))
+		line /= int64(g.Banks)
+		col = line % cols
+		line /= cols
+	} else {
+		col = line % cols
+		line /= cols
+		bank = int(line % int64(g.Banks))
+		line /= int64(g.Banks)
+	}
+	row := line % g.Rows
+	if g.XORBankHash {
+		bank ^= int(row) & (g.Banks - 1)
+	}
+	return Location{Bank: bank, Row: row, Col: col}
+}
+
+// Unmap is the inverse of Map; it reconstructs a canonical physical address
+// (the lowest address that maps to the location). Map(Unmap(loc)) == loc for
+// every in-range location, which the property tests verify.
+func (g Geometry) Unmap(loc Location) int64 {
+	bank := loc.Bank
+	if g.XORBankHash {
+		bank ^= int(loc.Row) & (g.Banks - 1)
+	}
+	line := loc.Row
+	if g.LineInterleaved {
+		line = line*g.ColumnsPerRow() + loc.Col
+		line = line*int64(g.Banks) + int64(bank)
+	} else {
+		line = line*int64(g.Banks) + int64(bank)
+		line = line*g.ColumnsPerRow() + loc.Col
+	}
+	return line * g.LineBytes
+}

@@ -1,0 +1,32 @@
+package dram
+
+import "testing"
+
+// FuzzMapUnmap hardens the address mapping: any address maps to an
+// in-range location, and canonical addresses round-trip exactly.
+func FuzzMapUnmap(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(64))
+	f.Add(int64(1) << 40)
+	f.Add(int64(-4096))
+	g := DefaultGeometry()
+	capacity := g.RowBytes * int64(g.Banks) * g.Rows
+	f.Fuzz(func(t *testing.T, addr int64) {
+		loc := g.Map(addr)
+		if loc.Bank < 0 || loc.Bank >= g.Banks {
+			t.Fatalf("bank %d out of range for addr %d", loc.Bank, addr)
+		}
+		if loc.Row < 0 || loc.Row >= g.Rows {
+			t.Fatalf("row %d out of range for addr %d", loc.Row, addr)
+		}
+		if loc.Col < 0 || loc.Col >= g.ColumnsPerRow() {
+			t.Fatalf("col %d out of range for addr %d", loc.Col, addr)
+		}
+		if addr >= 0 && addr < capacity {
+			canonical := (addr / g.LineBytes) * g.LineBytes
+			if got := g.Unmap(g.Map(canonical)); got != canonical {
+				t.Fatalf("round trip %d -> %d", canonical, got)
+			}
+		}
+	})
+}

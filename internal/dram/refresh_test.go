@@ -1,0 +1,50 @@
+package dram
+
+import "testing"
+
+func TestRefreshRequiresAllBanksClosed(t *testing.T) {
+	d := newTestDevice(t, 1)
+	tm := d.Timing()
+	if !d.CanIssue(0, CmdRefresh, 0, 0) {
+		t.Fatal("refresh to idle device should be legal")
+	}
+	d.Issue(0, CmdActivate, 2, 5)
+	if d.CanIssue(1, CmdRefresh, 0, 0) {
+		t.Fatal("refresh with an open bank should be illegal")
+	}
+	d.Issue(tm.TRAS, CmdPrecharge, 2, 0)
+	if d.CanIssue(tm.TRAS+1, CmdRefresh, 0, 0) {
+		t.Fatal("refresh during tRP should be illegal")
+	}
+	if !d.CanIssue(tm.TRAS+tm.TRP, CmdRefresh, 0, 0) {
+		t.Fatal("refresh should be legal after precharge completes")
+	}
+}
+
+func TestRefreshBlocksActivatesForTRFC(t *testing.T) {
+	d := newTestDevice(t, 1)
+	tm := d.Timing()
+	end := d.Issue(0, CmdRefresh, 0, 0)
+	if end != tm.TRFC {
+		t.Errorf("refresh completion = %d, want tRFC = %d", end, tm.TRFC)
+	}
+	for _, b := range []int{0, 3, 7} {
+		if d.CanIssue(tm.TRFC-1, CmdActivate, b, 1) {
+			t.Fatalf("activate to bank %d legal before tRFC elapsed", b)
+		}
+		if !d.CanIssue(tm.TRFC, CmdActivate, b, 1) {
+			t.Fatalf("activate to bank %d should be legal at tRFC", b)
+		}
+	}
+	if d.Stats().Refreshes != 1 {
+		t.Errorf("refreshes = %d, want 1", d.Stats().Refreshes)
+	}
+}
+
+func TestRefreshCommandBusConflict(t *testing.T) {
+	d := newTestDevice(t, 1)
+	d.Issue(5, CmdRefresh, 0, 0)
+	if d.CanIssue(5, CmdRefresh, 0, 0) {
+		t.Fatal("two commands in one cycle should be illegal")
+	}
+}

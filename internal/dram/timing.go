@@ -1,0 +1,183 @@
+// Package dram models a DDR2-style SDRAM device at the granularity a
+// memory-access scheduler cares about: banks with row buffers, per-bank and
+// per-channel timing constraints, and command/data bus occupancy.
+//
+// The model follows the baseline configuration of Mutlu & Moscibroda,
+// "Parallelism-Aware Batch Scheduling" (ISCA 2008), Table 2: Micron
+// DDR2-800 timing parameters, 8 banks, 2 KB row buffers, a single rank,
+// and a 64-bit channel. Multiple channels are "parallel lock-step"
+// channels as in the paper: they behave as one wide channel, so adding
+// channels shortens the data-burst occupancy rather than adding an
+// independent scheduler.
+//
+// All times inside this package are expressed in DRAM clock cycles
+// (tCK = 2.5 ns for DDR2-800). The simulator's global clock runs in CPU
+// cycles; the conversion factor lives in the sim package.
+package dram
+
+// Command is a DRAM command type issued by the memory controller.
+type Command int
+
+// DRAM command types.
+const (
+	CmdNone Command = iota
+	// CmdActivate opens a row into the bank's row buffer (RAS).
+	CmdActivate
+	// CmdPrecharge closes the bank's open row.
+	CmdPrecharge
+	// CmdRead is a column read (CAS) from the open row.
+	CmdRead
+	// CmdWrite is a column write (CAS-W) into the open row.
+	CmdWrite
+	// CmdRefresh refreshes the device. Modeled but disabled by default.
+	CmdRefresh
+)
+
+// String returns the conventional mnemonic of the command.
+func (c Command) String() string {
+	switch c {
+	case CmdNone:
+		return "NOP"
+	case CmdActivate:
+		return "ACT"
+	case CmdPrecharge:
+		return "PRE"
+	case CmdRead:
+		return "RD"
+	case CmdWrite:
+		return "WR"
+	case CmdRefresh:
+		return "REF"
+	default:
+		return "???"
+	}
+}
+
+// Timing holds the DRAM timing constraints, in DRAM clock cycles.
+//
+// The zero value is not usable; start from DDR2_800() (the paper's device)
+// and override fields as needed.
+type Timing struct {
+	// TCL is the CAS (read) latency: read command to first data beat.
+	TCL int64
+	// TCWL is the CAS write latency: write command to first data beat.
+	TCWL int64
+	// TRCD is the row-to-column delay: activate to first CAS.
+	TRCD int64
+	// TRP is the row precharge time: precharge to next activate.
+	TRP int64
+	// TRAS is the minimum time a row must stay open: activate to precharge.
+	TRAS int64
+	// TRC is the activate-to-activate time within one bank (TRAS + TRP).
+	TRC int64
+	// TBurst is the data-bus occupancy of one burst (BL/2 bus cycles).
+	TBurst int64
+	// TCCD is the minimum CAS-to-CAS spacing on a channel.
+	TCCD int64
+	// TRRD is the minimum activate-to-activate spacing across banks.
+	TRRD int64
+	// TFAW is the rolling window in which at most four activates may issue.
+	TFAW int64
+	// TWTR is the internal write-to-read turnaround after a write burst.
+	TWTR int64
+	// TRTP is the read-to-precharge delay within a bank.
+	TRTP int64
+	// TWR is the write recovery time: end of write burst to precharge.
+	TWR int64
+	// TRTW is the extra bus turnaround inserted between a read burst and a
+	// following write burst on the same channel.
+	TRTW int64
+	// TREFI is the average refresh interval; zero disables refresh.
+	TREFI int64
+	// TRFC is the refresh cycle time (bank unavailable after refresh).
+	TRFC int64
+	// TBankCAS is the minimum same-bank CAS-to-CAS spacing: how long a
+	// column access occupies its bank before the next column access to the
+	// same bank may issue. It models the indivisible per-bank access
+	// latency of the paper's Table 2 ("row-buffer hit: 40ns"): banks
+	// service one access at a time while accesses to different banks
+	// overlap, which is what makes bank-level parallelism matter. Zero
+	// allows same-bank CAS pipelining at TCCD (modern burst pipelining).
+	TBankCAS int64
+}
+
+// DDR2_800 returns the Micron DDR2-800 (MT47H128M8HQ-25) timing parameters
+// used by the paper's baseline (Table 2): tCL = tRCD = tRP = 15 ns and
+// BL/2 = 10 ns, i.e. 6, 6, 6 and 4 DRAM cycles at tCK = 2.5 ns.
+func DDR2_800() Timing {
+	return Timing{
+		TCL:    6,  // 15 ns
+		TCWL:   5,  // tCL - 1 per DDR2 convention
+		TRCD:   6,  // 15 ns
+		TRP:    6,  // 15 ns
+		TRAS:   18, // 45 ns
+		TRC:    24, // 60 ns
+		TBurst: 4,  // BL=8 at double data rate -> 4 bus cycles = 10 ns
+		TCCD:   2,
+		TRRD:   3,  // 7.5 ns
+		TFAW:   15, // 37.5 ns
+		TWTR:   3,  // 7.5 ns
+		TRTP:   3,  // 7.5 ns
+		TWR:    6,  // 15 ns
+		TRTW:   2,
+		TREFI:  0, // refresh disabled by default; see DESIGN.md §7
+		TRFC:   51,
+		// 40 ns: a bank is occupied by one column access at a time, per the
+		// paper's per-access latency model (row hit 40ns / closed 60 /
+		// conflict 80 = this occupancy plus tRCD and tRP).
+		TBankCAS: 16,
+	}
+}
+
+// DDR3_1333 returns Micron DDR3-1333 (tCK = 1.5 ns) timing parameters, a
+// faster device generation than the paper's baseline, for sensitivity
+// studies. At a 4 GHz core the CPU:DRAM clock ratio is 6.
+func DDR3_1333() Timing {
+	return Timing{
+		TCL:    9, // 13.5 ns
+		TCWL:   7,
+		TRCD:   9,  // 13.5 ns
+		TRP:    9,  // 13.5 ns
+		TRAS:   24, // 36 ns
+		TRC:    33, // 49.5 ns
+		TBurst: 4,  // BL=8 -> 6 ns
+		TCCD:   4,
+		TRRD:   4,  // 6 ns
+		TFAW:   20, // 30 ns
+		TWTR:   5,  // 7.5 ns
+		TRTP:   5,  // 7.5 ns
+		TWR:    10, // 15 ns
+		TRTW:   2,
+		TREFI:  0,
+		TRFC:   107, // 160 ns for a 2 Gb device
+		// Same non-pipelined bank abstraction as the baseline, scaled to
+		// the faster clock: ~36 ns of bank occupancy per column access.
+		TBankCAS: 24,
+	}
+}
+
+// Validate reports whether the timing parameters are internally consistent.
+// It returns a non-nil error describing the first violated relation.
+func (t Timing) Validate() error {
+	switch {
+	case t.TCL <= 0 || t.TCWL <= 0 || t.TRCD <= 0 || t.TRP <= 0:
+		return errBadTiming("tCL/tCWL/tRCD/tRP must be positive")
+	case t.TBurst <= 0:
+		return errBadTiming("tBurst must be positive")
+	case t.TRAS < t.TRCD:
+		return errBadTiming("tRAS must cover at least tRCD")
+	case t.TRC < t.TRAS+t.TRP:
+		return errBadTiming("tRC must be at least tRAS+tRP")
+	case t.TFAW < t.TRRD:
+		return errBadTiming("tFAW must be at least tRRD")
+	case t.TREFI < 0 || t.TRFC < 0:
+		return errBadTiming("refresh parameters must be non-negative")
+	case t.TBankCAS < 0:
+		return errBadTiming("tBankCAS must be non-negative")
+	}
+	return nil
+}
+
+type errBadTiming string
+
+func (e errBadTiming) Error() string { return "dram: invalid timing: " + string(e) }

@@ -1,0 +1,80 @@
+package dram
+
+import "testing"
+
+func TestDDR2_800MatchesPaperTable2(t *testing.T) {
+	// Table 2: tCL = tRCD = tRP = 15 ns, BL/2 = 10 ns at tCK = 2.5 ns.
+	tm := DDR2_800()
+	if tm.TCL != 6 {
+		t.Errorf("tCL = %d DRAM cycles, want 6 (15 ns)", tm.TCL)
+	}
+	if tm.TRCD != 6 {
+		t.Errorf("tRCD = %d DRAM cycles, want 6 (15 ns)", tm.TRCD)
+	}
+	if tm.TRP != 6 {
+		t.Errorf("tRP = %d DRAM cycles, want 6 (15 ns)", tm.TRP)
+	}
+	if tm.TBurst != 4 {
+		t.Errorf("tBurst = %d DRAM cycles, want 4 (10 ns)", tm.TBurst)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("baseline timing invalid: %v", err)
+	}
+}
+
+func TestTimingValidateRejectsBadRelations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Timing)
+	}{
+		{"zero tCL", func(tm *Timing) { tm.TCL = 0 }},
+		{"negative tRCD", func(tm *Timing) { tm.TRCD = -1 }},
+		{"zero burst", func(tm *Timing) { tm.TBurst = 0 }},
+		{"tRAS < tRCD", func(tm *Timing) { tm.TRAS = tm.TRCD - 1 }},
+		{"tRC < tRAS+tRP", func(tm *Timing) { tm.TRC = tm.TRAS }},
+		{"tFAW < tRRD", func(tm *Timing) { tm.TFAW = tm.TRRD - 1 }},
+		{"negative tREFI", func(tm *Timing) { tm.TREFI = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tm := DDR2_800()
+			c.mutate(&tm)
+			if err := tm.Validate(); err == nil {
+				t.Errorf("Validate accepted invalid timing (%s)", c.name)
+			}
+		})
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	want := map[Command]string{
+		CmdNone: "NOP", CmdActivate: "ACT", CmdPrecharge: "PRE",
+		CmdRead: "RD", CmdWrite: "WR", CmdRefresh: "REF", Command(99): "???",
+	}
+	for c, s := range want {
+		if got := c.String(); got != s {
+			t.Errorf("Command(%d).String() = %q, want %q", c, got, s)
+		}
+	}
+}
+
+func TestRowStateString(t *testing.T) {
+	if RowHit.String() != "hit" || RowClosed.String() != "closed" || RowConflict.String() != "conflict" {
+		t.Error("unexpected RowState string values")
+	}
+	if RowState(42).String() != "???" {
+		t.Error("out-of-range RowState should stringify to ???")
+	}
+}
+
+func TestDDR3_1333Valid(t *testing.T) {
+	tm := DDR3_1333()
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("DDR3-1333 timing invalid: %v", err)
+	}
+	base := DDR2_800()
+	// Faster clock: more cycles for the same wall-clock constraints.
+	if tm.TRAS <= base.TRAS || tm.TRC <= base.TRC {
+		t.Error("DDR3 cycle counts should exceed DDR2's at the faster clock")
+	}
+}

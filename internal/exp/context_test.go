@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestParallelForRunsAll(t *testing.T) {
+	var n int64
+	if err := parallelFor(100, func(i int) error {
+		atomic.AddInt64(&n, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("ran %d of 100", n)
+	}
+	if err := parallelFor(0, func(int) error { return nil }); err != nil {
+		t.Errorf("empty parallelFor errored: %v", err)
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := parallelFor(50, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("got %v, want boom", err)
+	}
+}
+
+func TestAloneCacheHitsByChannelShape(t *testing.T) {
+	x := NewContext(true)
+	cfg := x.Config(4)
+	p := workload.MustByName("gromacs")
+	first, err := x.Alone(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := x.Alone(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CPU != again.CPU {
+		t.Error("cache returned a different outcome")
+	}
+	// Different channel shape must be a separate cache entry.
+	cfg8 := x.Config(8)
+	other, err := x.Alone(cfg8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CPU == first.CPU {
+		t.Error("8-core (2-channel) baseline identical to 1-channel; cache key too coarse")
+	}
+}
+
+func TestRunMixReportsPolicyError(t *testing.T) {
+	x := NewContext(true)
+	cfg := x.Config(4)
+	cfg.Cores = 3 // mismatch vs 4-benchmark mix
+	_, err := x.RunMix(cfg, workload.CaseStudyI(), sched.NewFCFS())
+	if err == nil {
+		t.Error("mismatched mix accepted")
+	}
+}
+
+func TestContextConfigFidelity(t *testing.T) {
+	quick := NewContext(true).Config(4)
+	full := NewContext(false).Config(4)
+	if quick.MeasureCPUCycles >= full.MeasureCPUCycles {
+		t.Error("quick context must simulate fewer cycles")
+	}
+	if quick.Cores != 4 || full.Cores != 4 {
+		t.Error("core count must be preserved")
+	}
+}

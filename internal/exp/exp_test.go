@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// One experiment per evaluation artifact, then the extensions.
+	want := []string{"F1", "F2", "T2", "T3", "F3", "T1", "F5", "F6", "F7", "F8", "F9", "F10", "T4", "F11", "F12", "F13", "F14",
+		"X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry order %v, want %v", got, want)
+		}
+	}
+	if _, err := ByID("F5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("F99"); err == nil {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow("x", "1")
+	tb.AddNote("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestConceptExperimentsExact runs the cheap, deterministic experiments and
+// requires that none of them report a mismatch.
+func TestConceptExperimentsExact(t *testing.T) {
+	x := NewContext(true)
+	for _, id := range []string{"F1", "F2", "F3", "T1", "T2"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := e.Run(x)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+		for _, n := range tb.Notes {
+			if strings.Contains(n, "MISMATCH") || strings.Contains(n, "UNEXPECTED") {
+				t.Errorf("%s: %s", id, n)
+			}
+		}
+	}
+}
+
+// TestCaseStudyExperimentsQuick exercises the simulation-backed experiments
+// at reduced scale and checks structural sanity.
+func TestCaseStudyExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiments")
+	}
+	x := NewContext(true)
+	for _, id := range []string{"F5", "F6", "F7", "F9", "F14"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := e.Run(x)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) < 4 {
+			t.Errorf("%s produced %d rows, want >= 4 (one per scheduler)", id, len(tb.Rows))
+		}
+	}
+}
+
+// TestAggregateExperimentsQuick exercises the heavy sweeps at reduced scale.
+func TestAggregateExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate experiments")
+	}
+	x := NewContext(true)
+	for _, id := range []string{"T3", "F8", "F10", "T4", "F11", "F12", "F13", "X1", "X4", "X5", "X6"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := e.Run(x)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestMixCountScaling(t *testing.T) {
+	full := NewContext(false)
+	quick := NewContext(true)
+	if full.MixCount(100) != 100 {
+		t.Error("full context must not scale down")
+	}
+	if got := quick.MixCount(100); got != 12 {
+		t.Errorf("quick MixCount(100) = %d, want 12", got)
+	}
+	if got := quick.MixCount(8); got != 3 {
+		t.Errorf("quick MixCount(8) = %d, want floor 3", got)
+	}
+}

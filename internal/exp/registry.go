@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	// ID is the artifact identifier: F<figure> or T<table>.
+	ID string
+	// Title says what the artifact shows.
+	Title string
+	// Run produces the reproduction.
+	Run func(x *Context) (*Table, error)
+}
+
+// registry holds all experiments in presentation order.
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment in the paper's order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts T1..T4 with figures interleaved in paper order.
+func orderKey(id string) int {
+	order := map[string]int{
+		"F1": 1, "F2": 2, "T2": 3, "T3": 4, "F3": 5, "T1": 6,
+		"F5": 10, "F6": 11, "F7": 12, "F8": 13, "F9": 14, "F10": 15,
+		"T4": 16, "F11": 17, "F12": 18, "F13": 19, "F14": 20,
+	}
+	if k, ok := order[id]; ok {
+		return k
+	}
+	return 100
+}
+
+// ByID returns the experiment with the given identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// IDs lists all experiment identifiers in order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}

@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file reproduces the Section 8.3 analysis figures: Figure 11
+// (Marking-Cap), Figure 12 (batching choice) and Figure 13 (within-batch
+// ranking schemes).
+
+func init() {
+	register(Experiment{ID: "F11", Title: "Effect of Marking-Cap", Run: runF11})
+	register(Experiment{ID: "F12", Title: "Effect of batching choice (static/eslot/full)", Run: runF12})
+	register(Experiment{ID: "F13", Title: "Effect of within-batch ranking scheme", Run: runF13})
+}
+
+// variant names one scheduler configuration in a sweep.
+type variant struct {
+	label string
+	make  func() memctrl.Policy
+}
+
+// sweepSet evaluates each variant over the mixes and returns per-variant
+// GMEAN (unfairness, weighted, hmean).
+func sweepSet(x *Context, cores int, mixes []workload.Mix, variants []variant) (*Table, error) {
+	cfg := x.Config(cores)
+	if err := x.prepareAlone(cfg, mixes); err != nil {
+		return nil, err
+	}
+	type cell struct{ unf, wsp, hsp []float64 }
+	cells := make([]cell, len(variants))
+	type job struct{ vi, mi int }
+	var jobs []job
+	for vi := range variants {
+		for mi := range mixes {
+			jobs = append(jobs, job{vi, mi})
+		}
+	}
+	results := make([][]MixResult, len(variants))
+	for i := range results {
+		results[i] = make([]MixResult, len(mixes))
+	}
+	err := parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		r, err := x.RunMix(cfg, mixes[j.mi], variants[j.vi].make())
+		if err != nil {
+			return err
+		}
+		results[j.vi][j.mi] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Header: []string{"variant", "GMEAN unfairness", "GMEAN Wspeedup", "GMEAN Hspeedup"}}
+	for vi, v := range variants {
+		for mi := range mixes {
+			r := results[vi][mi]
+			cells[vi].unf = append(cells[vi].unf, r.Unfair)
+			cells[vi].wsp = append(cells[vi].wsp, r.WSpeedup)
+			cells[vi].hsp = append(cells[vi].hsp, r.HSpeedup)
+		}
+		t.AddRow(v.label, f2(stats.GeoMean(cells[vi].unf)), f3(stats.GeoMean(cells[vi].wsp)), f3(stats.GeoMean(cells[vi].hsp)))
+	}
+	return t, nil
+}
+
+// caseSlowdowns runs one mix under each variant and formats per-thread
+// slowdowns as note lines.
+func caseSlowdowns(x *Context, t *Table, mix workload.Mix, variants []variant) error {
+	cfg := x.Config(len(mix.Benchmarks))
+	if err := x.prepareAlone(cfg, []workload.Mix{mix}); err != nil {
+		return err
+	}
+	lines := make([]string, len(variants))
+	err := parallelFor(len(variants), func(i int) error {
+		r, err := x.RunMix(cfg, mix, variants[i].make())
+		if err != nil {
+			return err
+		}
+		s := fmt.Sprintf("%s [%s]:", mix.Name, variants[i].label)
+		for j, c := range r.Cs {
+			s += fmt.Sprintf(" %s=%.2f", mix.Benchmarks[j].Name, c.MemSlowdown())
+		}
+		lines[i] = s
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		t.AddNote("%s", l)
+	}
+	return nil
+}
+
+// sweepMixes is the workload set used by the Section 8.3 sweeps.
+func sweepMixes(x *Context) []workload.Mix {
+	n := x.MixCount(24)
+	return append([]workload.Mix{workload.CaseStudyI(), workload.CaseStudyII()},
+		workload.RandomMixes(n, 4, x.Seed+11)...)
+}
+
+func parbsVariant(label string, opts core.Options) variant {
+	return variant{label: label, make: func() memctrl.Policy { return sched.NewPARBS(opts) }}
+}
+
+func runF11(x *Context) (*Table, error) {
+	caps := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20}
+	if x.Quick {
+		caps = []int{1, 3, 5, 10}
+	}
+	var variants []variant
+	for _, c := range caps {
+		o := core.DefaultOptions()
+		o.MarkingCap = c
+		variants = append(variants, parbsVariant(fmt.Sprintf("c=%d", c), o))
+	}
+	noCap := core.DefaultOptions()
+	noCap.MarkingCap = 0
+	variants = append(variants, parbsVariant("no-c", noCap))
+
+	t, err := sweepSet(x, 4, sweepMixes(x), variants)
+	if err != nil {
+		return nil, err
+	}
+	t.ID, t.Title = "F11", "PAR-BS fairness and throughput vs Marking-Cap (4-core)"
+	if err := caseSlowdowns(x, t, workload.CaseStudyI(), variants); err != nil {
+		return nil, err
+	}
+	if err := caseSlowdowns(x, t, workload.CaseStudyII(), variants); err != nil {
+		return nil, err
+	}
+	t.AddNote("paper: c=1 gives the worst throughput (destroys locality); c=5 is the sweet spot; very large caps re-introduce FR-FCFS-like unfairness")
+	return t, nil
+}
+
+func runF12(x *Context) (*Table, error) {
+	durationsCPU := []int64{400, 800, 1600, 3200, 6400, 12800, 25600}
+	if x.Quick {
+		durationsCPU = []int64{400, 3200, 25600}
+	}
+	var variants []variant
+	for _, dur := range durationsCPU {
+		o := core.DefaultOptions()
+		o.Batch = core.StaticBatching
+		o.BatchDuration = dur / 10 // CPU cycles -> DRAM cycles
+		variants = append(variants, parbsVariant(fmt.Sprintf("st-%d", dur), o))
+	}
+	eslot := core.DefaultOptions()
+	eslot.Batch = core.EmptySlotBatching
+	variants = append(variants, parbsVariant("eslot", eslot))
+	variants = append(variants, parbsVariant("full", core.DefaultOptions()))
+
+	t, err := sweepSet(x, 4, sweepMixes(x), variants)
+	if err != nil {
+		return nil, err
+	}
+	t.ID, t.Title = "F12", "Batching choice: time-based static vs empty-slot vs full (4-core)"
+	if err := caseSlowdowns(x, t, workload.CaseStudyI(), variants); err != nil {
+		return nil, err
+	}
+	if err := caseSlowdowns(x, t, workload.CaseStudyII(), variants); err != nil {
+		return nil, err
+	}
+	t.AddNote("paper: small static durations degenerate to rank/row-hit-first (unfair); the static sweet spot is 3200 cycles; full batching is best on average")
+	return t, nil
+}
+
+func rankVariants(x *Context) []variant {
+	mk := func(label string, r core.RankMode) variant {
+		o := core.DefaultOptions()
+		o.Rank = r
+		o.Seed = x.Seed
+		return parbsVariant(label, o)
+	}
+	return []variant{
+		mk("max-total(PAR-BS)", core.MaxTotal),
+		mk("total-max", core.TotalMax),
+		mk("random", core.RandomRank),
+		mk("round-robin", core.RoundRobin),
+		mk("no-rank(FR-FCFS)", core.NoRankFRFCFS),
+		mk("no-rank(FCFS)", core.NoRankFCFS),
+		{label: "STFM (reference)", make: func() memctrl.Policy { return sched.NewSTFM() }},
+	}
+}
+
+func runF13(x *Context) (*Table, error) {
+	variants := rankVariants(x)
+	t, err := sweepSet(x, 4, sweepMixes(x), variants)
+	if err != nil {
+		return nil, err
+	}
+	t.ID, t.Title = "F13", "Within-batch ranking schemes vs STFM (4-core)"
+	lbm := workload.CaseStudyIII()
+	if err := caseSlowdowns(x, t, lbm, variants); err != nil {
+		return nil, err
+	}
+	matlab4, err := workload.FourCopies("matlab")
+	if err != nil {
+		return nil, err
+	}
+	if err := caseSlowdowns(x, t, matlab4, variants); err != nil {
+		return nil, err
+	}
+	t.AddNote("paper: random/round-robin lose 5.7%%/9.8%% weighted/hmean vs Max-Total; no-rank FR-FCFS loses 4.7%%/10.7%%; ranking matters for 4x lbm (high BLP), not for 4x matlab")
+	return t, nil
+}

@@ -1,0 +1,130 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func newClosedPageController(t *testing.T) (*Controller, *testPolicy) {
+	t.Helper()
+	dev, err := dram.NewDevice(dram.DDR2_800(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &testPolicy{}
+	cfg := DefaultConfig(1)
+	cfg.ClosedPage = true
+	c, err := NewController(dev, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestClosedPageAutoPrecharges(t *testing.T) {
+	c, _ := newClosedPageController(t)
+	g := c.Device().Geometry()
+	done := 0
+	c.SetOnComplete(func(r *Request, end int64) { done++ })
+	// Two same-row reads far apart in time: under closed-page the row does
+	// NOT survive between them, so the second needs its own activate.
+	addr := g.Unmap(dram.Location{Bank: 0, Row: 5, Col: 0})
+	c.EnqueueRead(0, addr, 0)
+	now := int64(0)
+	for ; now < 200 && done < 1; now++ {
+		c.Tick(now)
+	}
+	if got := c.Device().OpenRow(0); got != -1 {
+		t.Fatalf("row %d still open after auto-precharge", got)
+	}
+	c.EnqueueRead(0, addr+64, now)
+	for ; now < 500 && done < 2; now++ {
+		c.Tick(now)
+	}
+	if done != 2 {
+		t.Fatal("reads did not complete")
+	}
+	st := c.Device().Stats()
+	if st.Activates != 2 {
+		t.Errorf("activates = %d, want 2 (closed page forces re-activation)", st.Activates)
+	}
+	if st.Precharges != 2 {
+		t.Errorf("precharges = %d, want 2 (auto-precharge per access)", st.Precharges)
+	}
+}
+
+func TestClosedPageKeepsRowForPendingHits(t *testing.T) {
+	c, _ := newClosedPageController(t)
+	g := c.Device().Geometry()
+	done := 0
+	c.SetOnComplete(func(r *Request, end int64) { done++ })
+	// Two same-row reads queued together: the first access must NOT
+	// auto-precharge because the second one wants the row.
+	addr := g.Unmap(dram.Location{Bank: 0, Row: 5, Col: 0})
+	c.EnqueueRead(0, addr, 0)
+	c.EnqueueRead(0, addr+64, 0)
+	for now := int64(0); now < 400 && done < 2; now++ {
+		c.Tick(now)
+	}
+	if done != 2 {
+		t.Fatal("reads did not complete")
+	}
+	st := c.Device().Stats()
+	if st.Activates != 1 {
+		t.Errorf("activates = %d, want 1 (row kept open for the queued hit)", st.Activates)
+	}
+}
+
+func TestOpenPageDefaultKeepsRows(t *testing.T) {
+	c, _ := newTestController(t, 1)
+	done := 0
+	c.SetOnComplete(func(r *Request, end int64) { done++ })
+	c.EnqueueRead(0, 0, 0)
+	for now := int64(0); now < 200 && done < 1; now++ {
+		c.Tick(now)
+	}
+	g := c.Device().Geometry()
+	if got := c.Device().OpenRow(g.Map(0).Bank); got < 0 {
+		t.Error("open-page policy must leave the row open")
+	}
+}
+
+func TestIssueAutoPrechargeRejectsNonCAS(t *testing.T) {
+	dev, err := dram.NewDevice(dram.DDR2_800(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("auto-precharge of ACT did not panic")
+		}
+	}()
+	dev.IssueAutoPrecharge(0, dram.CmdActivate, 0, 1)
+}
+
+func TestAutoPrechargeDelaysNextActivate(t *testing.T) {
+	dev, err := dram.NewDevice(dram.DDR2_800(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := dev.Timing()
+	dev.Issue(0, dram.CmdActivate, 0, 1)
+	dev.IssueAutoPrecharge(tm.TRCD, dram.CmdRead, 0, 1)
+	// The implicit precharge starts after max(tRTP, tBankCAS) and takes
+	// tRP; an activate before that must be illegal.
+	earliest := tm.TRCD + tm.TBankCAS + tm.TRP
+	if dev.CanIssue(earliest-1, dram.CmdActivate, 0, 2) {
+		t.Errorf("activate legal before implicit precharge completes (%d)", earliest)
+	}
+	legal := false
+	for c := earliest; c < earliest+40; c++ {
+		if dev.CanIssue(c, dram.CmdActivate, 0, 2) {
+			legal = true
+			break
+		}
+	}
+	if !legal {
+		t.Error("activate never became legal after auto-precharge")
+	}
+}

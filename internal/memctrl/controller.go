@@ -1,0 +1,555 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// Config sizes the controller. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Threads is the number of threads (cores) that may issue requests.
+	Threads int
+	// ReadBufEntries is the memory request buffer capacity (Table 2: 128).
+	ReadBufEntries int
+	// WriteBufEntries is the write data buffer capacity (Table 2: 64).
+	WriteBufEntries int
+	// WriteDrainHigh and WriteDrainLow are the write-buffer occupancy
+	// watermarks: at High the controller force-drains writes (even over
+	// ready reads) until occupancy falls to Low.
+	WriteDrainHigh int
+	WriteDrainLow  int
+	// ClosedPage selects the closed-page row policy: every column access
+	// auto-precharges its row unless another buffered request targets the
+	// same row. The paper's baseline (and default here) is open-page,
+	// which row-hit-first scheduling exploits.
+	ClosedPage bool
+}
+
+// DefaultConfig returns the paper's baseline controller configuration for
+// the given thread count.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:         threads,
+		ReadBufEntries:  128,
+		WriteBufEntries: 64,
+		WriteDrainHigh:  48,
+		WriteDrainLow:   16,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Threads <= 0:
+		return fmt.Errorf("memctrl: config: threads must be positive, got %d", c.Threads)
+	case c.ReadBufEntries <= 0 || c.WriteBufEntries <= 0:
+		return fmt.Errorf("memctrl: config: buffer capacities must be positive")
+	case c.WriteDrainHigh > c.WriteBufEntries || c.WriteDrainLow < 0 || c.WriteDrainLow >= c.WriteDrainHigh:
+		return fmt.Errorf("memctrl: config: need 0 <= low < high <= capacity, got low=%d high=%d cap=%d",
+			c.WriteDrainLow, c.WriteDrainHigh, c.WriteBufEntries)
+	}
+	return nil
+}
+
+// ThreadStats aggregates per-thread service statistics over one run.
+type ThreadStats struct {
+	ReadsCompleted  int64
+	WritesCompleted int64
+	// TotalReadLatency is the sum over completed reads of
+	// (completion - arrival), in DRAM cycles.
+	TotalReadLatency int64
+	// WorstCaseLatency is the maximum read latency observed, in DRAM cycles
+	// (the paper's "WC lat." column of Table 4 in CPU cycles; the sim layer
+	// converts).
+	WorstCaseLatency int64
+	// RowHitReads counts completed reads serviced without an activate.
+	RowHitReads int64
+	// blpSum / blpCycles implement the paper's BLP definition (Section 7):
+	// the average number of banks servicing the thread's read requests,
+	// over cycles in which at least one bank is servicing one.
+	blpSum    int64
+	blpCycles int64
+}
+
+// Merge combines stats from independent controllers serving the same
+// thread (multi-channel systems): counters add, worst-case latency takes
+// the maximum, and the BLP accumulators add — parallelism across
+// controllers that overlaps in time is thus credited conservatively
+// (the merged BLP is a weighted average, not a sum).
+func (s ThreadStats) Merge(o ThreadStats) ThreadStats {
+	out := ThreadStats{
+		ReadsCompleted:   s.ReadsCompleted + o.ReadsCompleted,
+		WritesCompleted:  s.WritesCompleted + o.WritesCompleted,
+		TotalReadLatency: s.TotalReadLatency + o.TotalReadLatency,
+		WorstCaseLatency: s.WorstCaseLatency,
+		RowHitReads:      s.RowHitReads + o.RowHitReads,
+		blpSum:           s.blpSum + o.blpSum,
+		blpCycles:        s.blpCycles + o.blpCycles,
+	}
+	if o.WorstCaseLatency > out.WorstCaseLatency {
+		out.WorstCaseLatency = o.WorstCaseLatency
+	}
+	return out
+}
+
+// BLP returns the thread's measured bank-level parallelism.
+func (s ThreadStats) BLP() float64 {
+	if s.blpCycles == 0 {
+		return 0
+	}
+	return float64(s.blpSum) / float64(s.blpCycles)
+}
+
+// AvgReadLatency returns the mean read service latency in DRAM cycles.
+func (s ThreadStats) AvgReadLatency() float64 {
+	if s.ReadsCompleted == 0 {
+		return 0
+	}
+	return float64(s.TotalReadLatency) / float64(s.ReadsCompleted)
+}
+
+// RowHitRate returns the fraction of completed reads serviced as row hits.
+func (s ThreadStats) RowHitRate() float64 {
+	if s.ReadsCompleted == 0 {
+		return 0
+	}
+	return float64(s.RowHitReads) / float64(s.ReadsCompleted)
+}
+
+type inflightEntry struct {
+	end int64
+	req *Request
+}
+
+// Controller is one DRAM channel-group controller: a request buffer, a write
+// buffer, a scheduling policy, and the DRAM device it drives.
+type Controller struct {
+	cfg    Config
+	dev    *dram.Device
+	policy Policy
+
+	reads  []*Request
+	writes []*Request
+	// inflight holds CAS-issued requests ordered by completion time (data
+	// bus bursts complete in issue order, so a FIFO suffices).
+	inflight []inflightEntry
+
+	nextID     int64
+	draining   bool
+	onComplete func(*Request, int64)
+	cmdLog     func(CommandEvent)
+	// nextRefresh is the next due all-bank refresh when the device's
+	// TREFI is non-zero.
+	nextRefresh int64
+
+	// Table 1 registers: per-thread-per-bank and per-thread outstanding
+	// read request counts (ReqsInBankPerThread, ReqsPerThread).
+	perThreadPerBank [][]int
+	perThread        []int
+	// inServiceBank counts, per thread per bank, read requests with >=1
+	// command issued and data not yet returned. banksBusy caches how many
+	// banks have a non-zero count, for the BLP metric (writes never stall
+	// a core, so the paper's bank-level parallelism is about demand misses).
+	inServiceBank [][]int
+	banksBusy     []int
+
+	threadStats []ThreadStats
+	cmdsIssued  int64
+}
+
+// NewController builds a controller over dev with the given policy.
+func NewController(dev *dram.Device, policy Policy, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	banks := dev.Geometry().Banks
+	c := &Controller{
+		cfg:              cfg,
+		dev:              dev,
+		policy:           policy,
+		perThreadPerBank: make([][]int, cfg.Threads),
+		perThread:        make([]int, cfg.Threads),
+		inServiceBank:    make([][]int, cfg.Threads),
+		banksBusy:        make([]int, cfg.Threads),
+		threadStats:      make([]ThreadStats, cfg.Threads),
+	}
+	for i := range c.perThreadPerBank {
+		c.perThreadPerBank[i] = make([]int, banks)
+		c.inServiceBank[i] = make([]int, banks)
+	}
+	c.nextRefresh = dev.Timing().TREFI
+	policy.OnAttach(c)
+	return c, nil
+}
+
+// Device returns the DRAM device the controller drives.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// NumThreads returns the number of threads the controller serves.
+func (c *Controller) NumThreads() int { return c.cfg.Threads }
+
+// SetOnComplete registers the read-completion callback; it receives the
+// request and the DRAM cycle its data burst finished.
+func (c *Controller) SetOnComplete(fn func(*Request, int64)) { c.onComplete = fn }
+
+// CommandEvent describes one issued DRAM command for logging/inspection.
+type CommandEvent struct {
+	Now  int64
+	Cmd  dram.Command
+	Bank int
+	Row  int64
+	// Thread is the issuing thread, or -1 for controller-initiated
+	// commands (refresh sequencing).
+	Thread int
+	// ReqID is the request's arrival sequence number, or -1.
+	ReqID int64
+}
+
+// SetCommandLog registers a hook receiving every issued DRAM command; nil
+// disables logging. Intended for timelines and debugging, not hot paths.
+func (c *Controller) SetCommandLog(fn func(CommandEvent)) { c.cmdLog = fn }
+
+// ReadRequests returns the live read request buffer. Policies may reorder
+// their own bookkeeping from it but must not mutate the slice.
+func (c *Controller) ReadRequests() []*Request { return c.reads }
+
+// ReadsPerThread returns the thread's outstanding read count
+// (Table 1 ReqsPerThread).
+func (c *Controller) ReadsPerThread(thread int) int { return c.perThread[thread] }
+
+// ReadsInBank returns the thread's outstanding reads to a bank
+// (Table 1 ReqsInBankPerThread).
+func (c *Controller) ReadsInBank(thread, bank int) int {
+	return c.perThreadPerBank[thread][bank]
+}
+
+// PendingReads returns the total number of buffered reads.
+func (c *Controller) PendingReads() int { return len(c.reads) }
+
+// PendingWrites returns the write-buffer occupancy.
+func (c *Controller) PendingWrites() int { return len(c.writes) }
+
+// ThreadStats returns a copy of the accumulated stats for thread.
+func (c *Controller) ThreadStats(thread int) ThreadStats { return c.threadStats[thread] }
+
+// ResetStats zeroes all per-thread service statistics and the device
+// counters, e.g. after warmup. Buffer contents and policy state persist.
+func (c *Controller) ResetStats() {
+	for i := range c.threadStats {
+		c.threadStats[i] = ThreadStats{}
+	}
+	c.cmdsIssued = 0
+	c.dev.ResetStats()
+}
+
+// CommandsIssued returns the total DRAM commands issued.
+func (c *Controller) CommandsIssued() int64 { return c.cmdsIssued }
+
+// EnqueueRead inserts a read request. It returns the request and true, or
+// nil and false when the request buffer is full (the core must retry).
+func (c *Controller) EnqueueRead(thread int, addr int64, now int64) (*Request, bool) {
+	if len(c.reads) >= c.cfg.ReadBufEntries {
+		return nil, false
+	}
+	r := c.newRequest(thread, addr, now, false)
+	c.reads = append(c.reads, r)
+	c.perThread[thread]++
+	c.perThreadPerBank[thread][r.Loc.Bank]++
+	c.policy.OnEnqueue(r, now)
+	return r, true
+}
+
+// EnqueueWrite inserts a writeback. It returns false when the write buffer
+// is full.
+func (c *Controller) EnqueueWrite(thread int, addr int64, now int64) bool {
+	if len(c.writes) >= c.cfg.WriteBufEntries {
+		return false
+	}
+	c.writes = append(c.writes, c.newRequest(thread, addr, now, true))
+	return true
+}
+
+func (c *Controller) newRequest(thread int, addr, now int64, isWrite bool) *Request {
+	if thread < 0 || thread >= c.cfg.Threads {
+		panic(fmt.Sprintf("memctrl: thread %d out of range [0,%d)", thread, c.cfg.Threads))
+	}
+	r := &Request{
+		ID:       c.nextID,
+		Thread:   thread,
+		Addr:     addr,
+		Loc:      c.dev.Geometry().Map(addr),
+		IsWrite:  isWrite,
+		Arrival:  now,
+		firstCmd: -1,
+	}
+	c.nextID++
+	return r
+}
+
+// Tick advances the controller by one DRAM cycle: it retires finished
+// bursts, lets the policy update its state, and issues at most one ready
+// command chosen by the policy (reads) or FR-FCFS (writes).
+func (c *Controller) Tick(now int64) {
+	c.retire(now)
+	c.policy.OnCycle(now)
+	c.accountBLP()
+
+	// All-bank refresh takes absolute priority once due: close the open
+	// banks, issue REF, and only then resume request scheduling. Modeled
+	// but disabled by default (Timing.TREFI == 0); see DESIGN.md.
+	if trefi := c.dev.Timing().TREFI; trefi > 0 && now >= c.nextRefresh {
+		if c.refreshStep(now, trefi) {
+			return
+		}
+	}
+
+	// Write-drain hysteresis.
+	if len(c.writes) >= c.cfg.WriteDrainHigh {
+		c.draining = true
+	} else if len(c.writes) <= c.cfg.WriteDrainLow {
+		c.draining = false
+	}
+
+	if c.draining {
+		if c.issueWrite(now) {
+			return
+		}
+		if c.issueRead(now) {
+			return
+		}
+		return
+	}
+	if c.issueRead(now) {
+		return
+	}
+	c.issueWrite(now)
+}
+
+// refreshStep advances an in-progress refresh sequence: it issues a
+// precharge to one open bank, or the refresh itself once all banks are
+// closed. It reports whether the command slot was consumed (the caller
+// must then skip request scheduling this cycle).
+func (c *Controller) refreshStep(now, trefi int64) bool {
+	if c.dev.CanIssue(now, dram.CmdRefresh, 0, 0) {
+		c.dev.Issue(now, dram.CmdRefresh, 0, 0)
+		c.cmdsIssued++
+		c.logCmd(now, dram.CmdRefresh, 0, 0, nil)
+		c.nextRefresh = now + trefi
+		return true
+	}
+	for b := 0; b < c.dev.Geometry().Banks; b++ {
+		if c.dev.OpenRow(b) >= 0 && c.dev.CanIssue(now, dram.CmdPrecharge, b, 0) {
+			c.dev.Issue(now, dram.CmdPrecharge, b, 0)
+			c.cmdsIssued++
+			c.logCmd(now, dram.CmdPrecharge, b, 0, nil)
+			return true
+		}
+	}
+	// Banks are still inside tRAS or similar; wait without issuing new
+	// work so the refresh is not pushed out indefinitely.
+	return true
+}
+
+// retire completes data bursts whose end time has passed.
+func (c *Controller) retire(now int64) {
+	for len(c.inflight) > 0 && c.inflight[0].end <= now {
+		e := c.inflight[0]
+		c.inflight = c.inflight[1:]
+		r := e.req
+		r.done = true
+		st := &c.threadStats[r.Thread]
+		if r.IsWrite {
+			st.WritesCompleted++
+			continue
+		}
+		c.inServiceBank[r.Thread][r.Loc.Bank]--
+		if c.inServiceBank[r.Thread][r.Loc.Bank] == 0 {
+			c.banksBusy[r.Thread]--
+		}
+		lat := e.end - r.Arrival
+		st.ReadsCompleted++
+		st.TotalReadLatency += lat
+		if lat > st.WorstCaseLatency {
+			st.WorstCaseLatency = lat
+		}
+		if r.WasRowHit() {
+			st.RowHitReads++
+		}
+		c.policy.OnComplete(r, now)
+		if c.onComplete != nil {
+			c.onComplete(r, e.end)
+		}
+	}
+}
+
+func (c *Controller) accountBLP() {
+	for t := range c.banksBusy {
+		if n := c.banksBusy[t]; n > 0 {
+			c.threadStats[t].blpSum += int64(n)
+			c.threadStats[t].blpCycles++
+		}
+	}
+}
+
+// issueRead picks the policy's best ready read candidate and issues its
+// command. It reports whether a command was issued.
+func (c *Controller) issueRead(now int64) bool {
+	best, ok := c.bestReadCandidate(now)
+	if !ok {
+		return false
+	}
+	c.issue(best, now)
+	return true
+}
+
+// bestReadCandidate enumerates ready commands for buffered reads and returns
+// the policy's most-preferred one.
+func (c *Controller) bestReadCandidate(now int64) (Candidate, bool) {
+	var best Candidate
+	found := false
+	elig, hasElig := c.policy.(EligibilityPolicy)
+	for _, r := range c.reads {
+		if hasElig && !elig.Eligible(r) {
+			continue
+		}
+		cand, ok := c.candidateFor(r, now)
+		if !ok {
+			continue
+		}
+		if !found || c.policy.Better(cand, best) {
+			best = cand
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (c *Controller) candidateFor(r *Request, now int64) (Candidate, bool) {
+	state := c.dev.RowStateOf(r.Loc.Bank, r.Loc.Row)
+	cmd := c.dev.NextCommand(r.Loc.Bank, r.Loc.Row, r.IsWrite)
+	if !c.dev.CanIssue(now, cmd, r.Loc.Bank, r.Loc.Row) {
+		return Candidate{}, false
+	}
+	return Candidate{Req: r, Cmd: cmd, RowState: state}, true
+}
+
+// issueWrite drains the write buffer with a fixed FR-FCFS order.
+func (c *Controller) issueWrite(now int64) bool {
+	var best Candidate
+	found := false
+	for _, r := range c.writes {
+		cand, ok := c.candidateFor(r, now)
+		if !ok {
+			continue
+		}
+		if !found || writeBetter(cand, best) {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	c.issue(best, now)
+	return true
+}
+
+// writeBetter is FR-FCFS: row-hit CAS first, then oldest.
+func writeBetter(a, b Candidate) bool {
+	if a.IsRowHit() != b.IsRowHit() {
+		return a.IsRowHit()
+	}
+	return a.Req.ID < b.Req.ID
+}
+
+// issue sends the candidate's command to the device and updates request and
+// controller state.
+func (c *Controller) issue(cand Candidate, now int64) {
+	r := cand.Req
+	var end int64
+	if cand.Cmd == dram.CmdRead || cand.Cmd == dram.CmdWrite {
+		end = c.issueCAS(cand, now)
+	} else {
+		end = c.dev.Issue(now, cand.Cmd, r.Loc.Bank, r.Loc.Row)
+	}
+	c.cmdsIssued++
+	c.logCmd(now, cand.Cmd, r.Loc.Bank, r.Loc.Row, r)
+	if r.firstCmd < 0 {
+		r.firstCmd = now
+		if !r.IsWrite {
+			if c.inServiceBank[r.Thread][r.Loc.Bank] == 0 {
+				c.banksBusy[r.Thread]++
+			}
+			c.inServiceBank[r.Thread][r.Loc.Bank]++
+		}
+	}
+	if cand.Cmd == dram.CmdPrecharge || cand.Cmd == dram.CmdActivate {
+		r.neededACT = true
+	}
+	if !r.IsWrite {
+		c.policy.OnIssue(cand, now)
+	}
+	if cand.Cmd == dram.CmdRead || cand.Cmd == dram.CmdWrite {
+		c.removeBuffered(r)
+		c.inflight = append(c.inflight, inflightEntry{end: end, req: r})
+	}
+}
+
+// issueCAS sends the candidate's column access, with auto-precharge under
+// the closed-page policy when no other buffered request wants the row.
+func (c *Controller) issueCAS(cand Candidate, now int64) int64 {
+	r := cand.Req
+	if c.cfg.ClosedPage && !c.rowWanted(r) {
+		return c.dev.IssueAutoPrecharge(now, cand.Cmd, r.Loc.Bank, r.Loc.Row)
+	}
+	return c.dev.Issue(now, cand.Cmd, r.Loc.Bank, r.Loc.Row)
+}
+
+// rowWanted reports whether any other buffered request targets req's row.
+func (c *Controller) rowWanted(req *Request) bool {
+	for _, r := range c.reads {
+		if r != req && r.Loc.Bank == req.Loc.Bank && r.Loc.Row == req.Loc.Row {
+			return true
+		}
+	}
+	for _, r := range c.writes {
+		if r != req && r.Loc.Bank == req.Loc.Bank && r.Loc.Row == req.Loc.Row {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) removeBuffered(r *Request) {
+	if r.IsWrite {
+		c.writes = removeReq(c.writes, r)
+		return
+	}
+	c.reads = removeReq(c.reads, r)
+	c.perThread[r.Thread]--
+	c.perThreadPerBank[r.Thread][r.Loc.Bank]--
+}
+
+func removeReq(s []*Request, r *Request) []*Request {
+	for i, x := range s {
+		if x == r {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	panic("memctrl: request not found in buffer")
+}
+
+// logCmd forwards an issued command to the registered log hook.
+func (c *Controller) logCmd(now int64, cmd dram.Command, bank int, row int64, r *Request) {
+	if c.cmdLog == nil {
+		return
+	}
+	ev := CommandEvent{Now: now, Cmd: cmd, Bank: bank, Row: row, Thread: -1, ReqID: -1}
+	if r != nil {
+		ev.Thread = r.Thread
+		ev.ReqID = r.ID
+	}
+	c.cmdLog(ev)
+}

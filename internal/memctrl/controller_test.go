@@ -1,0 +1,327 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// testPolicy is a minimal FR-FCFS used to exercise the controller plumbing.
+type testPolicy struct {
+	ctrl      *Controller
+	enqueues  int
+	issues    int
+	completes int
+	cycles    int
+}
+
+func (p *testPolicy) Name() string { return "test-frfcfs" }
+func (p *testPolicy) Better(a, b Candidate) bool {
+	if a.IsRowHit() != b.IsRowHit() {
+		return a.IsRowHit()
+	}
+	return a.Req.ID < b.Req.ID
+}
+func (p *testPolicy) OnAttach(c *Controller)          { p.ctrl = c }
+func (p *testPolicy) OnEnqueue(r *Request, now int64) { p.enqueues++ }
+func (p *testPolicy) OnIssue(c Candidate, now int64)  { p.issues++ }
+func (p *testPolicy) OnComplete(r *Request, now int64) {
+	p.completes++
+}
+func (p *testPolicy) OnCycle(now int64) { p.cycles++ }
+
+func newTestController(t *testing.T, threads int) (*Controller, *testPolicy) {
+	t.Helper()
+	dev, err := dram.NewDevice(dram.DDR2_800(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &testPolicy{}
+	c, err := NewController(dev, p, DefaultConfig(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero threads", func(c *Config) { c.Threads = 0 }},
+		{"zero read buf", func(c *Config) { c.ReadBufEntries = 0 }},
+		{"zero write buf", func(c *Config) { c.WriteBufEntries = 0 }},
+		{"high > capacity", func(c *Config) { c.WriteDrainHigh = c.WriteBufEntries + 1 }},
+		{"low >= high", func(c *Config) { c.WriteDrainLow = c.WriteDrainHigh }},
+		{"negative low", func(c *Config) { c.WriteDrainLow = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(4)
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted bad config (%s)", tc.name)
+			}
+		})
+	}
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDefaultConfigMatchesPaperTable2(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if cfg.ReadBufEntries != 128 {
+		t.Errorf("request buffer = %d entries, want 128", cfg.ReadBufEntries)
+	}
+	if cfg.WriteBufEntries != 64 {
+		t.Errorf("write buffer = %d entries, want 64", cfg.WriteBufEntries)
+	}
+}
+
+func TestEnqueueReadCapacity(t *testing.T) {
+	c, p := newTestController(t, 1)
+	for i := 0; i < 128; i++ {
+		if _, ok := c.EnqueueRead(0, int64(i)*64, 0); !ok {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	if _, ok := c.EnqueueRead(0, 9999*64, 0); ok {
+		t.Fatal("enqueue accepted beyond 128-entry capacity")
+	}
+	if p.enqueues != 128 {
+		t.Errorf("policy saw %d enqueues, want 128", p.enqueues)
+	}
+	if c.PendingReads() != 128 {
+		t.Errorf("pending reads = %d, want 128", c.PendingReads())
+	}
+}
+
+func TestEnqueueWriteCapacity(t *testing.T) {
+	c, _ := newTestController(t, 1)
+	for i := 0; i < 64; i++ {
+		if !c.EnqueueWrite(0, int64(i)*64, 0) {
+			t.Fatalf("write enqueue %d rejected below capacity", i)
+		}
+	}
+	if c.EnqueueWrite(0, 9999*64, 0) {
+		t.Fatal("write enqueue accepted beyond 64-entry capacity")
+	}
+}
+
+func TestBadThreadPanics(t *testing.T) {
+	c, _ := newTestController(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range thread did not panic")
+		}
+	}()
+	c.EnqueueRead(5, 0, 0)
+}
+
+func TestSingleReadCompletes(t *testing.T) {
+	c, p := newTestController(t, 1)
+	var completedAt int64 = -1
+	c.SetOnComplete(func(r *Request, end int64) { completedAt = end })
+	req, ok := c.EnqueueRead(0, 0, 0)
+	if !ok {
+		t.Fatal("enqueue failed")
+	}
+	for now := int64(0); now < 100 && completedAt < 0; now++ {
+		c.Tick(now)
+	}
+	if completedAt < 0 {
+		t.Fatal("read never completed")
+	}
+	tm := c.Device().Timing()
+	// Closed bank: ACT at 0, RD at tRCD, data ends tRCD+tCL+burst.
+	want := tm.TRCD + tm.TCL + c.Device().BurstCycles()
+	if completedAt != want {
+		t.Errorf("completion at %d, want %d", completedAt, want)
+	}
+	if req.WasRowHit() {
+		t.Error("first access to closed bank reported as row hit")
+	}
+	st := c.ThreadStats(0)
+	if st.ReadsCompleted != 1 || st.TotalReadLatency != want || st.WorstCaseLatency != want {
+		t.Errorf("stats = %+v, want 1 read with latency %d", st, want)
+	}
+	if p.completes != 1 {
+		t.Errorf("policy saw %d completes, want 1", p.completes)
+	}
+}
+
+func TestRowHitSecondRead(t *testing.T) {
+	c, _ := newTestController(t, 1)
+	done := 0
+	var hits int
+	c.SetOnComplete(func(r *Request, end int64) {
+		done++
+		if r.WasRowHit() {
+			hits++
+		}
+	})
+	// Two reads to the same row: second should be a row hit.
+	c.EnqueueRead(0, 0, 0)
+	c.EnqueueRead(0, 64, 0)
+	for now := int64(0); now < 200 && done < 2; now++ {
+		c.Tick(now)
+	}
+	if done != 2 {
+		t.Fatal("reads did not complete")
+	}
+	if hits != 1 {
+		t.Errorf("row hits = %d, want exactly 1 (second read)", hits)
+	}
+	if got := c.ThreadStats(0).RowHitRate(); got != 0.5 {
+		t.Errorf("row hit rate = %f, want 0.5", got)
+	}
+}
+
+func TestTableOneRegisters(t *testing.T) {
+	c, _ := newTestController(t, 2)
+	g := c.Device().Geometry()
+	// Three reads from thread 0 to bank of addr 0, one from thread 1.
+	b := g.Map(0).Bank
+	c.EnqueueRead(0, 0, 0)
+	c.EnqueueRead(0, 64, 0)
+	c.EnqueueRead(0, 128, 0)
+	c.EnqueueRead(1, 0+1<<30, 0)
+	if got := c.ReadsPerThread(0); got != 3 {
+		t.Errorf("ReqsPerThread[0] = %d, want 3", got)
+	}
+	if got := c.ReadsInBank(0, b); got != 3 {
+		t.Errorf("ReqsInBankPerThread[0][%d] = %d, want 3", b, got)
+	}
+	if got := c.ReadsPerThread(1); got != 1 {
+		t.Errorf("ReqsPerThread[1] = %d, want 1", got)
+	}
+}
+
+func TestWritesDrainWhenNoReads(t *testing.T) {
+	c, _ := newTestController(t, 1)
+	for i := 0; i < 4; i++ {
+		c.EnqueueWrite(0, int64(i)*64, 0)
+	}
+	for now := int64(0); now < 300; now++ {
+		c.Tick(now)
+	}
+	if got := c.ThreadStats(0).WritesCompleted; got != 4 {
+		t.Errorf("writes completed = %d, want 4", got)
+	}
+	if c.PendingWrites() != 0 {
+		t.Errorf("pending writes = %d, want 0", c.PendingWrites())
+	}
+}
+
+func TestReadsPrioritizedOverWrites(t *testing.T) {
+	c, _ := newTestController(t, 1)
+	var order []bool // true = read
+	c.SetOnComplete(func(r *Request, end int64) { order = append(order, true) })
+	// Below the drain watermark, a ready read must beat buffered writes.
+	for i := 0; i < 8; i++ {
+		c.EnqueueWrite(0, int64(i+100)*2048*8, 0)
+	}
+	c.EnqueueRead(0, 0, 0)
+	var readDone int64 = -1
+	c.SetOnComplete(func(r *Request, end int64) {
+		if !r.IsWrite && readDone < 0 {
+			readDone = end
+		}
+	})
+	for now := int64(0); now < 400; now++ {
+		c.Tick(now)
+	}
+	tm := c.Device().Timing()
+	uncontended := tm.TRCD + tm.TCL + c.Device().BurstCycles()
+	if readDone != uncontended {
+		t.Errorf("read completed at %d; want uncontended %d (writes must not delay it)", readDone, uncontended)
+	}
+	_ = order
+}
+
+func TestWriteDrainModeKicksIn(t *testing.T) {
+	c, _ := newTestController(t, 1)
+	// Fill write buffer to the high watermark; writes must then be serviced
+	// even while reads are continuously available.
+	for i := 0; i < 48; i++ {
+		c.EnqueueWrite(0, int64(i)*2048*8, 0)
+	}
+	for i := 0; i < 64; i++ {
+		c.EnqueueRead(0, int64(i)*64, 0)
+	}
+	for now := int64(0); now < 2000; now++ {
+		c.Tick(now)
+	}
+	if got := c.ThreadStats(0).WritesCompleted; got == 0 {
+		t.Error("drain mode never serviced writes despite full buffer")
+	}
+}
+
+// TestConservationRandomStream checks that every enqueued request completes
+// exactly once, under a random mixed read/write stream from several threads.
+func TestConservationRandomStream(t *testing.T) {
+	c, p := newTestController(t, 4)
+	rng := rand.New(rand.NewSource(7))
+	completed := map[int64]int{}
+	c.SetOnComplete(func(r *Request, end int64) { completed[r.ID]++ })
+	readsSent, writesSent := 0, 0
+	now := int64(0)
+	for ; now < 30000 && readsSent+writesSent < 600; now++ {
+		if rng.Intn(3) == 0 {
+			th := rng.Intn(4)
+			addr := int64(th)<<32 | int64(rng.Intn(1<<20))&^63
+			if rng.Intn(4) == 0 {
+				if c.EnqueueWrite(th, addr, now) {
+					writesSent++
+				}
+			} else {
+				if _, ok := c.EnqueueRead(th, addr, now); ok {
+					readsSent++
+				}
+			}
+		}
+		c.Tick(now)
+	}
+	for ; now < 100000; now++ {
+		c.Tick(now)
+		if c.PendingReads() == 0 && c.PendingWrites() == 0 && len(c.inflight) == 0 {
+			break
+		}
+	}
+	var reads, writes int64
+	for th := 0; th < 4; th++ {
+		st := c.ThreadStats(th)
+		reads += st.ReadsCompleted
+		writes += st.WritesCompleted
+	}
+	if reads != int64(readsSent) {
+		t.Errorf("reads completed = %d, sent %d", reads, readsSent)
+	}
+	if writes != int64(writesSent) {
+		t.Errorf("writes completed = %d, sent %d", writes, writesSent)
+	}
+	for id, n := range completed {
+		if n != 1 {
+			t.Errorf("request %d completed %d times", id, n)
+		}
+	}
+	if p.completes != readsSent {
+		t.Errorf("policy completions = %d, want %d (reads only)", p.completes, readsSent)
+	}
+	// BLP must be at least 1 whenever measured.
+	for th := 0; th < 4; th++ {
+		if blp := c.ThreadStats(th).BLP(); blp != 0 && blp < 1 {
+			t.Errorf("thread %d BLP = %f, must be >= 1 when defined", th, blp)
+		}
+	}
+}
+
+func TestZeroStatsAccessors(t *testing.T) {
+	var st ThreadStats
+	if st.BLP() != 0 || st.AvgReadLatency() != 0 || st.RowHitRate() != 0 {
+		t.Error("zero stats should report zero metrics")
+	}
+}

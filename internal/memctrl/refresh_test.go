@@ -1,0 +1,76 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func newRefreshController(t *testing.T, trefi int64) (*Controller, *testPolicy) {
+	t.Helper()
+	tm := dram.DDR2_800()
+	tm.TREFI = trefi
+	dev, err := dram.NewDevice(tm, dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &testPolicy{}
+	c, err := NewController(dev, p, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestRefreshHappensOnSchedule(t *testing.T) {
+	const trefi = 400
+	c, _ := newRefreshController(t, trefi)
+	const cycles = 4000
+	for now := int64(0); now < cycles; now++ {
+		c.Tick(now)
+	}
+	got := c.Device().Stats().Refreshes
+	want := int64(cycles / trefi)
+	if got < want-1 || got > want+1 {
+		t.Errorf("refreshes = %d over %d cycles, want ~%d", got, cycles, want)
+	}
+}
+
+func TestRefreshClosesOpenRowsAndReadsStillComplete(t *testing.T) {
+	c, _ := newRefreshController(t, 300)
+	done := 0
+	c.SetOnComplete(func(r *Request, end int64) { done++ })
+	// A steady trickle of same-row reads: refresh must interleave without
+	// losing any request, and the post-refresh access must re-activate.
+	sent := 0
+	for now := int64(0); now < 3000; now++ {
+		if now%150 == 0 && sent < 15 {
+			if _, ok := c.EnqueueRead(0, int64(sent%4)*64, now); ok {
+				sent++
+			}
+		}
+		c.Tick(now)
+	}
+	if done != sent {
+		t.Fatalf("completed %d of %d reads across refreshes", done, sent)
+	}
+	st := c.Device().Stats()
+	if st.Refreshes == 0 {
+		t.Fatal("no refreshes issued")
+	}
+	// Same-row reads would be all-hit without refresh; refreshes force
+	// re-activation, so activates must exceed 1.
+	if st.Activates < 2 {
+		t.Errorf("activates = %d; refresh should close the open row", st.Activates)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	c, _ := newTestController(t, 1)
+	for now := int64(0); now < 5000; now++ {
+		c.Tick(now)
+	}
+	if got := c.Device().Stats().Refreshes; got != 0 {
+		t.Errorf("refreshes = %d with TREFI=0, want 0", got)
+	}
+}

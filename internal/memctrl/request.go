@@ -1,0 +1,104 @@
+// Package memctrl implements the on-chip DRAM controller substrate of the
+// PAR-BS paper (Mutlu & Moscibroda, ISCA 2008): a bounded memory request
+// buffer, a write data buffer, and a pluggable scheduling policy that picks
+// among ready DRAM commands every DRAM cycle.
+//
+// The baseline configuration (paper Table 2) is a 128-entry request buffer
+// and a 64-entry write buffer with reads prioritized over writes. Policies
+// (FCFS, FR-FCFS, NFQ, STFM, PAR-BS, ...) order read requests; writes are
+// drained opportunistically when no read command is ready, or forcibly when
+// the write buffer fills, mirroring how real controllers keep stores off the
+// critical path.
+package memctrl
+
+import "repro/internal/dram"
+
+// Request is one memory request (a cache-line read or write) in the
+// controller's request buffer.
+//
+// The scratch fields Marked and Deadline belong to the attached Policy;
+// they correspond to per-request registers that schedulers keep in the
+// request buffer (the marked bit of the paper's Table 1, and the virtual
+// finish time that the NFQ baseline keeps per request).
+type Request struct {
+	// ID is the controller-assigned arrival sequence number; it implements
+	// the FCFS "request ID" component of the paper's Figure 4 priority value.
+	ID int64
+	// Thread is the requesting thread (== core) index.
+	Thread int
+	// Addr is the physical byte address.
+	Addr int64
+	// Loc is the decoded DRAM location.
+	Loc dram.Location
+	// IsWrite marks writeback requests; they never block a core.
+	IsWrite bool
+	// Arrival is the DRAM cycle the request entered the buffer.
+	Arrival int64
+
+	// Marked is the PAR-BS batch bit (Table 1, "Marked").
+	Marked bool
+	// Deadline is the NFQ virtual finish time.
+	Deadline float64
+
+	// neededACT records that the request could not be serviced as a row hit;
+	// set when a precharge or activate is issued on its behalf.
+	neededACT bool
+	// firstCmd is the DRAM cycle the first command was issued for this
+	// request, or -1 while it has received no service.
+	firstCmd int64
+	// done marks fully-serviced requests (data burst finished).
+	done bool
+}
+
+// WasRowHit reports whether the request was serviced straight from the open
+// row, i.e. no activate was needed on its behalf.
+func (r *Request) WasRowHit() bool { return !r.neededACT }
+
+// InService reports whether at least one DRAM command has been issued for the
+// request but it has not yet completed. Used for the paper's bank-level
+// parallelism (BLP) metric: the average number of a thread's requests being
+// serviced concurrently.
+func (r *Request) InService() bool { return r.firstCmd >= 0 && !r.done }
+
+// Candidate pairs a request with the DRAM command it needs next and the
+// row-buffer state it currently sees. Policies order candidates.
+type Candidate struct {
+	Req *Request
+	Cmd dram.Command
+	// RowState is the row-buffer state the *request* sees (hit, closed,
+	// conflict). A row-hit candidate has Cmd == CmdRead or CmdWrite.
+	RowState dram.RowState
+}
+
+// IsRowHit reports whether the candidate would be serviced as a row hit.
+func (c Candidate) IsRowHit() bool { return c.RowState == dram.RowHit }
+
+// Policy orders read requests. The controller calls Better to pick the best
+// ready candidate each DRAM cycle and invokes the On* hooks so stateful
+// policies (PAR-BS batching, NFQ virtual clocks, STFM slowdown estimation)
+// can maintain their bookkeeping.
+type Policy interface {
+	// Name identifies the policy in results tables.
+	Name() string
+	// Better reports whether candidate a should be scheduled before b.
+	// It must induce a strict weak ordering.
+	Better(a, b Candidate) bool
+	// OnAttach hands the policy its controller before the first cycle.
+	OnAttach(c *Controller)
+	// OnEnqueue runs when a read request enters the request buffer.
+	OnEnqueue(r *Request, now int64)
+	// OnIssue runs when any DRAM command is issued for a read request.
+	OnIssue(cand Candidate, now int64)
+	// OnComplete runs when a read request's data burst finishes.
+	OnComplete(r *Request, now int64)
+	// OnCycle runs once per DRAM cycle before scheduling.
+	OnCycle(now int64)
+}
+
+// EligibilityPolicy is an optional extension of Policy: when implemented,
+// the controller skips read requests for which Eligible reports false —
+// the hook hard-partitioning schedulers (strict TDM) use to leave the
+// channel idle rather than serve out-of-slot threads.
+type EligibilityPolicy interface {
+	Eligible(r *Request) bool
+}

@@ -1,0 +1,88 @@
+package memctrl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dram"
+)
+
+// Timeline records issued commands and renders them as per-bank ASCII
+// lanes, a debugging aid for inspecting scheduling decisions:
+//
+//	bank 0 |A.r...rr......P.A..r
+//	bank 1 |...A...r....w.......
+//
+// A=activate, P=precharge, r=read, w=write, F=refresh (spanning all
+// banks), digits identify the issuing thread on the lane below when
+// WithThreads is set.
+type Timeline struct {
+	banks  int
+	events []CommandEvent
+	// WithThreads adds a second lane per bank with thread digits.
+	WithThreads bool
+}
+
+// NewTimeline returns a recorder for a device with the given bank count.
+// Attach with ctrl.SetCommandLog(tl.Record).
+func NewTimeline(banks int) *Timeline { return &Timeline{banks: banks} }
+
+// Record appends one command event; pass it to SetCommandLog.
+func (tl *Timeline) Record(ev CommandEvent) { tl.events = append(tl.events, ev) }
+
+// Len returns the number of recorded events.
+func (tl *Timeline) Len() int { return len(tl.events) }
+
+// Render draws cycles [from, to) as one character column per DRAM cycle.
+func (tl *Timeline) Render(from, to int64) string {
+	if to <= from {
+		return ""
+	}
+	width := int(to - from)
+	lanes := make([][]byte, tl.banks)
+	threads := make([][]byte, tl.banks)
+	for b := range lanes {
+		lanes[b] = []byte(strings.Repeat(".", width))
+		threads[b] = []byte(strings.Repeat(" ", width))
+	}
+	for _, ev := range tl.events {
+		if ev.Now < from || ev.Now >= to {
+			continue
+		}
+		col := int(ev.Now - from)
+		ch := byte('?')
+		switch ev.Cmd {
+		case dram.CmdActivate:
+			ch = 'A'
+		case dram.CmdPrecharge:
+			ch = 'P'
+		case dram.CmdRead:
+			ch = 'r'
+		case dram.CmdWrite:
+			ch = 'w'
+		case dram.CmdRefresh:
+			ch = 'F'
+		}
+		if ev.Cmd == dram.CmdRefresh {
+			for b := range lanes {
+				lanes[b][col] = ch
+			}
+			continue
+		}
+		if ev.Bank >= 0 && ev.Bank < tl.banks {
+			lanes[ev.Bank][col] = ch
+			if ev.Thread >= 0 && ev.Thread < 10 {
+				threads[ev.Bank][col] = byte('0' + ev.Thread)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d..%d (A=act P=pre r=read w=write F=refresh)\n", from, to)
+	for bank := range lanes {
+		fmt.Fprintf(&b, "bank %d |%s|\n", bank, lanes[bank])
+		if tl.WithThreads {
+			fmt.Fprintf(&b, "thread |%s|\n", threads[bank])
+		}
+	}
+	return b.String()
+}

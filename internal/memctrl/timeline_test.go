@@ -1,0 +1,75 @@
+package memctrl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestCommandLogReceivesEveryCommand(t *testing.T) {
+	c, _ := newTestController(t, 2)
+	var events []CommandEvent
+	c.SetCommandLog(func(ev CommandEvent) { events = append(events, ev) })
+	g := c.Device().Geometry()
+	c.EnqueueRead(0, g.Unmap(dram.Location{Bank: 0, Row: 1, Col: 0}), 0) // ACT + RD
+	c.EnqueueRead(1, g.Unmap(dram.Location{Bank: 1, Row: 2, Col: 0}), 0) // ACT + RD
+	for now := int64(0); now < 200; now++ {
+		c.Tick(now)
+	}
+	if int64(len(events)) != c.CommandsIssued() {
+		t.Fatalf("logged %d events, controller issued %d", len(events), c.CommandsIssued())
+	}
+	var acts, reads int
+	for _, ev := range events {
+		switch ev.Cmd {
+		case dram.CmdActivate:
+			acts++
+		case dram.CmdRead:
+			reads++
+		}
+		if ev.Thread < 0 || ev.ReqID < 0 {
+			t.Errorf("request-driven command lacks attribution: %+v", ev)
+		}
+	}
+	if acts != 2 || reads != 2 {
+		t.Errorf("acts=%d reads=%d, want 2/2", acts, reads)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	c, _ := newTestController(t, 2)
+	tl := NewTimeline(c.Device().Geometry().Banks)
+	tl.WithThreads = true
+	c.SetCommandLog(tl.Record)
+	c.EnqueueRead(0, 0, 0)
+	for now := int64(0); now < 60; now++ {
+		c.Tick(now)
+	}
+	if tl.Len() == 0 {
+		t.Fatal("timeline recorded nothing")
+	}
+	s := tl.Render(0, 60)
+	if !strings.Contains(s, "A") || !strings.Contains(s, "r") {
+		t.Errorf("timeline missing ACT/RD marks:\n%s", s)
+	}
+	if !strings.Contains(s, "bank 0 |") || !strings.Contains(s, "thread |") {
+		t.Errorf("timeline missing lanes:\n%s", s)
+	}
+	if got := tl.Render(10, 10); got != "" {
+		t.Errorf("empty range rendered %q", got)
+	}
+}
+
+func TestTimelineRefreshSpansAllBanks(t *testing.T) {
+	c, _ := newRefreshController(t, 100)
+	tl := NewTimeline(c.Device().Geometry().Banks)
+	c.SetCommandLog(tl.Record)
+	for now := int64(0); now < 300; now++ {
+		c.Tick(now)
+	}
+	s := tl.Render(0, 300)
+	if strings.Count(s, "F") < c.Device().Geometry().Banks {
+		t.Errorf("refresh mark should span every bank lane:\n%s", s)
+	}
+}

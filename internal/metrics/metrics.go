@@ -1,0 +1,131 @@
+// Package metrics computes the paper's evaluation metrics (Section 7.1):
+// per-thread memory slowdown, the unfairness index (max/min slowdown),
+// weighted speedup, hmean speedup, average stall time per request and
+// worst-case request latency.
+package metrics
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/memctrl"
+	"repro/internal/stats"
+)
+
+// ThreadOutcome bundles one thread's measured behavior in one run.
+type ThreadOutcome struct {
+	// Benchmark is the profile name.
+	Benchmark string
+	// CPU holds the core-side counters (instructions, stalls, IPC).
+	CPU cpu.Stats
+	// Mem holds the controller-side counters (latency, BLP, row hits).
+	Mem memctrl.ThreadStats
+}
+
+// Comparison pairs a thread's shared-run outcome with its alone-run
+// baseline on the same memory system.
+type Comparison struct {
+	Alone  ThreadOutcome
+	Shared ThreadOutcome
+}
+
+// mcpiFloor guards slowdown ratios for threads whose alone run has nearly
+// zero memory stall time (e.g. povray at 0.03 MPKI).
+const mcpiFloor = 1e-4
+
+// MemSlowdown returns the thread's memory slowdown
+// MCPI_shared / MCPI_alone (Section 7.1).
+func (c Comparison) MemSlowdown() float64 {
+	alone := c.Alone.CPU.MCPI()
+	if alone < mcpiFloor {
+		alone = mcpiFloor
+	}
+	sd := c.Shared.CPU.MCPI() / alone
+	if sd < 1 {
+		// A thread cannot speed up from interference; tiny dips are
+		// measurement noise on nearly-stall-free threads.
+		sd = 1
+	}
+	return sd
+}
+
+// IPCRatio returns IPC_shared / IPC_alone, the per-thread speedup term.
+func (c Comparison) IPCRatio() float64 {
+	alone := c.Alone.CPU.IPC()
+	if alone == 0 {
+		return 0
+	}
+	return c.Shared.CPU.IPC() / alone
+}
+
+// Slowdowns extracts every thread's memory slowdown.
+func Slowdowns(cs []Comparison) []float64 {
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.MemSlowdown()
+	}
+	return out
+}
+
+// Unfairness returns the unfairness index: the ratio between the maximum
+// and minimum memory slowdown across threads. 1.0 is perfectly fair.
+func Unfairness(cs []Comparison) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	min, max := stats.MinMax(Slowdowns(cs))
+	if min == 0 {
+		return 0
+	}
+	return max / min
+}
+
+// WeightedSpeedup returns sum_i IPC_shared,i / IPC_alone,i (Snavely &
+// Tullsen), the paper's system throughput metric.
+func WeightedSpeedup(cs []Comparison) float64 {
+	sum := 0.0
+	for _, c := range cs {
+		sum += c.IPCRatio()
+	}
+	return sum
+}
+
+// HmeanSpeedup returns NumThreads / sum_i (IPC_alone,i / IPC_shared,i)
+// (Luo et al.), which balances fairness and throughput.
+func HmeanSpeedup(cs []Comparison) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	ratios := make([]float64, len(cs))
+	for i, c := range cs {
+		r := c.IPCRatio()
+		if r <= 0 {
+			return 0
+		}
+		ratios[i] = r
+	}
+	return stats.HMean(ratios)
+}
+
+// AvgASTPerReq returns the mean of per-thread average stall time per DRAM
+// request in the shared run (Table 4's "AST/req"), in CPU cycles.
+func AvgASTPerReq(cs []Comparison) float64 {
+	vals := make([]float64, 0, len(cs))
+	for _, c := range cs {
+		if c.Shared.CPU.LoadsIssued > 0 {
+			vals = append(vals, c.Shared.CPU.ASTPerReq())
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// WorstCaseLatency returns the maximum read latency any thread observed in
+// the shared run, in CPU cycles given the CPU:DRAM clock ratio
+// (Table 4's "WC lat.").
+func WorstCaseLatency(cs []Comparison, cpuPerDRAM int64) int64 {
+	var wc int64
+	for _, c := range cs {
+		if l := c.Shared.Mem.WorstCaseLatency * cpuPerDRAM; l > wc {
+			wc = l
+		}
+	}
+	return wc
+}

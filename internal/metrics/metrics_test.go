@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/memctrl"
+)
+
+// outcome builds a ThreadOutcome with the given IPC and MCPI over a fixed
+// cycle budget.
+func outcome(ipc, mcpi float64) ThreadOutcome {
+	const cycles = 1_000_000
+	instr := int64(ipc * cycles)
+	return ThreadOutcome{
+		CPU: cpu.Stats{
+			Cycles:         cycles,
+			Instructions:   instr,
+			MemStallCycles: int64(mcpi * float64(instr)),
+			LoadsIssued:    instr / 100,
+		},
+	}
+}
+
+func cmp(aloneIPC, aloneMCPI, sharedIPC, sharedMCPI float64) Comparison {
+	return Comparison{Alone: outcome(aloneIPC, aloneMCPI), Shared: outcome(sharedIPC, sharedMCPI)}
+}
+
+func TestMemSlowdown(t *testing.T) {
+	c := cmp(1.0, 2.0, 0.5, 6.0)
+	if got := c.MemSlowdown(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("MemSlowdown = %v, want 3", got)
+	}
+	// Slowdown floors at 1 (noise on stall-free threads).
+	c = cmp(1.0, 2.0, 1.0, 1.0)
+	if got := c.MemSlowdown(); got != 1 {
+		t.Errorf("MemSlowdown = %v, want floor 1", got)
+	}
+	// Near-zero alone MCPI guarded.
+	c = cmp(2.9, 0.0, 2.0, 0.1)
+	if got := c.MemSlowdown(); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("MemSlowdown = %v, must be finite", got)
+	}
+}
+
+func TestIPCRatioAndSpeedups(t *testing.T) {
+	cs := []Comparison{
+		cmp(1.0, 1, 0.5, 2), // ratio 0.5
+		cmp(2.0, 1, 1.0, 2), // ratio 0.5
+	}
+	if got := WeightedSpeedup(cs); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("WeightedSpeedup = %v, want 1.0", got)
+	}
+	if got := HmeanSpeedup(cs); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("HmeanSpeedup = %v, want 0.5", got)
+	}
+	if got := HmeanSpeedup(nil); got != 0 {
+		t.Errorf("HmeanSpeedup(nil) = %v", got)
+	}
+	var zero Comparison
+	if zero.IPCRatio() != 0 {
+		t.Error("zero comparison IPCRatio must be 0")
+	}
+	if HmeanSpeedup([]Comparison{zero}) != 0 {
+		t.Error("HmeanSpeedup with dead thread must be 0")
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	cs := []Comparison{
+		cmp(1, 1.0, 0.9, 1.5), // slowdown 1.5
+		cmp(1, 1.0, 0.5, 6.0), // slowdown 6
+	}
+	if got := Unfairness(cs); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Unfairness = %v, want 4", got)
+	}
+	if got := Unfairness(nil); got != 0 {
+		t.Errorf("Unfairness(nil) = %v", got)
+	}
+	// Perfectly fair: identical slowdowns.
+	fair := []Comparison{cmp(1, 1, 0.5, 2), cmp(1, 1, 0.5, 2)}
+	if got := Unfairness(fair); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Unfairness = %v, want 1", got)
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	cs := []Comparison{cmp(1, 1, 1, 2), cmp(1, 1, 1, 3)}
+	sd := Slowdowns(cs)
+	if len(sd) != 2 || math.Abs(sd[0]-2) > 1e-9 || math.Abs(sd[1]-3) > 1e-9 {
+		t.Errorf("Slowdowns = %v", sd)
+	}
+}
+
+func TestAvgASTAndWorstCase(t *testing.T) {
+	a := cmp(1, 1, 1, 2)
+	a.Shared.CPU.LoadsIssued = 10
+	a.Shared.CPU.MemStallCycles = 1000
+	a.Shared.Mem = memctrl.ThreadStats{WorstCaseLatency: 500}
+	b := cmp(1, 1, 1, 2)
+	b.Shared.CPU.LoadsIssued = 0 // no loads: excluded from AST mean
+	b.Shared.Mem = memctrl.ThreadStats{WorstCaseLatency: 900}
+	cs := []Comparison{a, b}
+	if got := AvgASTPerReq(cs); math.Abs(got-100) > 1e-9 {
+		t.Errorf("AvgASTPerReq = %v, want 100", got)
+	}
+	if got := WorstCaseLatency(cs, 10); got != 9000 {
+		t.Errorf("WorstCaseLatency = %v, want 9000 (900 DRAM cycles x10)", got)
+	}
+}

@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// This file holds additional baselines beyond the paper's four:
+//
+//   - FRFCFSCap: FR-FCFS with a cap on consecutive row hits per bank, the
+//     classic streak-limited variant (after Mutlu & Moscibroda's MICRO 2007
+//     discussion of FR-FCFS+Cap) that blunts bank capture without full QoS
+//     machinery;
+//   - TDM: per-thread time-division multiplexing, the hard-guarantee
+//     approach of the real-time controllers the paper cites ([19], [16]),
+//     which trades throughput for exact bandwidth partitioning.
+
+// FRFCFSCap is FR-FCFS+Cap (as discussed alongside STFM in Mutlu &
+// Moscibroda, MICRO 2007): a row hit may bypass an older waiting request
+// to the same bank at most Cap times in a row. Once the cap is reached,
+// the row-hit preference is suspended for that bank and the oldest
+// request wins, bounding bank capture without full QoS machinery.
+type FRFCFSCap struct {
+	// Cap is the maximum consecutive younger-hit bypasses per bank.
+	Cap int
+
+	ctrl *memctrl.Controller
+	// bypass counts consecutive younger-hit bypasses per bank.
+	bypass []int
+}
+
+// NewFRFCFSCap returns the bypass-capped FR-FCFS baseline; a cap of 4
+// bounds bank capture at roughly one batch of hits.
+func NewFRFCFSCap(limit int) *FRFCFSCap {
+	if limit < 1 {
+		limit = 1
+	}
+	return &FRFCFSCap{Cap: limit}
+}
+
+// Name implements memctrl.Policy.
+func (p *FRFCFSCap) Name() string { return "FR-FCFS+Cap" }
+
+// OnAttach sizes the per-bank bypass tracking.
+func (p *FRFCFSCap) OnAttach(c *memctrl.Controller) {
+	p.ctrl = c
+	p.bypass = make([]int, c.Device().Geometry().Banks)
+}
+
+// OnEnqueue implements memctrl.Policy.
+func (p *FRFCFSCap) OnEnqueue(*memctrl.Request, int64) {}
+
+// OnIssue updates the bypass counters: a CAS row hit that leaves an older
+// request to the same bank waiting counts as a bypass; servicing the
+// bank's oldest request (or any non-hit) resets the counter.
+func (p *FRFCFSCap) OnIssue(c memctrl.Candidate, now int64) {
+	b := c.Req.Loc.Bank
+	isCAS := c.Cmd == dram.CmdRead || c.Cmd == dram.CmdWrite
+	if isCAS && c.IsRowHit() && p.olderWaiting(c.Req) {
+		p.bypass[b]++
+		return
+	}
+	if isCAS {
+		p.bypass[b] = 0
+	}
+}
+
+// olderWaiting reports whether a request older than r waits for r's bank.
+func (p *FRFCFSCap) olderWaiting(r *memctrl.Request) bool {
+	for _, other := range p.ctrl.ReadRequests() {
+		if other != r && other.Loc.Bank == r.Loc.Bank && other.ID < r.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// OnComplete implements memctrl.Policy.
+func (p *FRFCFSCap) OnComplete(*memctrl.Request, int64) {}
+
+// OnCycle implements memctrl.Policy.
+func (p *FRFCFSCap) OnCycle(int64) {}
+
+// capped reports whether the candidate's row-hit preference is suspended.
+func (p *FRFCFSCap) capped(c memctrl.Candidate) bool {
+	return c.IsRowHit() && p.bypass[c.Req.Loc.Bank] >= p.Cap
+}
+
+// Better implements FR-FCFS with the bypass cap.
+func (p *FRFCFSCap) Better(a, b memctrl.Candidate) bool {
+	ah := a.IsRowHit() && !p.capped(a)
+	bh := b.IsRowHit() && !p.capped(b)
+	if ah != bh {
+		return ah
+	}
+	return a.Req.ID < b.Req.ID
+}
+
+// TDM services threads in fixed time slots: during thread t's slot only
+// t's requests are eligible (FR-FCFS among them); if t has no ready
+// request the slot is work-conserving and falls back to global FR-FCFS.
+// SlotCycles controls the slot width in DRAM cycles.
+type TDM struct {
+	// SlotCycles is the time slot width; the default 64 covers roughly two
+	// row-conflict accesses.
+	SlotCycles int64
+
+	threads int
+	now     int64
+	// strict disables the work-conserving fallback (pure hard partitioning,
+	// as in hard real-time controllers).
+	strict bool
+}
+
+// NewTDM returns a work-conserving time-division-multiplexed scheduler.
+func NewTDM(slotCycles int64) *TDM {
+	if slotCycles < 1 {
+		slotCycles = 64
+	}
+	return &TDM{SlotCycles: slotCycles}
+}
+
+// NewStrictTDM returns the non-work-conserving variant: slots are never
+// reassigned, giving hard bandwidth isolation at maximum throughput cost.
+func NewStrictTDM(slotCycles int64) *TDM {
+	t := NewTDM(slotCycles)
+	t.strict = true
+	return t
+}
+
+// Name implements memctrl.Policy.
+func (p *TDM) Name() string {
+	if p.strict {
+		return "TDM-strict"
+	}
+	return "TDM"
+}
+
+// OnAttach records the thread count.
+func (p *TDM) OnAttach(c *memctrl.Controller) { p.threads = c.NumThreads() }
+
+// OnEnqueue implements memctrl.Policy.
+func (p *TDM) OnEnqueue(*memctrl.Request, int64) {}
+
+// OnIssue implements memctrl.Policy.
+func (p *TDM) OnIssue(memctrl.Candidate, int64) {}
+
+// OnComplete implements memctrl.Policy.
+func (p *TDM) OnComplete(*memctrl.Request, int64) {}
+
+// OnCycle tracks time for slot ownership.
+func (p *TDM) OnCycle(now int64) { p.now = now }
+
+// Owner returns the thread owning the current slot.
+func (p *TDM) Owner() int {
+	if p.threads == 0 {
+		return 0
+	}
+	return int(p.now/p.SlotCycles) % p.threads
+}
+
+// Better prioritizes the slot owner's requests, then FR-FCFS.
+func (p *TDM) Better(a, b memctrl.Candidate) bool {
+	owner := p.Owner()
+	ao, bo := a.Req.Thread == owner, b.Req.Thread == owner
+	if ao != bo {
+		return ao
+	}
+	if a.IsRowHit() != b.IsRowHit() {
+		return a.IsRowHit()
+	}
+	return a.Req.ID < b.Req.ID
+}
+
+// Eligible implements the strict variant's hard partitioning: the
+// controller consults it through memctrl.EligibilityPolicy.
+func (p *TDM) Eligible(r *memctrl.Request) bool {
+	if !p.strict {
+		return true
+	}
+	return r.Thread == p.Owner()
+}

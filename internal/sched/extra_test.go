@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// run a bank-capture scenario: an older victim conflict parked behind a
+// continuously refilled row-hit stream; returns the service order.
+func runCapture(t *testing.T, p memctrl.Policy) []int {
+	t.Helper()
+	c := newPolicyController(t, p, 2)
+	g := c.Device().Geometry()
+	var order []int
+	c.SetOnComplete(func(r *memctrl.Request, end int64) { order = append(order, r.Thread) })
+	// Two hits open the row and start the stream.
+	c.EnqueueRead(0, g.Unmap(dram.Location{Bank: 0, Row: 1, Col: 0}), 0)
+	c.EnqueueRead(0, g.Unmap(dram.Location{Bank: 0, Row: 1, Col: 1}), 0)
+	now := int64(0)
+	for ; now < 30; now++ {
+		c.Tick(now)
+	}
+	// The victim arrives while the stream runs...
+	c.EnqueueRead(1, g.Unmap(dram.Location{Bank: 0, Row: 900, Col: 0}), now)
+	// ...immediately followed by a burst of YOUNGER hits that would all
+	// bypass it under plain FR-FCFS.
+	for col := int64(2); col < 12; col++ {
+		c.EnqueueRead(0, g.Unmap(dram.Location{Bank: 0, Row: 1, Col: col}), now)
+	}
+	for ; now < 6000 && len(order) < 13; now++ {
+		c.Tick(now)
+	}
+	return order
+}
+
+func TestFRFCFSCapBoundsBypasses(t *testing.T) {
+	pos := func(order []int) int {
+		for i, th := range order {
+			if th == 1 {
+				return i
+			}
+		}
+		return -1
+	}
+	capped := runCapture(t, NewFRFCFSCap(2))
+	plain := runCapture(t, NewFRFCFS())
+	cp, pp := pos(capped), pos(plain)
+	if cp < 0 || pp < 0 {
+		t.Fatalf("victim never serviced: capped=%v plain=%v", capped, plain)
+	}
+	if cp >= pp {
+		t.Errorf("cap=2 served victim at position %d, plain FR-FCFS at %d; cap must bound bypasses (capped order %v, plain %v)",
+			cp, pp, capped, plain)
+	}
+}
+
+func TestFRFCFSCapDefaultsAndName(t *testing.T) {
+	if NewFRFCFSCap(0).Cap != 1 {
+		t.Error("cap floor not applied")
+	}
+	if NewFRFCFSCap(4).Name() != "FR-FCFS+Cap" {
+		t.Error("bad name")
+	}
+}
+
+func TestTDMSlotOwnership(t *testing.T) {
+	p := NewTDM(10)
+	newPolicyController(t, p, 4)
+	cases := map[int64]int{0: 0, 9: 0, 10: 1, 25: 2, 39: 3, 40: 0}
+	for now, want := range cases {
+		p.OnCycle(now)
+		if got := p.Owner(); got != want {
+			t.Errorf("cycle %d: owner = %d, want %d", now, got, want)
+		}
+	}
+}
+
+func TestTDMPrefersSlotOwner(t *testing.T) {
+	p := NewTDM(100)
+	newPolicyController(t, p, 2)
+	p.OnCycle(0) // owner = thread 0
+	ownerConflict := cand(9, 0, 0, false, 0)
+	otherHit := cand(1, 1, 1, true, 0)
+	if !p.Better(ownerConflict, otherHit) {
+		t.Error("slot owner's request must win")
+	}
+	// Within the owner's own requests: FR-FCFS.
+	if !p.Better(cand(5, 0, 0, true, 0), cand(2, 0, 0, false, 0)) {
+		t.Error("row-hit-first must apply within the slot")
+	}
+}
+
+func TestStrictTDMEligibility(t *testing.T) {
+	p := NewStrictTDM(50)
+	c := newPolicyController(t, p, 2)
+	g := c.Device().Geometry()
+	if p.Name() != "TDM-strict" || NewTDM(50).Name() != "TDM" {
+		t.Error("bad names")
+	}
+	p.OnCycle(0)
+	r0 := &memctrl.Request{Thread: 0}
+	r1 := &memctrl.Request{Thread: 1}
+	if !p.Eligible(r0) || p.Eligible(r1) {
+		t.Error("strict TDM must admit only the slot owner")
+	}
+	// Work-conserving variant admits everyone.
+	wc := NewTDM(50)
+	newPolicyController(t, wc, 2)
+	wc.OnCycle(0)
+	if !wc.Eligible(r1) {
+		t.Error("work-conserving TDM must admit all threads")
+	}
+
+	// End to end: with strict TDM, an out-of-slot thread's request waits
+	// for its slot even with the channel idle.
+	var doneAt int64 = -1
+	c.SetOnComplete(func(r *memctrl.Request, end int64) { doneAt = end })
+	c.EnqueueRead(1, g.Unmap(dram.Location{Bank: 0, Row: 1, Col: 0}), 0)
+	for now := int64(0); now < 400 && doneAt < 0; now++ {
+		c.Tick(now)
+	}
+	if doneAt < 50 {
+		t.Errorf("out-of-slot request serviced at %d, before thread 1's slot begins at 50", doneAt)
+	}
+}
+
+// TestTDMHardIsolation: under strict TDM, an aggressor cannot slow the
+// victim's slot service beyond slot-wait effects — the hard-QoS property —
+// while total throughput suffers vs FR-FCFS.
+func TestTDMCompletesWork(t *testing.T) {
+	p := NewStrictTDM(32)
+	c := newPolicyController(t, p, 2)
+	g := c.Device().Geometry()
+	done := 0
+	c.SetOnComplete(func(r *memctrl.Request, end int64) { done++ })
+	sent := 0
+	for now := int64(0); now < 20000; now++ {
+		if now%20 == 0 && sent < 200 {
+			th := sent % 2
+			c.EnqueueRead(th, g.Unmap(dram.Location{Bank: sent % 8, Row: int64(sent%40) + int64(th)*600, Col: 0}), now)
+			sent++
+		}
+		c.Tick(now)
+	}
+	for now := int64(20000); now < 80000 && done < sent; now++ {
+		c.Tick(now)
+	}
+	if done != sent {
+		t.Errorf("strict TDM completed %d of %d", done, sent)
+	}
+}
+
+func TestRegistryExtras(t *testing.T) {
+	for _, name := range ExtraNames() {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+}

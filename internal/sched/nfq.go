@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// NFQ implements the network-fair-queueing memory scheduler of Nesbit et al.
+// ("Fair queuing memory systems", MICRO 2006) in the FQ-VFTF (virtual finish
+// time first) variant the paper compares against, including the priority
+// inversion prevention optimization with a tRAS threshold (Section 7.2).
+//
+// Each thread owns a virtual clock per bank. A request's virtual finish time
+// (deadline) is
+//
+//	VFT = max(now, lastVFT[thread][bank]) + quantum/weight[thread]
+//
+// where quantum is the nominal bank service time times the thread count, so
+// that with equal weights each thread is entitled to a 1/N share of each
+// bank. Requests are serviced earliest-deadline-first. Using real time as
+// the lower bound of the virtual start reproduces the *idleness problem*
+// the PAR-BS paper describes: a thread that was idle receives a burst of
+// early deadlines when it returns, which lets bursty threads interleave
+// with — and serialize — a high-bank-parallelism thread's requests.
+//
+// Priority inversion prevention: within tRAS of a bank's last activate,
+// row-hit candidates to that bank are served ahead of earlier-deadline
+// row-conflict candidates, bounding how long a stream of hits can be
+// preempted without sacrificing the open row.
+type NFQ struct {
+	weights []float64
+	ctrl    *memctrl.Controller
+	threads int
+	// startTime switches from virtual-finish-time-first (Nesbit et al.'s
+	// FQ-VFTF) to start-time fair queueing (Rafique et al., PACT 2007),
+	// which the paper's related-work section cites as a fairness
+	// improvement: ordering by virtual start times avoids penalizing
+	// threads for the length of their own backlog.
+	startTime bool
+
+	tras int64
+	// lastVFT[thread][bank] is the thread's last assigned virtual finish
+	// time in that bank.
+	lastVFT [][]float64
+	// lastACT[bank] is the cycle of the bank's most recent activate.
+	lastACT []int64
+	now     int64
+}
+
+// NewNFQ returns an NFQ scheduler with equal thread weights; use
+// NewNFQWeighted to assign bandwidth shares.
+func NewNFQ() *NFQ { return &NFQ{} }
+
+// NewNFQWeighted returns an NFQ scheduler whose thread i receives a
+// bandwidth share proportional to weights[i].
+func NewNFQWeighted(weights []float64) *NFQ {
+	return &NFQ{weights: append([]float64(nil), weights...)}
+}
+
+// NewNFQStartTime returns the start-time fair queueing variant
+// (Rafique et al.), ordering requests by virtual start rather than
+// virtual finish time.
+func NewNFQStartTime() *NFQ { return &NFQ{startTime: true} }
+
+// Name implements memctrl.Policy.
+func (n *NFQ) Name() string {
+	if n.startTime {
+		return "NFQ-ST"
+	}
+	return "NFQ"
+}
+
+// OnAttach sizes the virtual clocks.
+func (n *NFQ) OnAttach(c *memctrl.Controller) {
+	n.ctrl = c
+	threads := c.NumThreads()
+	if n.weights == nil {
+		n.weights = equalWeights(threads)
+	}
+	if err := validateWeights(n.weights, threads); err != nil {
+		panic(err)
+	}
+	g := c.Device().Geometry()
+	t := c.Device().Timing()
+	n.threads = threads
+	n.tras = t.TRAS
+	n.lastVFT = make([][]float64, threads)
+	for i := range n.lastVFT {
+		n.lastVFT[i] = make([]float64, g.Banks)
+	}
+	n.lastACT = make([]int64, g.Banks)
+	for i := range n.lastACT {
+		n.lastACT[i] = -t.TRAS
+	}
+}
+
+// OnEnqueue stamps the request's virtual deadline: its finish time under
+// FQ-VFTF, or its start time under start-time fair queueing. The service
+// quantum reflects the request's expected cost at arrival — a row hit is
+// cheap, a conflict pays precharge + activate — scaled by the thread
+// count and weight, as in Nesbit et al.'s per-request service estimates.
+// Variable quanta are what make the two variants differ: with constant
+// quanta and equal weights, start and finish orderings coincide.
+func (n *NFQ) OnEnqueue(r *memctrl.Request, now int64) {
+	start := n.lastVFT[r.Thread][r.Loc.Bank]
+	if f := float64(now); f > start {
+		start = f
+	}
+	t := n.ctrl.Device().Timing()
+	service := t.TBankCAS
+	switch n.ctrl.Device().RowStateOf(r.Loc.Bank, r.Loc.Row) {
+	case dram.RowClosed:
+		service += t.TRCD
+	case dram.RowConflict:
+		service += t.TRP + t.TRCD
+	}
+	finish := start + float64(service)*float64(n.threads)/n.weights[r.Thread]
+	if n.startTime {
+		r.Deadline = start
+	} else {
+		r.Deadline = finish
+	}
+	n.lastVFT[r.Thread][r.Loc.Bank] = finish
+}
+
+// OnIssue tracks bank activates for the priority-inversion window.
+func (n *NFQ) OnIssue(c memctrl.Candidate, now int64) {
+	if c.Cmd == dram.CmdActivate {
+		n.lastACT[c.Req.Loc.Bank] = now
+	}
+}
+
+// OnComplete implements memctrl.Policy.
+func (n *NFQ) OnComplete(*memctrl.Request, int64) {}
+
+// OnCycle records the current cycle for the tRAS window test.
+func (n *NFQ) OnCycle(now int64) { n.now = now }
+
+// Better implements earliest-virtual-finish-time-first with the tRAS
+// priority-inversion prevention window.
+func (n *NFQ) Better(a, b memctrl.Candidate) bool {
+	// Within tRAS of its bank's activate, a row hit beats any deadline.
+	ah := a.IsRowHit() && n.now-n.lastACT[a.Req.Loc.Bank] < n.tras
+	bh := b.IsRowHit() && n.now-n.lastACT[b.Req.Loc.Bank] < n.tras
+	if ah != bh {
+		return ah
+	}
+	if a.Req.Deadline != b.Req.Deadline {
+		return a.Req.Deadline < b.Req.Deadline
+	}
+	if a.IsRowHit() != b.IsRowHit() {
+		return a.IsRowHit()
+	}
+	return a.Req.ID < b.Req.ID
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestNFQStartTimeName(t *testing.T) {
+	if NewNFQStartTime().Name() != "NFQ-ST" {
+		t.Error("bad name")
+	}
+	p, err := ByName("NFQ-ST")
+	if err != nil || p.Name() != "NFQ-ST" {
+		t.Errorf("registry: %v %v", p, err)
+	}
+	if len(ExtraNames()) == 0 {
+		t.Error("ExtraNames empty")
+	}
+}
+
+// TestStartTimeIgnoresOwnBacklog: under STFQ, a backlogged thread's new
+// request is stamped with its virtual *start* (which stacks), but compared
+// against a fresh thread the gap is one quantum smaller than under VFTF —
+// the fresh request does not additionally pay the backlogged thread's
+// service quantum.
+func TestStartTimeDeadlinesBelowFinishDeadlines(t *testing.T) {
+	g := dram.DefaultGeometry()
+	addr := g.Unmap(dram.Location{Bank: 0, Row: 1, Col: 0})
+
+	cv := newPolicyController(t, NewNFQ(), 2)
+	cs := newPolicyController(t, NewNFQStartTime(), 2)
+	rv, _ := cv.EnqueueRead(0, addr, 100)
+	rs, _ := cs.EnqueueRead(0, addr, 100)
+	if rs.Deadline >= rv.Deadline {
+		t.Errorf("start-time deadline %v must precede finish-time deadline %v", rs.Deadline, rv.Deadline)
+	}
+	// Backlog stacking still happens (second request starts after first's
+	// virtual finish).
+	rs2, _ := cs.EnqueueRead(0, addr+64, 100)
+	if rs2.Deadline <= rs.Deadline {
+		t.Errorf("backlogged start %v must be after first start %v", rs2.Deadline, rs.Deadline)
+	}
+}
+
+// TestStartTimeFairnessOrdering: a fresh thread's first request must beat a
+// backlogged thread's queued tail under both variants, but STFQ gives the
+// backlogged thread's head request the same start as the fresh thread's
+// (fairer head-of-line treatment).
+func TestStartTimeHeadOfLineParity(t *testing.T) {
+	p := NewNFQStartTime()
+	c := newPolicyController(t, p, 2)
+	g := dram.DefaultGeometry()
+	a0 := g.Unmap(dram.Location{Bank: 0, Row: 1, Col: 0})
+	a1 := g.Unmap(dram.Location{Bank: 1, Row: 2, Col: 0})
+	r0, _ := c.EnqueueRead(0, a0, 50)
+	r1, _ := c.EnqueueRead(1, a1, 50)
+	if r0.Deadline != r1.Deadline {
+		t.Errorf("same-cycle head-of-line starts differ: %v vs %v", r0.Deadline, r1.Deadline)
+	}
+}

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/memctrl"
+)
+
+// Names lists the scheduler names evaluated in the paper, in its
+// presentation order.
+func Names() []string {
+	return []string{"FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS"}
+}
+
+// ExtraNames lists additional schedulers beyond the paper's five:
+// NFQ-ST is the start-time fair queueing improvement of Rafique et al.
+// cited in related work; FR-FCFS+Cap limits row-hit streaks; TDM and
+// TDM-strict are the hard-partitioning real-time baselines of [19,16].
+func ExtraNames() []string { return []string{"NFQ-ST", "FR-FCFS+Cap", "TDM", "TDM-strict"} }
+
+// ByName constructs a fresh scheduler by its paper name (see Names and
+// ExtraNames). PAR-BS is built with the paper's default options (full
+// batching, Marking-Cap 5, Max-Total ranking).
+func ByName(name string) (memctrl.Policy, error) {
+	switch name {
+	case "FCFS":
+		return NewFCFS(), nil
+	case "FR-FCFS":
+		return NewFRFCFS(), nil
+	case "NFQ":
+		return NewNFQ(), nil
+	case "NFQ-ST":
+		return NewNFQStartTime(), nil
+	case "FR-FCFS+Cap":
+		return NewFRFCFSCap(4), nil
+	case "TDM":
+		return NewTDM(64), nil
+	case "TDM-strict":
+		return NewStrictTDM(64), nil
+	case "STFM":
+		return NewSTFM(), nil
+	case "PAR-BS":
+		return NewPARBSDefault(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q (known: %v + %v)", name, Names(), ExtraNames())
+	}
+}

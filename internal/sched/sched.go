@@ -1,0 +1,92 @@
+// Package sched provides the DRAM scheduling policies evaluated in the
+// PAR-BS paper (Mutlu & Moscibroda, ISCA 2008):
+//
+//   - FCFS: first-come-first-serve over ready commands;
+//   - FR-FCFS: first-ready FCFS, the throughput-oriented baseline
+//     (Rixner et al., Zuravleff & Robinson) that prioritizes row hits;
+//   - NFQ: the network-fair-queueing based QoS scheduler of Nesbit et al.
+//     (MICRO 2006), in its FQ-VFTF variant with priority-inversion
+//     prevention;
+//   - STFM: the stall-time fair memory scheduler of Mutlu & Moscibroda
+//     (MICRO 2007);
+//   - PAR-BS: the paper's contribution, implemented in internal/core.
+//
+// All policies order read requests; the controller keeps writes off the
+// critical path (see internal/memctrl).
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+)
+
+// FCFS services requests strictly in arrival order among ready commands.
+type FCFS struct{ noopHooks }
+
+// NewFCFS returns the FCFS policy.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements memctrl.Policy.
+func (*FCFS) Name() string { return "FCFS" }
+
+// Better implements memctrl.Policy: oldest first.
+func (*FCFS) Better(a, b memctrl.Candidate) bool { return a.Req.ID < b.Req.ID }
+
+// FRFCFS is the first-ready FCFS policy: row-hit commands first, then
+// oldest first (Section 3 of the paper).
+type FRFCFS struct{ noopHooks }
+
+// NewFRFCFS returns the FR-FCFS policy.
+func NewFRFCFS() *FRFCFS { return &FRFCFS{} }
+
+// Name implements memctrl.Policy.
+func (*FRFCFS) Name() string { return "FR-FCFS" }
+
+// Better implements memctrl.Policy: row-hit first, then oldest.
+func (*FRFCFS) Better(a, b memctrl.Candidate) bool {
+	if a.IsRowHit() != b.IsRowHit() {
+		return a.IsRowHit()
+	}
+	return a.Req.ID < b.Req.ID
+}
+
+// NewPARBS returns the PAR-BS scheduler with the given options; it is a
+// convenience constructor over internal/core.
+func NewPARBS(opts core.Options) *core.Engine { return core.NewEngine(opts) }
+
+// NewPARBSDefault returns PAR-BS with the paper's evaluated configuration
+// (full batching, Marking-Cap 5, Max-Total ranking).
+func NewPARBSDefault() *core.Engine { return core.NewEngine(core.DefaultOptions()) }
+
+// noopHooks provides empty memctrl.Policy hooks for stateless policies.
+type noopHooks struct{}
+
+func (noopHooks) OnAttach(*memctrl.Controller)       {}
+func (noopHooks) OnEnqueue(*memctrl.Request, int64)  {}
+func (noopHooks) OnIssue(memctrl.Candidate, int64)   {}
+func (noopHooks) OnComplete(*memctrl.Request, int64) {}
+func (noopHooks) OnCycle(int64)                      {}
+
+// equalWeights returns a slice of n 1.0 weights.
+func equalWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// validateWeights checks a per-thread weight vector.
+func validateWeights(weights []float64, threads int) error {
+	if len(weights) != threads {
+		return fmt.Errorf("sched: got %d weights for %d threads", len(weights), threads)
+	}
+	for t, w := range weights {
+		if w <= 0 {
+			return fmt.Errorf("sched: thread %d has non-positive weight %v", t, w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// STFM implements the stall-time fair memory scheduler of Mutlu &
+// Moscibroda ("Stall-time fair memory access scheduling for chip
+// multiprocessors", MICRO 2007), the best previous scheduler the PAR-BS
+// paper compares against.
+//
+// STFM estimates, inside the controller, each thread's memory slowdown
+// S = Tshared/Talone, where Tshared is the memory stall time the thread
+// experiences sharing the DRAM system and Talone is an estimate of its
+// stall time had it run alone. When the ratio between the maximum and
+// minimum slowdown exceeds alpha, the scheduler switches from FR-FCFS to a
+// fairness mode that prioritizes the most-slowed thread.
+//
+// Estimation model (documented approximations, following the descriptions
+// in both papers):
+//
+//   - Tshared accrues one cycle for every DRAM cycle in which the thread
+//     has at least one buffered read (the thread is memory-stalled).
+//   - Talone = Tshared - TInterference. Interference accrues when a command
+//     is issued for another thread: threads waiting on the same bank are
+//     charged the command's duration, and threads waiting on other banks
+//     are charged the data-bus occupancy of CAS commands. Each charge is
+//     divided by the victim's current bank-parallelism estimate (the number
+//     of banks it has requests in), mirroring STFM's parallelism-scaled
+//     interference accounting — the heuristic whose inaccuracy for
+//     high-BLP threads (e.g. mcf) the PAR-BS paper highlights.
+//   - Counters are halved every IntervalLength cycles so the estimate
+//     tracks phase changes.
+//
+// Thread weights (Figure 14) scale perceived slowdowns: a weight-w thread's
+// slowdown is inflated as 1 + (S-1)*w, so higher-weight threads hit the
+// fairness threshold earlier and receive proportionally better service.
+type STFM struct {
+	// Alpha is the unfairness threshold; the paper uses 1.10.
+	Alpha float64
+	// IntervalLength is the counter-aging period in DRAM cycles; the paper
+	// uses 2^24 processor cycles (2^21 DRAM cycles at a 10:1 clock ratio).
+	IntervalLength int64
+
+	weights []float64
+	ctrl    *memctrl.Controller
+
+	shared       []float64 // per-thread stall cycles while sharing
+	interference []float64 // per-thread estimated extra stall cycles
+
+	unfair     bool
+	slowest    int
+	burst      int64
+	nextAgeing int64
+}
+
+// NewSTFM returns an STFM scheduler with the paper's parameters
+// (alpha = 1.10, IntervalLength = 2^24 CPU cycles) and equal weights.
+func NewSTFM() *STFM {
+	return &STFM{Alpha: 1.10, IntervalLength: 1 << 21}
+}
+
+// NewSTFMWeighted returns STFM with per-thread weights.
+func NewSTFMWeighted(weights []float64) *STFM {
+	s := NewSTFM()
+	s.weights = append([]float64(nil), weights...)
+	return s
+}
+
+// Name implements memctrl.Policy.
+func (s *STFM) Name() string { return "STFM" }
+
+// OnAttach sizes the per-thread estimators.
+func (s *STFM) OnAttach(c *memctrl.Controller) {
+	s.ctrl = c
+	threads := c.NumThreads()
+	if s.weights == nil {
+		s.weights = equalWeights(threads)
+	}
+	if err := validateWeights(s.weights, threads); err != nil {
+		panic(err)
+	}
+	s.shared = make([]float64, threads)
+	s.interference = make([]float64, threads)
+	s.burst = c.Device().BurstCycles()
+	s.nextAgeing = s.IntervalLength
+}
+
+// OnEnqueue implements memctrl.Policy.
+func (s *STFM) OnEnqueue(*memctrl.Request, int64) {}
+
+// OnIssue charges interference to the threads delayed by this command.
+func (s *STFM) OnIssue(c memctrl.Candidate, now int64) {
+	issuer := c.Req.Thread
+	bank := c.Req.Loc.Bank
+	var dur int64
+	t := s.ctrl.Device().Timing()
+	switch c.Cmd {
+	case dram.CmdActivate:
+		dur = t.TRCD
+	case dram.CmdPrecharge:
+		dur = t.TRP
+	default:
+		// A CAS occupies its bank for the full access (tBankCAS), not just
+		// the burst; same-bank waiters are delayed by that much.
+		dur = t.TBankCAS
+		if dur < s.burst {
+			dur = s.burst
+		}
+	}
+	for th := range s.shared {
+		if th == issuer {
+			continue
+		}
+		var charge float64
+		if s.ctrl.ReadsInBank(th, bank) > 0 {
+			charge = float64(dur) // bank interference
+		} else if (c.Cmd == dram.CmdRead || c.Cmd == dram.CmdWrite) && s.ctrl.ReadsPerThread(th) > 0 {
+			charge = float64(s.burst) // bus interference
+		} else {
+			continue
+		}
+		s.interference[th] += charge / float64(s.blpEstimate(th))
+	}
+}
+
+// blpEstimate returns the number of banks the thread currently has requests
+// in (at least 1), STFM's bank-parallelism divisor.
+func (s *STFM) blpEstimate(thread int) int {
+	banks := s.ctrl.Device().Geometry().Banks
+	n := 0
+	for b := 0; b < banks; b++ {
+		if s.ctrl.ReadsInBank(thread, b) > 0 {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// OnComplete implements memctrl.Policy.
+func (s *STFM) OnComplete(*memctrl.Request, int64) {}
+
+// OnCycle accrues stall time, ages counters, and refreshes the fairness
+// mode decision.
+func (s *STFM) OnCycle(now int64) {
+	for th := range s.shared {
+		if s.ctrl.ReadsPerThread(th) > 0 {
+			s.shared[th]++
+		}
+	}
+	if now >= s.nextAgeing {
+		for th := range s.shared {
+			s.shared[th] /= 2
+			s.interference[th] /= 2
+		}
+		s.nextAgeing = now + s.IntervalLength
+	}
+	maxS, minS := 0.0, 0.0
+	s.slowest = 0
+	for th := range s.shared {
+		sd := s.Slowdown(th)
+		if th == 0 || sd > maxS {
+			maxS = sd
+			s.slowest = th
+		}
+		if th == 0 || sd < minS {
+			minS = sd
+		}
+	}
+	s.unfair = minS > 0 && maxS/minS > s.Alpha
+}
+
+// Slowdown returns the thread's estimated weighted memory slowdown.
+func (s *STFM) Slowdown(thread int) float64 {
+	sh := s.shared[thread]
+	alone := sh - s.interference[thread]
+	if alone < 1 {
+		alone = 1
+	}
+	sd := sh / alone
+	if sd < 1 {
+		sd = 1
+	}
+	const maxSlowdown = 64 // guard against a vanishing Talone estimate
+	if sd > maxSlowdown {
+		sd = maxSlowdown
+	}
+	return 1 + (sd-1)*s.weights[thread]
+}
+
+// InFairnessMode reports whether the scheduler is currently prioritizing
+// the most-slowed thread rather than running plain FR-FCFS.
+func (s *STFM) InFairnessMode() bool { return s.unfair }
+
+// Better implements memctrl.Policy: FR-FCFS normally; in fairness mode,
+// the most-slowed thread's requests first, then row-hit, then oldest.
+func (s *STFM) Better(a, b memctrl.Candidate) bool {
+	if s.unfair {
+		as, bs := a.Req.Thread == s.slowest, b.Req.Thread == s.slowest
+		if as != bs {
+			return as
+		}
+	}
+	if a.IsRowHit() != b.IsRowHit() {
+		return a.IsRowHit()
+	}
+	return a.Req.ID < b.Req.ID
+}

@@ -1,0 +1,27 @@
+package sim
+
+import "repro/internal/memctrl"
+
+// aloneFRFCFS is the single-thread FR-FCFS used for alone-run baselines.
+// It lives here (rather than importing internal/sched) to keep the sim
+// package's dependencies limited to the substrates it wires together.
+type aloneFRFCFS struct{}
+
+func frfcfsPolicy() memctrl.Policy { return aloneFRFCFS{} }
+
+// Name implements memctrl.Policy.
+func (aloneFRFCFS) Name() string { return "FR-FCFS(alone)" }
+
+// Better implements memctrl.Policy: row-hit first, then oldest.
+func (aloneFRFCFS) Better(a, b memctrl.Candidate) bool {
+	if a.IsRowHit() != b.IsRowHit() {
+		return a.IsRowHit()
+	}
+	return a.Req.ID < b.Req.ID
+}
+
+func (aloneFRFCFS) OnAttach(*memctrl.Controller)       {}
+func (aloneFRFCFS) OnEnqueue(*memctrl.Request, int64)  {}
+func (aloneFRFCFS) OnIssue(memctrl.Candidate, int64)   {}
+func (aloneFRFCFS) OnComplete(*memctrl.Request, int64) {}
+func (aloneFRFCFS) OnCycle(int64)                      {}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/memctrl"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// These integration tests assert the paper's qualitative results
+// end-to-end at reduced scale, complementing TestCaseStudyIShape.
+
+// compareMix runs a mix under a policy and joins with alone baselines.
+func compareMix(t *testing.T, cfg Config, mix workload.Mix, policy memctrl.Policy,
+	alone map[string]metrics.ThreadOutcome) ([]metrics.Comparison, Result) {
+	t.Helper()
+	res, err := Run(cfg, mix, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs []metrics.Comparison
+	for i, th := range res.Threads {
+		base, ok := alone[th.Benchmark]
+		if !ok {
+			base, err = RunAlone(cfg, mix.Benchmarks[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			alone[th.Benchmark] = base
+		}
+		cs = append(cs, metrics.Comparison{Alone: base, Shared: th})
+	}
+	return cs, res
+}
+
+// TestCaseStudyIIShape: Figure 6's headline — under FR-FCFS the high-BLP
+// omnetpp is the most slowed thread; PAR-BS cuts its slowdown while
+// achieving the best hmean speedup.
+func TestCaseStudyIIShape(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.MeasureCPUCycles = 1_000_000
+	mix := workload.CaseStudyII()
+	alone := map[string]metrics.ThreadOutcome{}
+
+	fr, _ := compareMix(t, cfg, mix, sched.NewFRFCFS(), alone)
+	omnetppIdx := 2
+	for i, c := range fr {
+		if i != omnetppIdx && c.MemSlowdown() > fr[omnetppIdx].MemSlowdown() {
+			t.Errorf("FR-FCFS: %s (%.2f) slowed more than high-BLP omnetpp (%.2f)",
+				mix.Benchmarks[i].Name, c.MemSlowdown(), fr[omnetppIdx].MemSlowdown())
+		}
+	}
+	pb, _ := compareMix(t, cfg, mix, sched.NewPARBSDefault(), alone)
+	if pb[omnetppIdx].MemSlowdown() >= fr[omnetppIdx].MemSlowdown() {
+		t.Errorf("PAR-BS omnetpp slowdown %.2f not below FR-FCFS's %.2f",
+			pb[omnetppIdx].MemSlowdown(), fr[omnetppIdx].MemSlowdown())
+	}
+	if metrics.HmeanSpeedup(pb) <= metrics.HmeanSpeedup(fr) {
+		t.Errorf("PAR-BS hmean %.3f not above FR-FCFS %.3f",
+			metrics.HmeanSpeedup(pb), metrics.HmeanSpeedup(fr))
+	}
+}
+
+// TestCaseStudyIIIShape: Figure 7's headline — all schedulers are nearly
+// fair on 4x lbm, and NFQ has clearly the worst throughput.
+func TestCaseStudyIIIShape(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.MeasureCPUCycles = 1_000_000
+	mix := workload.CaseStudyIII()
+	alone := map[string]metrics.ThreadOutcome{}
+	wsp := map[string]float64{}
+	for _, name := range []string{"FR-FCFS", "NFQ", "PAR-BS"} {
+		pol, err := sched.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, _ := compareMix(t, cfg, mix, pol, alone)
+		if u := metrics.Unfairness(cs); u > 1.25 {
+			t.Errorf("%s: unfairness %.2f on identical threads, want ~1", name, u)
+		}
+		wsp[name] = metrics.WeightedSpeedup(cs)
+	}
+	if wsp["NFQ"] >= wsp["FR-FCFS"] || wsp["NFQ"] >= wsp["PAR-BS"] {
+		t.Errorf("NFQ throughput %.3f must be the worst (FR-FCFS %.3f, PAR-BS %.3f)",
+			wsp["NFQ"], wsp["FR-FCFS"], wsp["PAR-BS"])
+	}
+}
+
+// TestBatchingBoundsWorstCaseLatency: Table 4's "WC lat." claim — PAR-BS's
+// worst-case request latency stays well below the QoS schedulers' (NFQ,
+// STFM), which can delay individual requests for a very long time.
+func TestBatchingBoundsWorstCaseLatency(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.MeasureCPUCycles = 1_500_000
+	mix := workload.CaseStudyI()
+	alone := map[string]metrics.ThreadOutcome{}
+	wc := map[string]int64{}
+	for _, name := range []string{"NFQ", "STFM", "PAR-BS"} {
+		pol, err := sched.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, _ := compareMix(t, cfg, mix, pol, alone)
+		wc[name] = metrics.WorstCaseLatency(cs, cfg.CPUCyclesPerDRAM)
+	}
+	if wc["PAR-BS"] > wc["NFQ"] {
+		t.Errorf("PAR-BS worst-case latency %d above NFQ's %d; batching must bound delay",
+			wc["PAR-BS"], wc["NFQ"])
+	}
+}
+
+// TestRefreshEndToEnd enables DDR2-rate refresh through the sim config and
+// checks it costs a little throughput but changes nothing structurally.
+func TestRefreshEndToEnd(t *testing.T) {
+	base := quickCfg(4)
+	withRef := quickCfg(4)
+	withRef.Timing.TREFI = 3120 // 7.8 us
+	mix := workload.CaseStudyI()
+	r1, err := Run(base, mix, sched.NewPARBSDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(withRef, mix, sched.NewPARBSDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.DRAM.Refreshes == 0 {
+		t.Fatal("no refreshes with TREFI set")
+	}
+	var i1, i2 int64
+	for i := range r1.Threads {
+		i1 += r1.Threads[i].CPU.Instructions
+		i2 += r2.Threads[i].CPU.Instructions
+	}
+	if i2 > i1 {
+		t.Errorf("refresh increased throughput (%d > %d)?", i2, i1)
+	}
+	if float64(i2) < 0.9*float64(i1) {
+		t.Errorf("refresh cost %.1f%%, want < 10%%", 100*(1-float64(i2)/float64(i1)))
+	}
+}
+
+// TestCommandLogThroughSim checks the sim-level command log plumbing.
+func TestCommandLogThroughSim(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.MeasureCPUCycles = 200_000
+	var n int64
+	cfg.CommandLog = func(ev memctrl.CommandEvent) { n++ }
+	res, err := Run(cfg, workload.CaseStudyI(), sched.NewFRFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("command log saw nothing")
+	}
+	// The log covers warmup too; it must be at least the measured count.
+	total := res.DRAM.Reads + res.DRAM.Writes + res.DRAM.Activates + res.DRAM.Precharges
+	if n < total {
+		t.Errorf("log %d < measured commands %d", n, total)
+	}
+}
+
+// TestTraceProfileThroughSim drives a recorded trace through the full
+// system: record lbm, replay it as a custom profile, expect behavior close
+// to the generated original.
+func TestTraceProfileThroughSim(t *testing.T) {
+	cfg := quickCfg(1)
+	cfg.Geometry.Channels = 1
+	p := workload.MustByName("lbm")
+	items := workload.RecordTrace(p, 0, cfg.Geometry, cfg.Seed, 60_000)
+	replay := workload.TraceProfile("lbm-replay", items, cfg.Geometry, true)
+
+	orig, err := RunAlone(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunAlone(cfg, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPU.LoadsIssued == 0 {
+		t.Fatal("replay issued no loads")
+	}
+	om, rm := orig.CPU.MPKI(), rep.CPU.MPKI()
+	if rm < om*0.8 || rm > om*1.2 {
+		t.Errorf("replay MPKI %.2f vs original %.2f; replay should track", rm, om)
+	}
+}
+
+// TestDeterminismAcrossPolicies: every policy must be reproducible
+// run-to-run (policies with random tie-breaks are seeded).
+func TestDeterminismAcrossPolicies(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.MeasureCPUCycles = 300_000
+	mix := workload.CaseStudyI()
+	for _, name := range sched.Names() {
+		p1, _ := sched.ByName(name)
+		p2, _ := sched.ByName(name)
+		r1, err := Run(cfg, mix, p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(cfg, mix, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range r1.Threads {
+			if r1.Threads[i].CPU != r2.Threads[i].CPU {
+				t.Errorf("%s: thread %d differs across identical runs", name, i)
+			}
+		}
+	}
+}
+
+// TestSixteenBanksConfig exercises a non-default geometry end-to-end.
+func TestSixteenBanksConfig(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.Geometry.Banks = 16
+	res, err := Run(cfg, workload.CaseStudyI(), sched.NewPARBSDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAM.Reads == 0 {
+		t.Fatal("no reads on 16-bank system")
+	}
+	// Sanity: requests map within the bank range.
+	g := cfg.Geometry
+	for i := 0; i < 1000; i++ {
+		if b := g.Map(int64(i) * 64).Bank; b < 0 || b >= 16 {
+			t.Fatalf("bank %d out of range", b)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package sim assembles the full system of the paper's Table 2 — cores,
+// on-chip DRAM controller and DRAM device — and runs multiprogrammed
+// workloads, both shared (all cores active) and alone (one thread on the
+// same memory system), producing the raw measurements the metrics package
+// turns into the paper's evaluation numbers.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Config describes one simulated system.
+type Config struct {
+	// Cores is the number of cores (== threads; Section 2's assumption).
+	Cores int
+	// CPUCyclesPerDRAM is the clock ratio: a 4 GHz core over DDR2-800's
+	// 400 MHz command clock gives 10.
+	CPUCyclesPerDRAM int64
+	// WarmupCPUCycles are simulated then discarded from all statistics.
+	WarmupCPUCycles int64
+	// MeasureCPUCycles is the measured portion of the run.
+	MeasureCPUCycles int64
+	// CompletionOverheadCPU is the fixed L2-miss round-trip overhead added
+	// on top of the DRAM service time (cache hierarchy, on-chip network),
+	// calibrated so a row-hit load's uncontended round trip is ~160 CPU
+	// cycles as in Table 2.
+	CompletionOverheadCPU int64
+	// Timing and Geometry configure the DRAM device. Geometry.Channels
+	// holds the lock-step channel count (1, 2, 4 for 4-, 8-, 16-core
+	// systems, scaling bandwidth with cores as in Table 2).
+	Timing   dram.Timing
+	Geometry dram.Geometry
+	// Ctrl configures the memory controller; Ctrl.Threads is overridden
+	// with Cores.
+	Ctrl memctrl.Config
+	// Core configures each processing core.
+	Core cpu.Config
+	// Seed drives workload generation.
+	Seed int64
+	// CommandLog, when non-nil, receives every issued DRAM command
+	// (debugging/timelines; see memctrl.Timeline).
+	CommandLog func(memctrl.CommandEvent)
+}
+
+// DefaultConfig returns the paper's baseline system for the given core
+// count: DDR2-800 with 8 banks, channels scaled 1/2/4 for 4/8/16 cores,
+// a 128-entry request buffer and 128-entry instruction windows.
+func DefaultConfig(cores int) Config {
+	g := dram.DefaultGeometry()
+	g.Channels = cores / 4
+	if g.Channels < 1 {
+		g.Channels = 1
+	}
+	return Config{
+		Cores:                 cores,
+		CPUCyclesPerDRAM:      10,
+		WarmupCPUCycles:       200_000,
+		MeasureCPUCycles:      2_000_000,
+		CompletionOverheadCPU: 60,
+		Timing:                dram.DDR2_800(),
+		Geometry:              g,
+		Ctrl:                  memctrl.DefaultConfig(cores),
+		Core:                  cpu.DefaultConfig(),
+		Seed:                  1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("sim: cores must be positive, got %d", c.Cores)
+	case c.CPUCyclesPerDRAM <= 0:
+		return fmt.Errorf("sim: CPU:DRAM clock ratio must be positive")
+	case c.MeasureCPUCycles <= 0:
+		return fmt.Errorf("sim: measurement window must be positive")
+	case c.WarmupCPUCycles < 0 || c.CompletionOverheadCPU < 0:
+		return fmt.Errorf("sim: warmup and overhead must be non-negative")
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Policy is the scheduler's name.
+	Policy string
+	// Threads holds one outcome per core, in core order.
+	Threads []metrics.ThreadOutcome
+	// DRAM holds device-level counters for the measured window.
+	DRAM dram.Stats
+	// DRAMCycles is the measured window length in DRAM cycles.
+	DRAMCycles int64
+}
+
+// BusUtilization returns the measured data-bus utilization.
+func (r Result) BusUtilization() float64 {
+	if r.DRAMCycles == 0 {
+		return 0
+	}
+	return float64(r.DRAM.BusyCycles) / float64(r.DRAMCycles)
+}
+
+// Run simulates the mix on cfg under the given scheduling policy. The
+// policy instance must be fresh (policies are stateful and single-use).
+func Run(cfg Config, mix workload.Mix, policy memctrl.Policy) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(mix.Benchmarks) != cfg.Cores {
+		return Result{}, fmt.Errorf("sim: mix %q has %d benchmarks for %d cores",
+			mix.Name, len(mix.Benchmarks), cfg.Cores)
+	}
+	dev, err := dram.NewDevice(cfg.Timing, cfg.Geometry)
+	if err != nil {
+		return Result{}, err
+	}
+	ctrlCfg := cfg.Ctrl
+	ctrlCfg.Threads = cfg.Cores
+	ctrl, err := memctrl.NewController(dev, policy, ctrlCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.CommandLog != nil {
+		ctrl.SetCommandLog(cfg.CommandLog)
+	}
+	port := &memPort{ctrl: ctrl}
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i, p := range mix.Benchmarks {
+		trace := p.Trace(i, cfg.Geometry, cfg.Seed)
+		core, err := cpu.NewCore(i, cfg.Core, trace, port)
+		if err != nil {
+			return Result{}, err
+		}
+		cores[i] = core
+	}
+	ctrl.SetOnComplete(func(r *memctrl.Request, endDRAM int64) {
+		cores[r.Thread].Complete(r, endDRAM*cfg.CPUCyclesPerDRAM+cfg.CompletionOverheadCPU)
+	})
+
+	ratio := cfg.CPUCyclesPerDRAM
+	warmupDRAM := cfg.WarmupCPUCycles / ratio
+	totalDRAM := warmupDRAM + cfg.MeasureCPUCycles/ratio
+
+	lastIssued, lastIssuedAt := int64(0), int64(0)
+	for dc := int64(0); dc < totalDRAM; dc++ {
+		if dc == warmupDRAM && dc > 0 {
+			for _, core := range cores {
+				core.ResetStats()
+			}
+			ctrl.ResetStats()
+		}
+		port.now = dc
+		start := dc * ratio
+		for _, core := range cores {
+			core.Tick(start, int(ratio))
+		}
+		ctrl.Tick(dc)
+		// Liveness check: buffered work with no command progress for a long
+		// stretch indicates a scheduling deadlock (a policy bug).
+		if n := ctrl.CommandsIssued(); n != lastIssued {
+			lastIssued, lastIssuedAt = n, dc
+		} else if ctrl.PendingReads() > 0 && dc-lastIssuedAt > 100_000 {
+			return Result{}, fmt.Errorf("sim: no DRAM progress for %d cycles with %d reads pending (policy %s)",
+				dc-lastIssuedAt, ctrl.PendingReads(), policy.Name())
+		}
+	}
+
+	res := Result{
+		Policy:     policy.Name(),
+		DRAM:       dev.Stats(),
+		DRAMCycles: totalDRAM - warmupDRAM,
+	}
+	for i, core := range cores {
+		res.Threads = append(res.Threads, metrics.ThreadOutcome{
+			Benchmark: mix.Benchmarks[i].Name,
+			CPU:       core.Stats(),
+			Mem:       ctrl.ThreadStats(i),
+		})
+	}
+	return res, nil
+}
+
+// RunAlone simulates one benchmark alone on the same memory system (same
+// channel count, banks and controller) — the baseline for slowdown metrics.
+// The scheduling policy is irrelevant with one thread; FR-FCFS is used as
+// in the paper's alone runs.
+func RunAlone(cfg Config, p workload.Profile) (metrics.ThreadOutcome, error) {
+	alone := cfg
+	alone.Cores = 1
+	alone.Ctrl.Threads = 1
+	mix := workload.Mix{Name: "alone-" + p.Name, Benchmarks: []workload.Profile{p}}
+	res, err := Run(alone, mix, frfcfsPolicy())
+	if err != nil {
+		return metrics.ThreadOutcome{}, err
+	}
+	return res.Threads[0], nil
+}
+
+// memPort adapts the controller to the cpu.MemPort interface, carrying the
+// current DRAM cycle.
+type memPort struct {
+	ctrl *memctrl.Controller
+	now  int64
+}
+
+func (p *memPort) IssueRead(thread int, addr int64) (*memctrl.Request, bool) {
+	return p.ctrl.EnqueueRead(thread, addr, p.now)
+}
+
+func (p *memPort) IssueWrite(thread int, addr int64) bool {
+	return p.ctrl.EnqueueWrite(thread, addr, p.now)
+}

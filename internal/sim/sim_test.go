@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// quickCfg is a reduced-length system for fast tests.
+func quickCfg(cores int) Config {
+	cfg := DefaultConfig(cores)
+	cfg.WarmupCPUCycles = 50_000
+	cfg.MeasureCPUCycles = 400_000
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.CPUCyclesPerDRAM = 0 },
+		func(c *Config) { c.MeasureCPUCycles = 0 },
+		func(c *Config) { c.WarmupCPUCycles = -1 },
+		func(c *Config) { c.CompletionOverheadCPU = -1 },
+		func(c *Config) { c.Core.WindowSize = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig(4)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigScalesChannels(t *testing.T) {
+	// Table 2: 1, 2, 4 lock-step channels for 4-, 8-, 16-core systems.
+	for cores, want := range map[int]int{4: 1, 8: 2, 16: 4, 2: 1} {
+		if got := DefaultConfig(cores).Geometry.Channels; got != want {
+			t.Errorf("%d cores: channels = %d, want %d", cores, got, want)
+		}
+	}
+}
+
+func TestRunRejectsMismatchedMix(t *testing.T) {
+	cfg := quickCfg(4)
+	mix := workload.Mix{Name: "short", Benchmarks: workload.CaseStudyI().Benchmarks[:2]}
+	if _, err := Run(cfg, mix, sched.NewFRFCFS()); err == nil {
+		t.Error("Run accepted a 2-benchmark mix on 4 cores")
+	}
+}
+
+func TestRunProducesActivity(t *testing.T) {
+	cfg := quickCfg(4)
+	res, err := Run(cfg, workload.CaseStudyI(), sched.NewFRFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "FR-FCFS" {
+		t.Errorf("policy name %q", res.Policy)
+	}
+	if len(res.Threads) != 4 {
+		t.Fatalf("threads = %d", len(res.Threads))
+	}
+	for i, th := range res.Threads {
+		if th.CPU.Instructions == 0 {
+			t.Errorf("thread %d committed nothing", i)
+		}
+		if th.CPU.LoadsIssued == 0 || th.Mem.ReadsCompleted == 0 {
+			t.Errorf("thread %d has no memory traffic", i)
+		}
+	}
+	if u := res.BusUtilization(); u <= 0 || u > 1 {
+		t.Errorf("bus utilization = %v, want (0,1]", u)
+	}
+	if res.DRAM.Reads == 0 {
+		t.Error("device saw no reads")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := quickCfg(4)
+	r1, err := Run(cfg, workload.CaseStudyII(), sched.NewPARBSDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg, workload.CaseStudyII(), sched.NewPARBSDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Threads {
+		if r1.Threads[i].CPU != r2.Threads[i].CPU {
+			t.Fatalf("thread %d CPU stats differ between identical runs:\n%+v\n%+v",
+				i, r1.Threads[i].CPU, r2.Threads[i].CPU)
+		}
+	}
+}
+
+func TestRunAloneBaseline(t *testing.T) {
+	cfg := quickCfg(4)
+	p := workload.MustByName("hmmer")
+	out, err := RunAlone(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Benchmark != "hmmer" {
+		t.Errorf("benchmark = %q", out.Benchmark)
+	}
+	if out.CPU.MPKI() < p.MPKI*0.7 || out.CPU.MPKI() > p.MPKI*1.3 {
+		t.Errorf("alone MPKI = %v, want ~%v", out.CPU.MPKI(), p.MPKI)
+	}
+}
+
+// TestSharedSlowerThanAlone: interference can only hurt; every thread's
+// shared MCPI must be at least its alone MCPI (within noise) on an
+// intensive mix.
+func TestSharedSlowerThanAlone(t *testing.T) {
+	cfg := quickCfg(4)
+	mix := workload.CaseStudyI()
+	res, err := Run(cfg, mix, sched.NewFRFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range mix.Benchmarks {
+		alone, err := RunAlone(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := metrics.Comparison{Alone: alone, Shared: res.Threads[i]}
+		if sd := c.MemSlowdown(); sd < 1 {
+			t.Errorf("%s: slowdown %v < 1", p.Name, sd)
+		}
+	}
+}
+
+// TestCaseStudyIShape asserts the paper's Figure 5 qualitative results on
+// the memory-intensive case study:
+//   - FR-FCFS slows libquantum (high locality) the least and is the most
+//     unfair overall;
+//   - PAR-BS achieves the best fairness and the best weighted speedup of
+//     all five schedulers;
+//   - PAR-BS keeps mcf's slowdown below NFQ's and STFM's (parallelism
+//     preservation).
+func TestCaseStudyIShape(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.MeasureCPUCycles = 1_000_000
+	mix := workload.CaseStudyI()
+	alone := map[string]metrics.ThreadOutcome{}
+	for _, p := range mix.Benchmarks {
+		out, err := RunAlone(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alone[p.Name] = out
+	}
+	type rr struct {
+		unfair, wsp float64
+		slowdowns   map[string]float64
+	}
+	results := map[string]rr{}
+	for _, name := range sched.Names() {
+		pol, err := sched.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, mix, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cs []metrics.Comparison
+		sds := map[string]float64{}
+		for i, th := range res.Threads {
+			c := metrics.Comparison{Alone: alone[th.Benchmark], Shared: th}
+			cs = append(cs, c)
+			sds[mix.Benchmarks[i].Name] = c.MemSlowdown()
+		}
+		results[name] = rr{unfair: metrics.Unfairness(cs), wsp: metrics.WeightedSpeedup(cs), slowdowns: sds}
+	}
+	fr, pb := results["FR-FCFS"], results["PAR-BS"]
+	for b, sd := range fr.slowdowns {
+		if b != "libquantum" && sd < fr.slowdowns["libquantum"] {
+			t.Errorf("FR-FCFS: %s slowdown %.2f below libquantum's %.2f; row-hit-first must favor libquantum",
+				b, sd, fr.slowdowns["libquantum"])
+		}
+	}
+	for name, r := range results {
+		if name == "PAR-BS" {
+			continue
+		}
+		if pb.unfair > r.unfair+0.05 {
+			t.Errorf("PAR-BS unfairness %.2f worse than %s's %.2f", pb.unfair, name, r.unfair)
+		}
+		if pb.wsp < r.wsp-0.02 {
+			t.Errorf("PAR-BS weighted speedup %.3f below %s's %.3f", pb.wsp, name, r.wsp)
+		}
+	}
+	if pb.slowdowns["mcf"] > results["STFM"].slowdowns["mcf"] {
+		t.Errorf("PAR-BS mcf slowdown %.2f above STFM's %.2f; parallelism not preserved",
+			pb.slowdowns["mcf"], results["STFM"].slowdowns["mcf"])
+	}
+}
+
+// TestWarmupDiscard: stats must reflect only the measurement window; a run
+// with warmup has (approximately) the same measured rates as one without.
+func TestWarmupDiscard(t *testing.T) {
+	base := quickCfg(4)
+	base.WarmupCPUCycles = 0
+	withWarm := quickCfg(4)
+	withWarm.WarmupCPUCycles = 200_000
+	r1, err := Run(base, workload.CaseStudyIII(), sched.NewFRFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(withWarm, workload.CaseStudyIII(), sched.NewFRFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured cycle budget must match MeasureCPUCycles, not include warmup.
+	for i := range r2.Threads {
+		if got, want := r2.Threads[i].CPU.Cycles, withWarm.MeasureCPUCycles; got != want {
+			t.Errorf("thread %d measured %d cycles, want %d", i, got, want)
+		}
+	}
+	// Rates should be in the same ballpark (warmup removes cold-start bias).
+	m1 := r1.Threads[0].CPU.MCPI()
+	m2 := r2.Threads[0].CPU.MCPI()
+	if m1 <= 0 || m2 <= 0 {
+		t.Fatal("no stalls measured")
+	}
+	if m2 > m1*1.5 || m2 < m1/1.5 {
+		t.Errorf("MCPI with/without warmup differ too much: %v vs %v", m2, m1)
+	}
+}

@@ -1,0 +1,67 @@
+// Package stats provides the small numeric helpers used by the evaluation:
+// geometric and harmonic means, as the paper averages unfairness and
+// speedups over workloads with the geometric mean (Figures 8 and 10).
+package stats
+
+import "math"
+
+// GeoMean returns the geometric mean of xs. Non-positive inputs are invalid
+// and yield NaN; an empty slice yields 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// HMean returns the harmonic mean of xs. Non-positive inputs yield NaN;
+// an empty slice yields 0.
+func HMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Mean returns the arithmetic mean of xs; an empty slice yields 0.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinMax returns the minimum and maximum of xs; an empty slice yields 0, 0.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}

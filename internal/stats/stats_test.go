@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{5}); got != 5 {
+		t.Errorf("GeoMean(5) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean of negative input must be NaN")
+	}
+}
+
+func TestHMean(t *testing.T) {
+	if got := HMean([]float64{1, 1}); got != 1 {
+		t.Errorf("HMean(1,1) = %v", got)
+	}
+	// HMean(2, 6) = 2/(1/2+1/6) = 3.
+	if got := HMean([]float64{2, 6}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("HMean(2,6) = %v, want 3", got)
+	}
+	if got := HMean(nil); got != 0 {
+		t.Errorf("HMean(nil) = %v", got)
+	}
+	if !math.IsNaN(HMean([]float64{0.5, 0})) {
+		t.Error("HMean of zero input must be NaN")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	min, max := MinMax([]float64{3, 1, 2})
+	if min != 1 || max != 3 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Error("MinMax(nil) should be 0,0")
+	}
+}
+
+// Property: HMean <= GeoMean <= Mean for positive inputs (AM-GM-HM).
+func TestMeanInequalityChain(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+		}
+		h, g, m := HMean(xs), GeoMean(xs), Mean(xs)
+		const eps = 1e-9
+		return h <= g+eps && g <= m+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

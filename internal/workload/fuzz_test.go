@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadItems hardens the trace parser: arbitrary input must either
+// parse or return an error — never panic — and parsed output must survive
+// a write/read round trip.
+func FuzzReadItems(f *testing.F) {
+	f.Add("10\n1 R 64\n2 W 128\n")
+	f.Add("# comment\n\n5\n")
+	f.Add("1 R")
+	f.Add("x y z")
+	f.Add("9223372036854775807 R 9223372036854775807")
+	f.Fuzz(func(t *testing.T, input string) {
+		items, err := ReadItems(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteItems(&buf, items); err != nil {
+			t.Fatalf("write of parsed items failed: %v", err)
+		}
+		back, err := ReadItems(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(items) {
+			t.Fatalf("round trip %d -> %d items", len(items), len(back))
+		}
+		for i := range items {
+			if back[i] != items[i] {
+				t.Fatalf("item %d changed across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/cpu"
+	"repro/internal/dram"
+)
+
+// generator synthesizes an instruction stream matching a profile's Table 3
+// signature:
+//
+//   - Memory intensity: accesses are spaced so the long-run rate is MPKI
+//     load misses per 1000 instructions.
+//   - Bank-level parallelism: misses arrive in episodes that touch ~BLP
+//     distinct banks; the accesses of an episode are interleaved with tiny
+//     compute gaps so they coexist in the 128-entry instruction window and
+//     become concurrent DRAM requests.
+//   - Row-buffer locality: within an episode, each touched bank receives a
+//     run of consecutive cache lines from one row; run lengths are
+//     geometric with mean 1/(1-RowHit), so when the run is serviced in
+//     order all but its first access are row hits.
+//
+// Each thread works in a private slice of the row space, so co-scheduled
+// threads never share rows — the multiprogrammed setting of the paper.
+type generator struct {
+	p    Profile
+	g    dram.Geometry
+	rng  *rand.Rand
+	base int64 // first row of the thread's private row slice
+	span int64 // rows in the slice
+
+	// queue holds the items of the episode under emission.
+	queue []cpu.Item
+
+	// rowOf tracks each bank's current row and next column for the thread.
+	rowOf []int64
+	colOf []int64
+
+	// perm and offset implement sticky bank-set rotation: episodes that
+	// follow each other closely (gap shorter than the instruction window)
+	// draw their banks from a slowly-sliding window of a fixed permutation,
+	// so two episodes coexisting in the window touch nearly the same banks
+	// and the thread's bank-level parallelism stays at its target instead
+	// of inflating.
+	perm   []int
+	offset int
+
+	// lastGap is the previous episode's trailing compute gap; it decides
+	// whether the next episode can overlap the previous one in the window.
+	lastGap int64
+
+	// carry accumulates the fractional instruction budget between misses.
+	carry float64
+}
+
+// rowsPerThread bounds the supported thread count: Rows/rowsPerThread
+// threads fit without overlap (16384/512 = 32 threads by default).
+const rowsPerThread = 512
+
+func newGenerator(p Profile, threadID int, g dram.Geometry, seed int64) *generator {
+	gen := &generator{
+		p:     p,
+		g:     g,
+		rng:   rand.New(rand.NewSource(seed*1_000_003 + int64(threadID)*7919 + int64(p.Index))),
+		base:  (int64(threadID) * rowsPerThread) % g.Rows,
+		span:  rowsPerThread,
+		rowOf: make([]int64, g.Banks),
+		colOf: make([]int64, g.Banks),
+	}
+	for b := range gen.rowOf {
+		gen.rowOf[b] = gen.base + gen.rng.Int63n(gen.span)
+	}
+	gen.perm = gen.rng.Perm(g.Banks)
+	return gen
+}
+
+// Next implements cpu.TraceSource.
+func (gen *generator) Next() cpu.Item {
+	if len(gen.queue) == 0 {
+		gen.emitEpisode()
+	}
+	it := gen.queue[0]
+	gen.queue = gen.queue[1:]
+	return it
+}
+
+// burstWidth draws the number of distinct banks an episode touches,
+// clamped to the device's bank count. The structural width is calibrated
+// above the BLP target (1 + (BLP-1)*2.2) because requests to distinct
+// banks start and finish staggered, so the measured bank-parallelism of an
+// episode is below the number of banks it touches; the factor was fitted
+// so alone-run measured BLP matches Table 3 (see the Table 3 experiment).
+func (gen *generator) burstWidth() int {
+	blp := 1 + (gen.p.BLP-1)*widthFactor
+	k := int(blp)
+	if gen.rng.Float64() < blp-float64(k) {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > gen.g.Banks {
+		k = gen.g.Banks
+	}
+	return k
+}
+
+// runLength draws a same-row run length with mean 1/(1-RowHit), capped at
+// the row size so a run never crosses a row boundary.
+func (gen *generator) runLength() int {
+	hit := gen.p.RowHit
+	if hit <= 0 {
+		return 1
+	}
+	if hit > 0.97 {
+		hit = 0.97
+	}
+	n := 1
+	for gen.rng.Float64() < hit && int64(n) < gen.g.ColumnsPerRow() {
+		n++
+	}
+	return n
+}
+
+// emitEpisode builds one miss episode plus its trailing compute gap.
+func (gen *generator) emitEpisode() {
+	width := gen.burstWidth()
+	banks := gen.pickBanks(width)
+
+	// Build the per-bank runs.
+	type run struct {
+		bank int
+		len  int
+	}
+	runs := make([]run, width)
+	total := 0
+	for i, b := range banks {
+		// Each run targets a fresh row: its first access is a row conflict
+		// and the remainder are row hits when serviced in order, which
+		// makes the long-run hit rate track 1 - 1/E[run length].
+		gen.newRow(b)
+		l := gen.runLength()
+		runs[i] = run{bank: b, len: l}
+		total += l
+	}
+
+	// Interleave accesses across banks round-robin with 1-instruction gaps
+	// so the whole episode fits in the instruction window.
+	for emitted := 0; emitted < total; {
+		for i := range runs {
+			if runs[i].len == 0 {
+				continue
+			}
+			runs[i].len--
+			emitted++
+			gen.queue = append(gen.queue, cpu.Item{
+				NonMem:    1,
+				Access:    cpu.Access{Addr: gen.nextAddr(runs[i].bank), Bank: runs[i].bank},
+				HasAccess: true,
+			})
+		}
+	}
+
+	// Dirty evictions: writebacks into the rows just streamed through (the
+	// lines the episode itself dirtied). Targeting the episode's rows keeps
+	// writes from tearing down the thread's read row-locality, matching
+	// streaming update benchmarks; writes never block the core either way.
+	writes := int(gen.p.WriteRatio*float64(total) + gen.rng.Float64())
+	for i := 0; i < writes; i++ {
+		b := banks[gen.rng.Intn(len(banks))]
+		addr := gen.g.Unmap(dram.Location{Bank: b, Row: gen.rowOf[b], Col: gen.rng.Int63n(gen.g.ColumnsPerRow())})
+		gen.queue = append(gen.queue, cpu.Item{
+			NonMem:    0,
+			Access:    cpu.Access{Addr: addr, IsWrite: true},
+			HasAccess: true,
+		})
+	}
+
+	// Trailing compute gap sized to hit the MPKI target. The per-access
+	// 1-instruction gaps above already consumed `total` instructions.
+	perMiss := 1000 / gen.p.MPKI
+	gen.carry += perMiss*float64(total) - float64(total)
+	var gap int64
+	if gen.carry > 0 {
+		gap = int64(gen.carry)
+		gen.carry -= float64(gap)
+		if gap > 0 {
+			gen.queue = append(gen.queue, cpu.Item{NonMem: gap})
+		}
+	}
+	gen.lastGap = gap
+}
+
+// overlapWindow is the instruction distance within which two consecutive
+// episodes can coexist in a 128-entry instruction window.
+const overlapWindow = 256
+
+// pickBanks selects `width` distinct banks. When the previous episode's
+// gap was long enough that the episodes cannot overlap in the window, the
+// set is re-randomized; otherwise it slides by one position so overlapping
+// episodes touch nearly the same banks.
+func (gen *generator) pickBanks(width int) []int {
+	if gen.lastGap >= overlapWindow {
+		gen.offset = gen.rng.Intn(gen.g.Banks)
+	} else {
+		gen.offset = (gen.offset + 1) % gen.g.Banks
+	}
+	out := make([]int, width)
+	for i := 0; i < width; i++ {
+		out[i] = gen.perm[(gen.offset+i)%gen.g.Banks]
+	}
+	return out
+}
+
+// nextAddr returns the next cache-line address of the bank's current run
+// and advances the column pointer, starting a fresh row when the run was
+// reset by emitEpisode's new-episode row choice.
+func (gen *generator) nextAddr(bank int) int64 {
+	if gen.colOf[bank] >= gen.g.ColumnsPerRow() {
+		gen.newRow(bank)
+	}
+	addr := gen.g.Unmap(dram.Location{Bank: bank, Row: gen.rowOf[bank], Col: gen.colOf[bank]})
+	gen.colOf[bank]++
+	return addr
+}
+
+// newRow moves the bank pointer to a fresh random row.
+func (gen *generator) newRow(bank int) {
+	gen.rowOf[bank] = gen.base + gen.rng.Int63n(gen.span)
+	gen.colOf[bank] = 0
+}
+
+// widthFactor calibrates structural episode width above the BLP target;
+// see burstWidth.
+const widthFactor = 1.0

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Mix is a named multiprogrammed workload: one benchmark per core.
+type Mix struct {
+	Name       string
+	Benchmarks []Profile
+}
+
+// MixOf builds a mix from benchmark names.
+func MixOf(name string, names ...string) (Mix, error) {
+	m := Mix{Name: name}
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			return Mix{}, err
+		}
+		m.Benchmarks = append(m.Benchmarks, p)
+	}
+	return m, nil
+}
+
+func mustMix(name string, names ...string) Mix {
+	m, err := MixOf(name, names...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// CaseStudyI is the paper's Section 8.1.1 memory-intensive 4-core workload.
+func CaseStudyI() Mix {
+	return mustMix("CSI", "libquantum", "mcf", "GemsFDTD", "xalancbmk")
+}
+
+// CaseStudyII is the Section 8.1.2 non-intensive 4-core workload.
+func CaseStudyII() Mix {
+	return mustMix("CSII", "matlab", "h264ref", "omnetpp", "hmmer")
+}
+
+// CaseStudyIII is the Section 8.1.3 workload: four copies of lbm.
+func CaseStudyIII() Mix {
+	return mustMix("CSIII", "lbm", "lbm", "lbm", "lbm")
+}
+
+// FourCopies returns a 4-core mix of the named benchmark (Figure 13's
+// 4 x lbm and 4 x matlab columns).
+func FourCopies(name string) (Mix, error) {
+	return MixOf("4x"+name, name, name, name, name)
+}
+
+// Figure8Samples returns the ten sample 4-core workloads labeled along the
+// x-axis of Figure 8.
+func Figure8Samples() []Mix {
+	return []Mix{
+		mustMix("W1", "libquantum", "h264ref", "omnetpp", "hmmer"),
+		mustMix("W2", "lbm", "matlab", "GemsFDTD", "omnetpp"),
+		mustMix("W3", "GemsFDTD", "omnetpp", "astar", "hmmer"),
+		mustMix("W4", "libquantum", "xml-parser", "astar", "hmmer"),
+		mustMix("W5", "matlab", "omnetpp", "astar", "bzip2"),
+		mustMix("W6", "leslie3d", "leslie3d", "leslie3d", "leslie3d"),
+		mustMix("W7", "sphinx3", "libquantum", "h264ref", "omnetpp"),
+		mustMix("W8", "libquantum", "mcf", "xalancbmk", "gromacs"),
+		mustMix("W9", "lbm", "matlab", "astar", "hmmer"),
+		mustMix("W10", "lbm", "astar", "h264ref", "gromacs"),
+	}
+}
+
+// Figure9Workload is the mixed 8-core workload of Figure 9.
+func Figure9Workload() Mix {
+	return mustMix("8core-mixed",
+		"mcf", "xml-parser", "cactusADM", "astar", "hmmer", "h264ref", "gromacs", "bzip2")
+}
+
+// Figure10Samples returns the five sample 16-core workloads of Figure 10.
+// The first two are given in the paper by Table 3 benchmark indices; the
+// intensive/middle/non-intensive triples are reconstructed as the top,
+// middle and bottom of the MCPI ranking (8 benchmarks, two copies each).
+func Figure10Samples() []Mix {
+	byIdx := func(name string, idx ...int) Mix {
+		m := Mix{Name: name}
+		for _, i := range idx {
+			p, err := ByIndex(i)
+			if err != nil {
+				panic(err)
+			}
+			m.Benchmarks = append(m.Benchmarks, p)
+		}
+		return m
+	}
+	w1 := byIdx("W16-1", 1, 5, 6, 9, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 27, 28)
+	w2 := byIdx("W16-2", 9, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 24, 25, 26, 27, 28)
+
+	ranked := Benchmarks()
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].MCPI > ranked[j].MCPI })
+	slice16 := func(name string, from int) Mix {
+		m := Mix{Name: name}
+		for _, p := range ranked[from : from+8] {
+			m.Benchmarks = append(m.Benchmarks, p, p)
+		}
+		return m
+	}
+	return []Mix{w1, w2,
+		slice16("intensive16", 0),
+		slice16("middle16", 10),
+		slice16("non-intensive16", 20),
+	}
+}
+
+// RandomMixes reproduces the paper's workload construction (Section 7):
+// mixes are formed by pseudo-randomly selecting a benchmark from each of a
+// combination of categories, such that different category combinations are
+// evaluated. For cores == 4 the category combinations cycle through all
+// 4-subsets of the 8 categories; for larger systems one benchmark is drawn
+// per category round-robin.
+func RandomMixes(n, cores int, seed int64) []Mix {
+	rng := rand.New(rand.NewSource(seed))
+	var combos [][]int
+	if cores == 4 {
+		combos = combinations(8, 4)
+		rng.Shuffle(len(combos), func(i, j int) { combos[i], combos[j] = combos[j], combos[i] })
+	}
+	mixes := make([]Mix, 0, n)
+	for i := 0; i < n; i++ {
+		var cats []int
+		if cores == 4 {
+			cats = combos[i%len(combos)]
+		} else {
+			cats = make([]int, cores)
+			for c := 0; c < cores; c++ {
+				cats[c] = c % 8
+			}
+		}
+		m := Mix{Name: fmt.Sprintf("rand%dc-%03d", cores, i)}
+		for _, cat := range cats {
+			pool := ByCategory(cat)
+			m.Benchmarks = append(m.Benchmarks, pool[rng.Intn(len(pool))])
+		}
+		mixes = append(mixes, m)
+	}
+	return mixes
+}
+
+// combinations enumerates all k-subsets of {0..n-1}.
+func combinations(n, k int) [][]int {
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/dram"
+)
+
+// This file provides trace materialization and a plain-text trace format,
+// so workloads can be recorded, inspected, edited and replayed — the
+// trace-driven workflow of the paper's methodology (their traces came from
+// Pin; ours can come from the synthetic generator or from a file).
+//
+// Format: one item per line,
+//
+//	<nonmem> [R|W <addr>]
+//
+// where <nonmem> is the count of non-memory instructions preceding the
+// access and the optional access is a load miss (R) or writeback (W) to a
+// byte address. Lines starting with '#' are comments.
+
+// RecordTrace materializes the first n items of the profile's trace.
+func RecordTrace(p Profile, threadID int, g dram.Geometry, seed int64, n int) []cpu.Item {
+	src := p.Trace(threadID, g, seed)
+	items := make([]cpu.Item, 0, n)
+	for len(items) < n {
+		items = append(items, src.Next())
+	}
+	return items
+}
+
+// SliceTrace replays a recorded item list.
+type SliceTrace struct {
+	// Items is the trace body.
+	Items []cpu.Item
+	// Loop restarts from the beginning at the end; otherwise the trace
+	// idles (empty items) once exhausted.
+	Loop bool
+	pos  int
+}
+
+// Next implements cpu.TraceSource.
+func (s *SliceTrace) Next() cpu.Item {
+	if s.pos >= len(s.Items) {
+		if !s.Loop || len(s.Items) == 0 {
+			return cpu.Item{}
+		}
+		s.pos = 0
+	}
+	it := s.Items[s.pos]
+	s.pos++
+	return it
+}
+
+// TraceProfile wraps recorded items as a Profile usable in a Mix. The
+// geometry is needed to stamp each access's bank (required by the core's
+// per-bank bookkeeping).
+func TraceProfile(name string, items []cpu.Item, g dram.Geometry, loop bool) Profile {
+	stamped := make([]cpu.Item, len(items))
+	for i, it := range items {
+		if it.HasAccess {
+			it.Access.Bank = g.Map(it.Access.Addr).Bank
+		}
+		stamped[i] = it
+	}
+	return Profile{
+		Name: name,
+		Source: func(threadID int, _ dram.Geometry, _ int64) cpu.TraceSource {
+			// Each core gets an independent cursor over the shared items.
+			return &SliceTrace{Items: stamped, Loop: loop}
+		},
+	}
+}
+
+// WriteItems serializes items in the text trace format.
+func WriteItems(w io.Writer, items []cpu.Item) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# parbs trace: <nonmem> [R|W <addr>]")
+	for _, it := range items {
+		if !it.HasAccess {
+			fmt.Fprintf(bw, "%d\n", it.NonMem)
+			continue
+		}
+		kind := "R"
+		if it.Access.IsWrite {
+			kind = "W"
+		}
+		fmt.Fprintf(bw, "%d %s %d\n", it.NonMem, kind, it.Access.Addr)
+	}
+	return bw.Flush()
+}
+
+// ReadItems parses the text trace format. Banks are left zero; use
+// TraceProfile (or stamp manually) to bind addresses to a geometry.
+func ReadItems(r io.Reader) ([]cpu.Item, error) {
+	var items []cpu.Item
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		nonMem, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || nonMem < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad instruction count %q", lineNo, fields[0])
+		}
+		it := cpu.Item{NonMem: nonMem}
+		switch len(fields) {
+		case 1:
+			// pure compute run
+		case 3:
+			addr, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || addr < 0 {
+				return nil, fmt.Errorf("workload: trace line %d: bad address %q", lineNo, fields[2])
+			}
+			switch fields[1] {
+			case "R":
+				it.Access = cpu.Access{Addr: addr}
+			case "W":
+				it.Access = cpu.Access{Addr: addr, IsWrite: true}
+			default:
+				return nil, fmt.Errorf("workload: trace line %d: bad access kind %q", lineNo, fields[1])
+			}
+			it.HasAccess = true
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: want 1 or 3 fields, got %d", lineNo, len(fields))
+		}
+		items = append(items, it)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}

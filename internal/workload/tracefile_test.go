@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dram"
+)
+
+func TestRecordTraceAndSliceReplay(t *testing.T) {
+	g := dram.DefaultGeometry()
+	p := MustByName("omnetpp")
+	items := RecordTrace(p, 0, g, 5, 200)
+	if len(items) != 200 {
+		t.Fatalf("recorded %d items", len(items))
+	}
+	st := &SliceTrace{Items: items}
+	for i := 0; i < 200; i++ {
+		if got := st.Next(); got != items[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+	// Exhausted, non-looping: idles with empty items.
+	if got := st.Next(); got.HasAccess || got.NonMem != 0 {
+		t.Errorf("exhausted trace yielded %+v", got)
+	}
+	// Looping: restarts.
+	lt := &SliceTrace{Items: items, Loop: true}
+	for i := 0; i < 200; i++ {
+		lt.Next()
+	}
+	if got := lt.Next(); got != items[0] {
+		t.Error("looping trace did not restart")
+	}
+	empty := &SliceTrace{Loop: true}
+	if got := empty.Next(); got.HasAccess {
+		t.Error("empty looping trace must idle")
+	}
+}
+
+func TestWriteReadItemsRoundTrip(t *testing.T) {
+	g := dram.DefaultGeometry()
+	items := RecordTrace(MustByName("mcf"), 1, g, 3, 150)
+	var buf bytes.Buffer
+	if err := WriteItems(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadItems(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(items) {
+		t.Fatalf("round trip %d -> %d items", len(items), len(back))
+	}
+	for i := range items {
+		want := items[i]
+		want.Access.Bank = 0 // text format does not carry banks
+		if back[i] != want {
+			t.Fatalf("item %d: %+v != %+v", i, back[i], want)
+		}
+	}
+}
+
+func TestReadItemsRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"x",         // bad count
+		"-3",        // negative count
+		"1 R",       // missing addr
+		"1 R x",     // bad addr
+		"1 R -5",    // negative addr
+		"1 Q 64",    // bad kind
+		"1 R 64 zz", // too many fields
+	}
+	for _, line := range bad {
+		if _, err := ReadItems(strings.NewReader(line)); err == nil {
+			t.Errorf("ReadItems accepted %q", line)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := ReadItems(strings.NewReader("# comment\n\n10\n1 R 64\n2 W 128\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !got[1].HasAccess || !got[2].Access.IsWrite {
+		t.Errorf("parsed %+v", got)
+	}
+}
+
+func TestTraceProfileStampsBanksAndRuns(t *testing.T) {
+	g := dram.DefaultGeometry()
+	raw := []cpu.Item{
+		{NonMem: 2, Access: cpu.Access{Addr: g.Unmap(dram.Location{Bank: 3, Row: 7, Col: 0})}, HasAccess: true},
+		{NonMem: 50},
+	}
+	p := TraceProfile("custom", raw, g, false)
+	src := p.Trace(0, g, 1)
+	it := src.Next()
+	if !it.HasAccess || it.Access.Bank != 3 {
+		t.Errorf("bank not stamped: %+v", it)
+	}
+	// A second core gets an independent cursor.
+	src2 := p.Trace(1, g, 1)
+	if got := src2.Next(); got.Access.Bank != 3 {
+		t.Error("second cursor broken")
+	}
+}

@@ -1,0 +1,200 @@
+// Package parbs is a Go reproduction of "Parallelism-Aware Batch
+// Scheduling: Enhancing both Performance and Fairness of Shared DRAM
+// Systems" (Mutlu & Moscibroda, ISCA 2008).
+//
+// It bundles a cycle-level shared-DRAM-system simulator — DDR2-style
+// banks and buses, an on-chip memory controller with pluggable scheduling
+// policies, simplified out-of-order cores, and synthetic workloads matched
+// to the paper's benchmark suite — together with the paper's scheduler
+// (PAR-BS) and the four baselines it is evaluated against (FCFS, FR-FCFS,
+// NFQ, STFM).
+//
+// Quick start:
+//
+//	w, _ := parbs.WorkloadFromNames("libquantum", "mcf", "GemsFDTD", "xalancbmk")
+//	report, _ := parbs.Run(parbs.DefaultSystem(4), w, parbs.NewPARBS(parbs.PARBSOptions{}))
+//	fmt.Println(report)
+//
+// The internal packages hold the substrates; the experiments that
+// regenerate every table and figure of the paper live in internal/exp and
+// are driven by cmd/experiments.
+package parbs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+	"repro/internal/sched"
+)
+
+// Scheduler is a DRAM scheduling policy instance. Instances are stateful
+// and single-use: construct a fresh one per Run.
+type Scheduler struct {
+	policy memctrl.Policy
+}
+
+// Name returns the scheduler's display name.
+func (s Scheduler) Name() string { return s.policy.Name() }
+
+// NewFCFS returns the first-come-first-serve baseline.
+func NewFCFS() Scheduler { return Scheduler{policy: sched.NewFCFS()} }
+
+// NewFRFCFS returns the throughput-oriented first-ready FCFS baseline,
+// the common policy of Rixner et al. that PAR-BS is compared against.
+func NewFRFCFS() Scheduler { return Scheduler{policy: sched.NewFRFCFS()} }
+
+// NewNFQ returns the network-fair-queueing scheduler of Nesbit et al.
+// (MICRO 2006). weights, if given, assigns per-thread bandwidth shares;
+// omit for equal shares.
+func NewNFQ(weights ...float64) Scheduler {
+	if len(weights) == 0 {
+		return Scheduler{policy: sched.NewNFQ()}
+	}
+	return Scheduler{policy: sched.NewNFQWeighted(weights)}
+}
+
+// NewSTFM returns the stall-time fair memory scheduler of Mutlu &
+// Moscibroda (MICRO 2007). weights, if given, scales per-thread slowdown
+// targets; omit for equal treatment.
+func NewSTFM(weights ...float64) Scheduler {
+	if len(weights) == 0 {
+		return Scheduler{policy: sched.NewSTFM()}
+	}
+	return Scheduler{policy: sched.NewSTFMWeighted(weights)}
+}
+
+// Batching selects the PAR-BS batch formation mode.
+type Batching string
+
+// Batching modes (paper Sections 4.1 and 4.4).
+const (
+	// FullBatching forms a new batch when the previous one completes.
+	FullBatching Batching = "full"
+	// StaticBatching re-marks on a fixed period (BatchDuration).
+	StaticBatching Batching = "static"
+	// EmptySlotBatching admits late requests into unused batch slots.
+	EmptySlotBatching Batching = "eslot"
+)
+
+// Ranking selects the PAR-BS within-batch thread ranking.
+type Ranking string
+
+// Ranking schemes (paper Sections 4.2, 4.4 and 8.3.3).
+const (
+	// MaxTotal is PAR-BS's shortest-job-first ranking (Rule 3).
+	MaxTotal Ranking = "max-total"
+	// TotalMax swaps the Max and Total rules.
+	TotalMax Ranking = "total-max"
+	// RandomRanking assigns random ranks each batch.
+	RandomRanking Ranking = "random"
+	// RoundRobinRanking rotates ranks across batches.
+	RoundRobinRanking Ranking = "round-robin"
+	// NoRankFRFCFS disables ranking (FR-FCFS within the batch).
+	NoRankFRFCFS Ranking = "no-rank-frfcfs"
+	// NoRankFCFS disables ranking and row-hit-first (FCFS within batch).
+	NoRankFCFS Ranking = "no-rank-fcfs"
+)
+
+// Opportunistic is the special PAR-BS priority level L: threads at this
+// level are never marked and are serviced only when the memory system
+// would otherwise be idle (paper Section 5).
+const Opportunistic = core.OpportunisticPriority
+
+// PARBSOptions configures the PAR-BS scheduler. The zero value selects the
+// paper's evaluated configuration: full batching, Marking-Cap 5, Max-Total
+// ranking, equal priorities.
+type PARBSOptions struct {
+	// MarkingCap bounds requests marked per thread per bank; 0 keeps the
+	// paper's default of 5 and -1 disables the cap.
+	MarkingCap int
+	// Batching selects the batch formation mode (default FullBatching).
+	Batching Batching
+	// BatchDuration is the StaticBatching period in DRAM cycles.
+	BatchDuration int64
+	// Ranking selects the within-batch ranking (default MaxTotal).
+	Ranking Ranking
+	// Priorities optionally assigns per-thread priority levels: 1 is
+	// highest, larger numbers are lower, Opportunistic is never marked.
+	Priorities []int
+	// Seed drives random rank tie-breaking.
+	Seed int64
+}
+
+// NewPARBS returns the paper's parallelism-aware batch scheduler.
+// It panics on malformed options (mixed-up batching/ranking names);
+// use Validate to check first.
+func NewPARBS(opts PARBSOptions) Scheduler {
+	coreOpts, err := opts.toCore()
+	if err != nil {
+		panic(err)
+	}
+	return Scheduler{policy: sched.NewPARBS(coreOpts)}
+}
+
+// Validate reports whether the options are well-formed for numThreads
+// threads.
+func (o PARBSOptions) Validate(numThreads int) error {
+	coreOpts, err := o.toCore()
+	if err != nil {
+		return err
+	}
+	return coreOpts.Validate(numThreads)
+}
+
+func (o PARBSOptions) toCore() (core.Options, error) {
+	out := core.DefaultOptions()
+	switch {
+	case o.MarkingCap < -1:
+		return out, fmt.Errorf("parbs: MarkingCap must be >= -1, got %d", o.MarkingCap)
+	case o.MarkingCap == -1:
+		out.MarkingCap = 0 // core convention: 0 = no cap
+	case o.MarkingCap > 0:
+		out.MarkingCap = o.MarkingCap
+	}
+	switch o.Batching {
+	case "", FullBatching:
+		out.Batch = core.FullBatching
+	case StaticBatching:
+		out.Batch = core.StaticBatching
+		out.BatchDuration = o.BatchDuration
+	case EmptySlotBatching:
+		out.Batch = core.EmptySlotBatching
+	default:
+		return out, fmt.Errorf("parbs: unknown batching %q", o.Batching)
+	}
+	switch o.Ranking {
+	case "", MaxTotal:
+		out.Rank = core.MaxTotal
+	case TotalMax:
+		out.Rank = core.TotalMax
+	case RandomRanking:
+		out.Rank = core.RandomRank
+	case RoundRobinRanking:
+		out.Rank = core.RoundRobin
+	case NoRankFRFCFS:
+		out.Rank = core.NoRankFRFCFS
+	case NoRankFCFS:
+		out.Rank = core.NoRankFCFS
+	default:
+		return out, fmt.Errorf("parbs: unknown ranking %q", o.Ranking)
+	}
+	out.Priorities = append([]int(nil), o.Priorities...)
+	if o.Seed != 0 {
+		out.Seed = o.Seed
+	}
+	return out, nil
+}
+
+// SchedulerByName constructs a scheduler from its paper name
+// ("FCFS", "FR-FCFS", "NFQ", "STFM", "PAR-BS").
+func SchedulerByName(name string) (Scheduler, error) {
+	p, err := sched.ByName(name)
+	if err != nil {
+		return Scheduler{}, err
+	}
+	return Scheduler{policy: p}, nil
+}
+
+// SchedulerNames lists the five evaluated schedulers in paper order.
+func SchedulerNames() []string { return sched.Names() }

@@ -1,0 +1,197 @@
+package parbs
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickSystem(cores int) System {
+	s := DefaultSystem(cores)
+	s.MeasureCycles = 400_000
+	s.WarmupCycles = 50_000
+	return s
+}
+
+func TestSchedulerConstructors(t *testing.T) {
+	cases := map[string]Scheduler{
+		"FCFS":    NewFCFS(),
+		"FR-FCFS": NewFRFCFS(),
+		"NFQ":     NewNFQ(),
+		"STFM":    NewSTFM(),
+		"PAR-BS":  NewPARBS(PARBSOptions{}),
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Errorf("scheduler name = %q, want %q", s.Name(), want)
+		}
+	}
+	for _, name := range SchedulerNames() {
+		s, err := SchedulerByName(name)
+		if err != nil || s.Name() != name {
+			t.Errorf("SchedulerByName(%q) = %v, %v", name, s.Name(), err)
+		}
+	}
+	if _, err := SchedulerByName("bogus"); err == nil {
+		t.Error("SchedulerByName accepted unknown name")
+	}
+}
+
+func TestPARBSOptionsValidation(t *testing.T) {
+	good := []PARBSOptions{
+		{},
+		{MarkingCap: -1},
+		{MarkingCap: 7, Ranking: TotalMax},
+		{Batching: StaticBatching, BatchDuration: 320},
+		{Batching: EmptySlotBatching, Ranking: RoundRobinRanking},
+		{Priorities: []int{1, 2, 3, Opportunistic}},
+	}
+	for i, o := range good {
+		if err := o.Validate(4); err != nil {
+			t.Errorf("good options %d rejected: %v", i, err)
+		}
+	}
+	bad := []PARBSOptions{
+		{MarkingCap: -2},
+		{Batching: "nonsense"},
+		{Ranking: "nonsense"},
+		{Batching: StaticBatching}, // missing duration
+		{Priorities: []int{1, 0, 1, 1}},
+		{Priorities: []int{1}}, // wrong length
+	}
+	for i, o := range bad {
+		if err := o.Validate(4); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestNewPARBSPanicsOnBadOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPARBS did not panic on malformed options")
+		}
+	}()
+	NewPARBS(PARBSOptions{Batching: "nonsense"})
+}
+
+func TestWorkloadConstruction(t *testing.T) {
+	w, err := WorkloadFromNames("lbm", "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Benchmarks(); len(got) != 2 || got[0] != "lbm" {
+		t.Errorf("benchmarks = %v", got)
+	}
+	if _, err := WorkloadFromNames("nosuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if len(BenchmarkNames()) != 28 {
+		t.Errorf("BenchmarkNames = %d entries, want 28", len(BenchmarkNames()))
+	}
+	if got := len(RandomWorkloads(5, 4, 3)); got != 5 {
+		t.Errorf("RandomWorkloads returned %d", got)
+	}
+	for _, w := range []Workload{CaseStudyI(), CaseStudyII(), CaseStudyIII()} {
+		if len(w.Benchmarks()) != 4 {
+			t.Errorf("case study %s has %d benchmarks", w.Name(), len(w.Benchmarks()))
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	rep, err := Run(quickSystem(4), CaseStudyI(), NewPARBS(PARBSOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduler != "PAR-BS" {
+		t.Errorf("scheduler = %q", rep.Scheduler)
+	}
+	if len(rep.Threads) != 4 {
+		t.Fatalf("threads = %d", len(rep.Threads))
+	}
+	if rep.Unfairness < 1 {
+		t.Errorf("unfairness = %v, must be >= 1", rep.Unfairness)
+	}
+	if rep.WeightedSpeedup <= 0 || rep.WeightedSpeedup > 4 {
+		t.Errorf("weighted speedup = %v out of (0,4]", rep.WeightedSpeedup)
+	}
+	if rep.BusUtilization <= 0 || rep.BusUtilization > 1 {
+		t.Errorf("bus utilization = %v", rep.BusUtilization)
+	}
+	for _, th := range rep.Threads {
+		if th.MemSlowdown < 1 {
+			t.Errorf("%s slowdown %v < 1", th.Benchmark, th.MemSlowdown)
+		}
+	}
+	s := rep.String()
+	if !strings.Contains(s, "libquantum") || !strings.Contains(s, "unfairness") {
+		t.Errorf("report rendering missing fields:\n%s", s)
+	}
+}
+
+func TestRunRejectsMismatch(t *testing.T) {
+	w, _ := WorkloadFromNames("lbm", "mcf")
+	if _, err := Run(quickSystem(4), w, NewFRFCFS()); err == nil {
+		t.Error("mismatched workload size accepted")
+	}
+	if _, err := Run(System{}, w, NewFRFCFS()); err == nil {
+		t.Error("zero-core system accepted")
+	}
+}
+
+func TestSystemOverrides(t *testing.T) {
+	s := DefaultSystem(4)
+	s.Channels = 2
+	s.Banks = 16
+	s.MeasureCycles = 300_000
+	s.WarmupCycles = 10_000
+	s.Seed = 7
+	cfg, err := s.toSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Geometry.Channels != 2 || cfg.Geometry.Banks != 16 ||
+		cfg.MeasureCPUCycles != 300_000 || cfg.WarmupCPUCycles != 10_000 || cfg.Seed != 7 {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+}
+
+// TestOpportunisticEndToEnd: an opportunistic thread must not drag down the
+// high-priority thread (Figure 14 right).
+func TestOpportunisticEndToEnd(t *testing.T) {
+	w, err := WorkloadFromNames("libquantum", "milc", "omnetpp", "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pri := NewPARBS(PARBSOptions{Priorities: []int{Opportunistic, Opportunistic, 1, Opportunistic}})
+	rep, err := Run(quickSystem(4), w, pri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omnetpp := rep.Threads[2]
+	for i, th := range rep.Threads {
+		if i != 2 && th.MemSlowdown < omnetpp.MemSlowdown-0.2 {
+			t.Errorf("opportunistic %s (%.2f) outran high-priority omnetpp (%.2f)",
+				th.Benchmark, th.MemSlowdown, omnetpp.MemSlowdown)
+		}
+	}
+	if omnetpp.MemSlowdown > 1.6 {
+		t.Errorf("high-priority omnetpp slowed %.2fx; opportunistic service should nearly isolate it", omnetpp.MemSlowdown)
+	}
+}
+
+func TestDeviceSelection(t *testing.T) {
+	s := quickSystem(4)
+	s.Device = "ddr3-1333"
+	rep, err := Run(s, CaseStudyI(), NewPARBS(PARBSOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Threads) != 4 {
+		t.Fatal("run failed on DDR3")
+	}
+	s.Device = "rambus"
+	if _, err := Run(s, CaseStudyI(), NewFRFCFS()); err == nil {
+		t.Error("unknown device accepted")
+	}
+}

@@ -1,0 +1,200 @@
+package parbs
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// System describes the simulated CMP and memory system. Construct with
+// DefaultSystem and adjust fields as needed.
+type System struct {
+	// Cores is the number of cores (one thread per core).
+	Cores int
+	// Channels is the number of lock-step DRAM channels; 0 scales with
+	// cores as in the paper (1, 2, 4 for 4, 8, 16 cores).
+	Channels int
+	// Banks is the number of DRAM banks (default 8).
+	Banks int
+	// MeasureCycles is the measured CPU-cycle budget (default 2M).
+	MeasureCycles int64
+	// WarmupCycles is simulated and discarded first (default 200k).
+	WarmupCycles int64
+	// Seed drives trace generation.
+	Seed int64
+	// Device selects the DRAM generation: "ddr2-800" (default, the
+	// paper's baseline) or "ddr3-1333".
+	Device string
+}
+
+// DefaultSystem returns the paper's baseline system for the core count.
+func DefaultSystem(cores int) System {
+	return System{Cores: cores, Seed: 1}
+}
+
+// toSim lowers the public System onto the internal configuration.
+func (s System) toSim() (sim.Config, error) {
+	if s.Cores <= 0 {
+		return sim.Config{}, fmt.Errorf("parbs: system needs a positive core count, got %d", s.Cores)
+	}
+	cfg := sim.DefaultConfig(s.Cores)
+	if s.Channels > 0 {
+		cfg.Geometry.Channels = s.Channels
+	}
+	if s.Banks > 0 {
+		cfg.Geometry.Banks = s.Banks
+	}
+	if s.MeasureCycles > 0 {
+		cfg.MeasureCPUCycles = s.MeasureCycles
+	}
+	if s.WarmupCycles > 0 {
+		cfg.WarmupCPUCycles = s.WarmupCycles
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	switch s.Device {
+	case "", "ddr2-800":
+		// baseline
+	case "ddr3-1333":
+		cfg.Timing = dram.DDR3_1333()
+		cfg.CPUCyclesPerDRAM = 6 // 4 GHz over a 667 MHz command clock
+	default:
+		return sim.Config{}, fmt.Errorf("parbs: unknown device %q (want ddr2-800 or ddr3-1333)", s.Device)
+	}
+	return cfg, nil
+}
+
+// Workload is a multiprogrammed workload: one benchmark per core.
+type Workload struct {
+	mix workload.Mix
+}
+
+// Name returns the workload's label.
+func (w Workload) Name() string { return w.mix.Name }
+
+// Benchmarks returns the benchmark names in core order.
+func (w Workload) Benchmarks() []string { return workload.Names(w.mix.Benchmarks) }
+
+// WorkloadFromNames builds a workload from Table 3 benchmark names
+// (see BenchmarkNames).
+func WorkloadFromNames(names ...string) (Workload, error) {
+	m, err := workload.MixOf("custom", names...)
+	return Workload{mix: m}, err
+}
+
+// CaseStudyI returns the paper's memory-intensive 4-core case study.
+func CaseStudyI() Workload { return Workload{mix: workload.CaseStudyI()} }
+
+// CaseStudyII returns the non-intensive 4-core case study.
+func CaseStudyII() Workload { return Workload{mix: workload.CaseStudyII()} }
+
+// CaseStudyIII returns four copies of lbm.
+func CaseStudyIII() Workload { return Workload{mix: workload.CaseStudyIII()} }
+
+// RandomWorkloads returns n category-balanced random workloads for the
+// given core count, constructed as in the paper's Section 7.
+func RandomWorkloads(n, cores int, seed int64) []Workload {
+	ms := workload.RandomMixes(n, cores, seed)
+	out := make([]Workload, len(ms))
+	for i, m := range ms {
+		out[i] = Workload{mix: m}
+	}
+	return out
+}
+
+// BenchmarkNames lists the 28 Table 3 benchmark names.
+func BenchmarkNames() []string { return workload.Names(workload.Benchmarks()) }
+
+// ThreadReport is one thread's outcome in a run.
+type ThreadReport struct {
+	// Benchmark is the profile name.
+	Benchmark string
+	// MemSlowdown is MCPI_shared / MCPI_alone (1.0 = unaffected).
+	MemSlowdown float64
+	// IPC is the thread's instructions per cycle in the shared run.
+	IPC float64
+	// BLP is the measured bank-level parallelism.
+	BLP float64
+	// RowHitRate is the fraction of reads serviced from an open row.
+	RowHitRate float64
+	// ASTPerReq is the average stall time per DRAM request, CPU cycles.
+	ASTPerReq float64
+}
+
+// Report is the outcome of one shared run joined with alone baselines.
+type Report struct {
+	// Scheduler is the policy's name.
+	Scheduler string
+	// Threads holds per-thread outcomes in core order.
+	Threads []ThreadReport
+	// Unfairness is max/min memory slowdown (1.0 = perfectly fair).
+	Unfairness float64
+	// WeightedSpeedup is the paper's system throughput metric.
+	WeightedSpeedup float64
+	// HmeanSpeedup balances fairness and throughput.
+	HmeanSpeedup float64
+	// WorstCaseLatency is the largest read latency observed, CPU cycles.
+	WorstCaseLatency int64
+	// BusUtilization is the DRAM data bus utilization in [0,1].
+	BusUtilization float64
+}
+
+// String renders the report as an aligned table.
+func (r Report) String() string {
+	s := fmt.Sprintf("scheduler %s: unfairness %.2f, weighted speedup %.3f, hmean speedup %.3f\n",
+		r.Scheduler, r.Unfairness, r.WeightedSpeedup, r.HmeanSpeedup)
+	for _, t := range r.Threads {
+		s += fmt.Sprintf("  %-12s slowdown %5.2f  IPC %6.3f  BLP %5.2f  rbhit %5.3f  AST/req %7.1f\n",
+			t.Benchmark, t.MemSlowdown, t.IPC, t.BLP, t.RowHitRate, t.ASTPerReq)
+	}
+	return s
+}
+
+// Run simulates the workload on the system under the scheduler, including
+// the per-benchmark alone runs needed for slowdown metrics.
+func Run(sys System, w Workload, s Scheduler) (Report, error) {
+	cfg, err := sys.toSim()
+	if err != nil {
+		return Report{}, err
+	}
+	if len(w.mix.Benchmarks) != cfg.Cores {
+		return Report{}, fmt.Errorf("parbs: workload %q has %d benchmarks for %d cores",
+			w.mix.Name, len(w.mix.Benchmarks), cfg.Cores)
+	}
+	res, err := sim.Run(cfg, w.mix, s.policy)
+	if err != nil {
+		return Report{}, err
+	}
+	alone := map[string]metrics.ThreadOutcome{}
+	var cs []metrics.Comparison
+	rep := Report{Scheduler: res.Policy, BusUtilization: res.BusUtilization()}
+	for i, th := range res.Threads {
+		base, ok := alone[th.Benchmark]
+		if !ok {
+			base, err = sim.RunAlone(cfg, w.mix.Benchmarks[i])
+			if err != nil {
+				return Report{}, err
+			}
+			alone[th.Benchmark] = base
+		}
+		c := metrics.Comparison{Alone: base, Shared: th}
+		cs = append(cs, c)
+		rep.Threads = append(rep.Threads, ThreadReport{
+			Benchmark:   th.Benchmark,
+			MemSlowdown: c.MemSlowdown(),
+			IPC:         th.CPU.IPC(),
+			BLP:         th.Mem.BLP(),
+			RowHitRate:  th.Mem.RowHitRate(),
+			ASTPerReq:   th.CPU.ASTPerReq(),
+		})
+	}
+	rep.Unfairness = metrics.Unfairness(cs)
+	rep.WeightedSpeedup = metrics.WeightedSpeedup(cs)
+	rep.HmeanSpeedup = metrics.HmeanSpeedup(cs)
+	rep.WorstCaseLatency = metrics.WorstCaseLatency(cs, cfg.CPUCyclesPerDRAM)
+	return rep, nil
+}
