@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the gated benchmarks: catches breakage, not regressions.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SimulatedCyclesPerSecond|PolicyDecision' -benchtime 1x .
+
+# Full measurement; rewrites BENCH_1.json with fresh "after" numbers.
+bench:
+	scripts/bench.sh
+
+check: build vet race bench-smoke

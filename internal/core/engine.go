@@ -50,7 +50,51 @@ type Engine struct {
 	arrivalBatch map[*memctrl.Request]int64
 	maxBatchWait int64
 
+	// permScratch and sorter are reused across batches so ranking performs
+	// no steady-state allocations (batches form every few hundred cycles).
+	permScratch []int
+	sorter      rankSorter
+
 	batchStats BatchStats
+}
+
+// rankKey is one thread's ranking key: its marked-request load shape
+// (max-per-bank and total) plus a random tie-breaker.
+type rankKey struct {
+	thread  int
+	max     int
+	total   int
+	tiebrk  int64
+	inBatch bool
+}
+
+// rankSorter orders rank keys for Max-Total (or, with totalMax set,
+// Total-Max) shortest-job-first ranking; see Engine.computeRanking. Less is
+// a strict total order (tiebrk values are distinct with overwhelming
+// probability), so the sorted permutation is unique.
+type rankSorter struct {
+	keys     []rankKey
+	totalMax bool
+}
+
+func (s *rankSorter) Len() int      { return len(s.keys) }
+func (s *rankSorter) Swap(i, j int) { s.keys[i], s.keys[j] = s.keys[j], s.keys[i] }
+func (s *rankSorter) Less(i, j int) bool {
+	a, b := s.keys[i], s.keys[j]
+	if a.inBatch != b.inBatch {
+		return a.inBatch
+	}
+	x1, y1, x2, y2 := a.max, a.total, b.max, b.total
+	if s.totalMax {
+		x1, y1, x2, y2 = a.total, a.max, b.total, b.max
+	}
+	if x1 != x2 {
+		return x1 < x2
+	}
+	if y1 != y2 {
+		return y1 < y2
+	}
+	return a.tiebrk < b.tiebrk
 }
 
 // NewEngine builds a PAR-BS engine with the given options. Option validity
@@ -105,6 +149,8 @@ func (e *Engine) OnAttach(c *memctrl.Controller) {
 		panic(err)
 	}
 	e.rankOf = make([]int, e.threads)
+	e.permScratch = make([]int, e.threads)
+	e.sorter = rankSorter{keys: make([]rankKey, e.threads), totalMax: e.opts.Rank == TotalMax}
 	e.markedInBatch = make([][]int, e.threads)
 	for t := range e.markedInBatch {
 		e.markedInBatch[t] = make([]int, e.banks)
@@ -227,9 +273,16 @@ func (e *Engine) computeRanking() {
 	case NoRankFRFCFS, NoRankFCFS:
 		return // ranking unused
 	case RandomRank:
-		for i, p := range e.rng.Perm(e.threads) {
-			e.rankOf[i] = p
+		// Inside-out Fisher-Yates into the scratch slice, drawing the same
+		// rng sequence as rand.Perm so ranks are reproducible across the
+		// allocation-free rewrite.
+		p := e.permScratch
+		for i := 0; i < e.threads; i++ {
+			j := e.rng.Intn(i + 1)
+			p[i] = p[j]
+			p[j] = i
 		}
+		copy(e.rankOf, p)
 		return
 	case RoundRobin:
 		for t := 0; t < e.threads; t++ {
@@ -239,16 +292,9 @@ func (e *Engine) computeRanking() {
 	}
 
 	// Max-Total / Total-Max over marked request counts.
-	type key struct {
-		thread  int
-		max     int
-		total   int
-		tiebrk  int64
-		inBatch bool
-	}
-	keys := make([]key, e.threads)
+	keys := e.sorter.keys
 	for t := 0; t < e.threads; t++ {
-		k := key{thread: t, tiebrk: e.rng.Int63()}
+		k := rankKey{thread: t, tiebrk: e.rng.Int63()}
 		for b := 0; b < e.banks; b++ {
 			n := e.markedInBatch[t][b]
 			if n == 0 {
@@ -265,24 +311,7 @@ func (e *Engine) computeRanking() {
 		}
 		keys[t] = k
 	}
-	totalMax := e.opts.Rank == TotalMax
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.inBatch != b.inBatch {
-			return a.inBatch
-		}
-		x1, y1, x2, y2 := a.max, a.total, b.max, b.total
-		if totalMax {
-			x1, y1, x2, y2 = a.total, a.max, b.total, b.max
-		}
-		if x1 != x2 {
-			return x1 < x2
-		}
-		if y1 != y2 {
-			return y1 < y2
-		}
-		return a.tiebrk < b.tiebrk
-	})
+	sort.Sort(&e.sorter)
 	for pos, k := range keys {
 		e.rankOf[k.thread] = pos
 	}

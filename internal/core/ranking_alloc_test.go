@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// enqueueSpread loads the controller with reads spread over threads, banks
+// and rows so ranking has non-trivial input.
+func enqueueSpread(t *testing.T, c *memctrl.Controller, n int) {
+	t.Helper()
+	g := c.Device().Geometry()
+	for i := 0; i < n; i++ {
+		loc := dram.Location{Bank: i % g.Banks, Row: int64(i % 16), Col: 0}
+		if _, ok := c.EnqueueRead(i%c.NumThreads(), g.Unmap(loc), 0); !ok {
+			t.Fatalf("buffer full at %d", i)
+		}
+	}
+}
+
+// TestComputeRankingAllocationFree: batch formation's ranking step must
+// reuse the engine-owned scratch buffers — zero allocations per batch in
+// steady state, for every ranking scheme that ranks.
+func TestComputeRankingAllocationFree(t *testing.T) {
+	for _, rank := range []RankMode{MaxTotal, TotalMax, RandomRank, RoundRobin} {
+		t.Run(rank.String(), func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Rank = rank
+			ctrl, e := newEngineController(t, 8, opts)
+			enqueueSpread(t, ctrl, 64)
+			e.formBatch(0) // warm scratch state
+			avg := testing.AllocsPerRun(100, func() {
+				e.computeRanking()
+			})
+			if avg != 0 {
+				t.Errorf("%s ranking allocates %.2f objects per batch, want 0", rank, avg)
+			}
+		})
+	}
+}
+
+// TestRandomRankMatchesRandPerm pins the allocation-free inside-out shuffle
+// to the exact permutation sequence rand.Perm would have produced: the
+// rewrite must not change any seeded experiment.
+func TestRandomRankMatchesRandPerm(t *testing.T) {
+	const threads, batches = 8, 20
+	opts := DefaultOptions()
+	opts.Rank = RandomRank
+	opts.Seed = 7
+	ctrl, e := newEngineController(t, threads, opts)
+	enqueueSpread(t, ctrl, 32)
+	reference := rand.New(rand.NewSource(opts.Seed))
+	for batch := 0; batch < batches; batch++ {
+		e.computeRanking()
+		want := reference.Perm(threads)
+		for i := 0; i < threads; i++ {
+			if e.RankPosition(i) != want[i] {
+				t.Fatalf("batch %d: rankOf = %v diverges from rand.Perm at thread %d (want %v)",
+					batch, snapshotRanks(e, threads), i, want)
+			}
+		}
+	}
+}
+
+func snapshotRanks(e *Engine, threads int) []int {
+	out := make([]int, threads)
+	for i := range out {
+		out[i] = e.RankPosition(i)
+	}
+	return out
+}

@@ -177,12 +177,23 @@ type entry struct {
 }
 
 // Core is one trace-driven processing core.
+//
+// The instruction window and the completion queue are value-typed ring
+// buffers: the core's per-CPU-cycle loop is the simulator's innermost hot
+// path (cores tick CPUCyclesPerDRAM times per controller cycle), and the
+// earlier pointer-per-entry window both allocated on every fetch and cost a
+// cache miss on every head inspection.
 type Core struct {
-	cfg    Config
-	id     int
-	trace  TraceSource
-	port   MemPort
-	window []*entry // FIFO; index 0 is the oldest instruction
+	cfg   Config
+	id    int
+	trace TraceSource
+	port  MemPort
+	// window is a FIFO ring of wLen entries, oldest at slot wHead; a window
+	// entry occupies its slot until retired, so slots are stable handles.
+	// Capacity is WindowSize: every entry covers at least one instruction.
+	window []entry
+	wHead  int
+	wLen   int
 	// windowCount is the number of instructions occupying the window
 	// (non-memory entries count their run length).
 	windowCount int
@@ -190,14 +201,15 @@ type Core struct {
 	// fetchItem is the partially-consumed current trace item.
 	fetchItem    Item
 	fetchPending bool
-	// byReq finds the window entry for a completed request.
-	byReq map[*memctrl.Request]*entry
+	// byReq finds the window slot of a completed request.
+	byReq map[*memctrl.Request]int
 	// perBank tracks outstanding loads per DRAM bank for Config.MaxPerBank;
 	// it grows on demand to the highest bank index seen.
 	perBank []int
-	// completions due for delivery: CPU cycle -> requests. Bursts complete
-	// in order, so a FIFO suffices.
+	// completions due for delivery, a FIFO ring of cLen entries starting at
+	// cHead (bursts complete in order).
 	completions []completion
+	cHead, cLen int
 	stats       Stats
 }
 
@@ -212,12 +224,64 @@ func NewCore(id int, cfg Config, trace TraceSource, port MemPort) (*Core, error)
 		return nil, err
 	}
 	return &Core{
-		cfg:   cfg,
-		id:    id,
-		trace: trace,
-		port:  port,
-		byReq: make(map[*memctrl.Request]*entry),
+		cfg:         cfg,
+		id:          id,
+		trace:       trace,
+		port:        port,
+		window:      make([]entry, cfg.WindowSize),
+		completions: make([]completion, cfg.MSHRs),
+		byReq:       make(map[*memctrl.Request]int),
 	}, nil
+}
+
+// head returns the oldest window entry; the window must be non-empty.
+func (c *Core) head() *entry { return &c.window[c.wHead] }
+
+// pushEntry appends an entry at the window tail and returns its slot. The
+// ring cannot overflow — every entry occupies at least one instruction and
+// fetch admits at most WindowSize instructions — but a violated invariant
+// must fail loudly rather than overwrite the oldest instruction.
+func (c *Core) pushEntry(e entry) int {
+	if c.wLen == len(c.window) {
+		panic("cpu: instruction window ring overflow")
+	}
+	slot := c.wHead + c.wLen
+	if slot >= len(c.window) {
+		slot -= len(c.window)
+	}
+	c.window[slot] = e
+	c.wLen++
+	return slot
+}
+
+// tail returns the newest window entry, or nil when the window is empty.
+func (c *Core) tail() *entry {
+	if c.wLen == 0 {
+		return nil
+	}
+	slot := c.wHead + c.wLen - 1
+	if slot >= len(c.window) {
+		slot -= len(c.window)
+	}
+	return &c.window[slot]
+}
+
+// pushCompletion appends to the completion ring, growing it if the
+// controller ever outpaces the MSHR-sized pre-allocation.
+func (c *Core) pushCompletion(comp completion) {
+	if c.cLen == len(c.completions) {
+		grown := make([]completion, 2*len(c.completions))
+		for i := 0; i < c.cLen; i++ {
+			grown[i] = c.completions[(c.cHead+i)%len(c.completions)]
+		}
+		c.completions, c.cHead = grown, 0
+	}
+	slot := c.cHead + c.cLen
+	if slot >= len(c.completions) {
+		slot -= len(c.completions)
+	}
+	c.completions[slot] = comp
+	c.cLen++
 }
 
 // ID returns the core's thread index.
@@ -237,30 +301,78 @@ func (c *Core) Outstanding() int { return c.outstanding }
 // The controller's completion callback must route requests to the issuing
 // core.
 func (c *Core) Complete(req *memctrl.Request, at int64) {
-	c.completions = append(c.completions, completion{at: at, req: req})
+	c.pushCompletion(completion{at: at, req: req})
 }
 
 // Tick simulates CPU cycles [start, start+n). The sim layer calls it once
 // per DRAM cycle with the CPU:DRAM clock ratio.
+//
+// Stalled cycles are fast-forwarded: within one Tick call nothing outside
+// the core can change (the controller ticks only after every core has, and
+// completions are scheduled with explicit future timestamps), so once a
+// cycle provably makes no progress, every following cycle up to the next
+// scheduled completion evolves identically — only the cycle and stall
+// counters advance. Memory-bound cores spend most of their time in exactly
+// this state, and replaying it cycle by cycle dominated simulator cost.
 func (c *Core) Tick(start int64, n int) {
-	for cyc := start; cyc < start+int64(n); cyc++ {
+	end := start + int64(n)
+	for cyc := start; cyc < end; cyc++ {
+		wasMidItem := c.fetchPending
+		loadsCompleted := c.stats.LoadsCompleted
+		loadsIssued := c.stats.LoadsIssued
+		writesIssued := c.stats.WritesIssued
+		instructions := c.stats.Instructions
+		windowCount := c.windowCount
+		memStall := c.stats.MemStallCycles
+		storeStall := c.stats.StoreStallCycles
+
 		c.deliver(cyc)
 		c.fetch()
 		c.commit(cyc)
 		c.stats.Cycles++
+
+		// Progress happened (or the fetch engine consumed trace items, which
+		// skipping would replay incorrectly): keep stepping cycle by cycle.
+		if !wasMidItem || !c.fetchPending ||
+			loadsCompleted != c.stats.LoadsCompleted ||
+			loadsIssued != c.stats.LoadsIssued ||
+			writesIssued != c.stats.WritesIssued ||
+			instructions != c.stats.Instructions ||
+			windowCount != c.windowCount {
+			continue
+		}
+		// Pure stall cycle: nothing can unblock before the next completion.
+		next := end
+		if c.cLen > 0 {
+			if at := c.completions[c.cHead].at; at < next {
+				next = at
+			}
+		}
+		if skip := next - cyc - 1; skip > 0 {
+			c.stats.Cycles += skip
+			c.stats.MemStallCycles += skip * (c.stats.MemStallCycles - memStall)
+			c.stats.StoreStallCycles += skip * (c.stats.StoreStallCycles - storeStall)
+			cyc += skip
+		}
 	}
 }
 
 // deliver marks loads whose data has arrived by cycle cyc.
 func (c *Core) deliver(cyc int64) {
-	for len(c.completions) > 0 && c.completions[0].at <= cyc {
-		comp := c.completions[0]
-		c.completions = c.completions[1:]
-		e, ok := c.byReq[comp.req]
+	for c.cLen > 0 && c.completions[c.cHead].at <= cyc {
+		comp := c.completions[c.cHead]
+		c.completions[c.cHead] = completion{}
+		c.cHead++
+		if c.cHead == len(c.completions) {
+			c.cHead = 0
+		}
+		c.cLen--
+		slot, ok := c.byReq[comp.req]
 		if !ok {
 			panic("cpu: completion for unknown request")
 		}
 		delete(c.byReq, comp.req)
+		e := &c.window[slot]
 		e.pending = false
 		c.outstanding--
 		c.bankDelta(e.bank, -1)
@@ -315,7 +427,7 @@ func (c *Core) fetch() {
 			return
 		}
 		if it.Access.IsWrite {
-			c.window = append(c.window, &entry{kind: entryStore, addr: it.Access.Addr})
+			c.pushEntry(entry{kind: entryStore, addr: it.Access.Addr})
 			c.windowCount++
 		} else {
 			if c.outstanding >= c.cfg.MSHRs {
@@ -328,9 +440,8 @@ func (c *Core) fetch() {
 			if !ok {
 				return // request buffer full: retry next cycle
 			}
-			e := &entry{kind: entryLoad, addr: it.Access.Addr, bank: it.Access.Bank, pending: true, issued: true, req: req}
-			c.window = append(c.window, e)
-			c.byReq[req] = e
+			slot := c.pushEntry(entry{kind: entryLoad, addr: it.Access.Addr, bank: it.Access.Bank, pending: true, issued: true, req: req})
+			c.byReq[req] = slot
 			c.windowCount++
 			c.outstanding++
 			c.bankDelta(it.Access.Bank, 1)
@@ -345,14 +456,12 @@ func (c *Core) fetch() {
 // appendNonMem adds a run of non-memory instructions, merging with the tail
 // entry when possible to keep the window compact.
 func (c *Core) appendNonMem(n int64) {
-	if len(c.window) > 0 {
-		if tail := c.window[len(c.window)-1]; tail.kind == entryNonMem {
-			tail.count += n
-			c.windowCount += int(n)
-			return
-		}
+	if tail := c.tail(); tail != nil && tail.kind == entryNonMem {
+		tail.count += n
+		c.windowCount += int(n)
+		return
 	}
-	c.window = append(c.window, &entry{kind: entryNonMem, count: n})
+	c.pushEntry(entry{kind: entryNonMem, count: n})
 	c.windowCount += int(n)
 }
 
@@ -361,8 +470,8 @@ func (c *Core) appendNonMem(n int64) {
 func (c *Core) commit(cyc int64) {
 	budget := c.cfg.CommitWidth
 	committed := 0
-	for budget > 0 && len(c.window) > 0 {
-		head := c.window[0]
+	for budget > 0 && c.wLen > 0 {
+		head := c.head()
 		switch head.kind {
 		case entryNonMem:
 			take := int64(budget)
@@ -406,9 +515,15 @@ func (c *Core) commit(cyc int64) {
 	}
 }
 
+// popHead retires the oldest window entry, clearing its slot so request
+// pointers do not outlive the instruction.
 func (c *Core) popHead() {
-	c.window[0] = nil
-	c.window = c.window[1:]
+	c.window[c.wHead] = entry{}
+	c.wHead++
+	if c.wHead == len(c.window) {
+		c.wHead = 0
+	}
+	c.wLen--
 }
 
 // bankLoad returns outstanding loads to bank, growing the table on demand.

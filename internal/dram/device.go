@@ -39,6 +39,12 @@ type bank struct {
 	preAllowed int64
 	rdAllowed  int64
 	wrAllowed  int64
+
+	// earliest is a cached conservative lower bound on the cycle at which
+	// any request-servicing command (ACT/PRE/RD/WR) may legally issue to
+	// this bank; see Device.BankReadyAt. Recomputed on every Issue that
+	// touches the bank's gates.
+	earliest int64
 }
 
 // Stats aggregates device-level counters for one run.
@@ -120,6 +126,7 @@ func NewDevice(t Timing, g Geometry) (*Device, error) {
 	for i := range d.actWindow {
 		d.actWindow[i] = -t.TFAW
 	}
+	d.refreshAllEarliest()
 	return d, nil
 }
 
@@ -180,6 +187,56 @@ func (d *Device) NextCommand(bankID int, row int64, isWrite bool) Command {
 // fourthLastActivate returns the oldest activate in the tFAW window.
 func (d *Device) fourthLastActivate() int64 {
 	return d.actWindow[d.actWindowIdx]
+}
+
+// BankReadyAt returns a conservative lower bound on the DRAM cycle at which
+// any request-servicing command (ACT, PRE, RD, WR) may legally issue to the
+// bank: before this cycle every such command is guaranteed illegal, at or
+// after it per-command CanIssue must still be consulted (channel-level
+// constraints — the command bus, tCCD, bus turnaround and data-bus occupancy
+// — are not folded in). Schedulers use it to skip whole banks without
+// probing each buffered request. CmdRefresh is not covered; it has its own
+// all-bank legality rule.
+func (d *Device) BankReadyAt(bankID int) int64 {
+	return d.banks[bankID].earliest
+}
+
+// CommandBusFree reports whether the shared command bus can carry a command
+// at cycle now (the bus carries at most one command per DRAM cycle).
+func (d *Device) CommandBusFree(now int64) bool { return now > d.lastCmdCycle }
+
+// refreshEarliest recomputes the bank's cached readiness lower bound from
+// its timing gates and the device's tFAW window.
+func (d *Device) refreshEarliest(bankID int) {
+	b := &d.banks[bankID]
+	if b.open {
+		// An open bank can take a precharge or a CAS to the open row.
+		e := b.preAllowed
+		if b.rdAllowed < e {
+			e = b.rdAllowed
+		}
+		if b.wrAllowed < e {
+			e = b.wrAllowed
+		}
+		b.earliest = e
+		return
+	}
+	// A closed bank can only take an activate, gated by tRC/tRP/tRRD (all
+	// folded into actAllowed) and the four-activate window.
+	e := b.actAllowed
+	if w := d.fourthLastActivate() + d.timing.TFAW; w > e {
+		e = w
+	}
+	b.earliest = e
+}
+
+// refreshAllEarliest recomputes every bank's cached readiness bound, after
+// device-wide gate updates (activates move every bank's tRRD/tFAW gates,
+// refresh moves every actAllowed).
+func (d *Device) refreshAllEarliest() {
+	for i := range d.banks {
+		d.refreshEarliest(i)
+	}
 }
 
 // CanIssue reports whether cmd may legally issue to bankID at cycle now.
@@ -260,11 +317,13 @@ func (d *Device) Issue(now int64, cmd Command, bankID int, row int64) int64 {
 		}
 		d.actWindow[d.actWindowIdx] = now
 		d.actWindowIdx = (d.actWindowIdx + 1) % len(d.actWindow)
+		d.refreshAllEarliest() // tRRD and the tFAW window moved every bank
 		d.stats.Activates++
 		return now + t.TRCD
 	case CmdPrecharge:
 		b.open = false
 		b.actAllowed = max64(b.actAllowed, now+t.TRP)
+		d.refreshEarliest(bankID)
 		d.stats.Precharges++
 		return now + t.TRP
 	case CmdRead:
@@ -277,6 +336,7 @@ func (d *Device) Issue(now int64, cmd Command, bankID int, row int64) int64 {
 		b.preAllowed = max64(b.preAllowed, now+t.TRTP, now+t.TBankCAS)
 		b.rdAllowed = max64(b.rdAllowed, now+t.TBankCAS)
 		b.wrAllowed = max64(b.wrAllowed, now+t.TBankCAS)
+		d.refreshEarliest(bankID)
 		d.stats.Reads++
 		return end
 	case CmdWrite:
@@ -289,12 +349,14 @@ func (d *Device) Issue(now int64, cmd Command, bankID int, row int64) int64 {
 		b.preAllowed = max64(b.preAllowed, end+t.TWR, now+t.TBankCAS)
 		b.rdAllowed = max64(b.rdAllowed, now+t.TBankCAS)
 		b.wrAllowed = max64(b.wrAllowed, now+t.TBankCAS)
+		d.refreshEarliest(bankID)
 		d.stats.Writes++
 		return end
 	case CmdRefresh:
 		for i := range d.banks {
 			d.banks[i].actAllowed = max64(d.banks[i].actAllowed, now+t.TRFC)
 		}
+		d.refreshAllEarliest()
 		d.stats.Refreshes++
 		return now + t.TRFC
 	default:
@@ -318,6 +380,7 @@ func (d *Device) IssueAutoPrecharge(now int64, cmd Command, bankID int, row int6
 	// (tRTP for reads, tWR after the burst for writes — already folded into
 	// preAllowed by Issue) and takes tRP.
 	b.actAllowed = max64(b.actAllowed, b.preAllowed+t.TRP)
+	d.refreshEarliest(bankID)
 	d.stats.Precharges++
 	return end
 }

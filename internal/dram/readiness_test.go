@@ -1,0 +1,120 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// requestCommands are the commands schedulers issue on behalf of buffered
+// requests; BankReadyAt's bound covers exactly these (not CmdRefresh).
+var requestCommands = []Command{CmdActivate, CmdPrecharge, CmdRead, CmdWrite}
+
+// checkReadyBound asserts the BankReadyAt invariant at cycle now: for every
+// bank strictly before its readiness bound, no request-servicing command is
+// legal, for any plausible row.
+func checkReadyBound(t *testing.T, d *Device, now int64) {
+	t.Helper()
+	for b := 0; b < d.Geometry().Banks; b++ {
+		ready := d.BankReadyAt(b)
+		if now >= ready {
+			continue
+		}
+		rows := []int64{0, 1, 7}
+		if open := d.OpenRow(b); open >= 0 {
+			rows = append(rows, open)
+		}
+		for _, cmd := range requestCommands {
+			for _, row := range rows {
+				if d.CanIssue(now, cmd, b, row) {
+					t.Fatalf("cycle %d < BankReadyAt(%d)=%d but %s row %d is legal",
+						now, b, ready, cmd, row)
+				}
+			}
+		}
+	}
+}
+
+// TestBankReadyAtFreshDevice: a fresh device must report every bank ready
+// immediately (activates are legal at cycle 0).
+func TestBankReadyAtFreshDevice(t *testing.T) {
+	d := newTestDevice(t, 1)
+	for b := 0; b < d.Geometry().Banks; b++ {
+		if got := d.BankReadyAt(b); got > 0 {
+			t.Errorf("fresh bank %d ready at %d, want <= 0", b, got)
+		}
+	}
+}
+
+// TestBankReadyAtTracksIssues drives a randomized legal command sequence and
+// checks, every cycle, that BankReadyAt never claims readiness later than a
+// command that is actually legal (conservative lower bound property).
+func TestBankReadyAtTracksIssues(t *testing.T) {
+	d := newTestDevice(t, 1)
+	rng := rand.New(rand.NewSource(42))
+	banks := d.Geometry().Banks
+	for now := int64(0); now < 3000; now++ {
+		checkReadyBound(t, d, now)
+		// Try a random command on a random bank; issue when legal.
+		b := rng.Intn(banks)
+		row := int64(rng.Intn(4))
+		cmd := requestCommands[rng.Intn(len(requestCommands))]
+		if cmd == CmdRead || cmd == CmdWrite {
+			if open := d.OpenRow(b); open >= 0 {
+				row = open
+			}
+		}
+		if d.CanIssue(now, cmd, b, row) {
+			d.Issue(now, cmd, b, row)
+		}
+	}
+}
+
+// TestBankReadyAtAfterActivate: right after an activate, the bank itself is
+// gated by tRCD (CAS) and tRAS (precharge), and sibling banks by tRRD — the
+// cached bound must reflect all of it.
+func TestBankReadyAtAfterActivate(t *testing.T) {
+	d := newTestDevice(t, 1)
+	tm := d.Timing()
+	d.Issue(0, CmdActivate, 0, 3)
+	// Bank 0 is open: earliest next command is the CAS at tRCD (tRAS for
+	// precharge is longer).
+	if got, want := d.BankReadyAt(0), tm.TRCD; got != want {
+		t.Errorf("activated bank ready at %d, want tRCD=%d", got, want)
+	}
+	// Sibling banks are closed and gated by tRRD.
+	if got, want := d.BankReadyAt(1), tm.TRRD; got != want {
+		t.Errorf("sibling bank ready at %d, want tRRD=%d", got, want)
+	}
+}
+
+// TestBankReadyAtAutoPrecharge: after a CAS with auto-precharge the bank is
+// closed and its bound must cover the implicit precharge's tRP.
+func TestBankReadyAtAutoPrecharge(t *testing.T) {
+	d := newTestDevice(t, 1)
+	tm := d.Timing()
+	d.Issue(0, CmdActivate, 0, 3)
+	casAt := tm.TRCD
+	d.IssueAutoPrecharge(casAt, CmdRead, 0, 3)
+	want := casAt + max64(tm.TRTP, tm.TBankCAS) + tm.TRP
+	if got := d.BankReadyAt(0); got != want {
+		t.Errorf("auto-precharged bank ready at %d, want %d", got, want)
+	}
+	for now := casAt + 1; now < want; now++ {
+		checkReadyBound(t, d, now)
+	}
+}
+
+// TestCommandBusFree: the command bus carries one command per cycle.
+func TestCommandBusFree(t *testing.T) {
+	d := newTestDevice(t, 1)
+	if !d.CommandBusFree(0) {
+		t.Fatal("fresh device should have a free command bus")
+	}
+	d.Issue(5, CmdActivate, 0, 0)
+	if d.CommandBusFree(5) {
+		t.Error("bus must be busy in the issue cycle")
+	}
+	if !d.CommandBusFree(6) {
+		t.Error("bus must be free the cycle after an issue")
+	}
+}

@@ -25,6 +25,11 @@ type Config struct {
 	// same row. The paper's baseline (and default here) is open-page,
 	// which row-hit-first scheduling exploits.
 	ClosedPage bool
+	// ReferenceScan disables the bank-indexed scheduling fast path and
+	// falls back to the original O(buffer) candidate scan every cycle.
+	// The two paths must produce byte-identical command streams; the
+	// equivalence tests in internal/sim pin that. Reference only — slow.
+	ReferenceScan bool
 }
 
 // DefaultConfig returns the paper's baseline controller configuration for
@@ -132,9 +137,18 @@ type Controller struct {
 
 	reads  []*Request
 	writes []*Request
+	// bankReads and bankWrites index the buffered requests by bank, each
+	// queue in arrival order. They let the scheduler visit only banks that
+	// can legally accept a command (see bestCandidate) and are kept in
+	// sync with reads/writes on enqueue and CAS issue.
+	bankReads  [][]*Request
+	bankWrites [][]*Request
+	// rowDemand counts buffered requests (reads and writes) per (bank, row),
+	// making the closed-page rowWanted check O(1) instead of O(buffer).
+	rowDemand []map[int64]int
 	// inflight holds CAS-issued requests ordered by completion time (data
-	// bus bursts complete in issue order, so a FIFO suffices).
-	inflight []inflightEntry
+	// bus bursts complete in issue order, so a FIFO ring suffices).
+	inflight inflightRing
 
 	nextID     int64
 	draining   bool
@@ -169,11 +183,18 @@ func NewController(dev *dram.Device, policy Policy, cfg Config) (*Controller, er
 		cfg:              cfg,
 		dev:              dev,
 		policy:           policy,
+		bankReads:        make([][]*Request, banks),
+		bankWrites:       make([][]*Request, banks),
+		rowDemand:        make([]map[int64]int, banks),
+		inflight:         newInflightRing(cfg.ReadBufEntries + cfg.WriteBufEntries),
 		perThreadPerBank: make([][]int, cfg.Threads),
 		perThread:        make([]int, cfg.Threads),
 		inServiceBank:    make([][]int, cfg.Threads),
 		banksBusy:        make([]int, cfg.Threads),
 		threadStats:      make([]ThreadStats, cfg.Threads),
+	}
+	for b := range c.rowDemand {
+		c.rowDemand[b] = make(map[int64]int)
 	}
 	for i := range c.perThreadPerBank {
 		c.perThreadPerBank[i] = make([]int, banks)
@@ -255,6 +276,8 @@ func (c *Controller) EnqueueRead(thread int, addr int64, now int64) (*Request, b
 	}
 	r := c.newRequest(thread, addr, now, false)
 	c.reads = append(c.reads, r)
+	c.bankReads[r.Loc.Bank] = append(c.bankReads[r.Loc.Bank], r)
+	c.rowDemand[r.Loc.Bank][r.Loc.Row]++
 	c.perThread[thread]++
 	c.perThreadPerBank[thread][r.Loc.Bank]++
 	c.policy.OnEnqueue(r, now)
@@ -267,7 +290,10 @@ func (c *Controller) EnqueueWrite(thread int, addr int64, now int64) bool {
 	if len(c.writes) >= c.cfg.WriteBufEntries {
 		return false
 	}
-	c.writes = append(c.writes, c.newRequest(thread, addr, now, true))
+	r := c.newRequest(thread, addr, now, true)
+	c.writes = append(c.writes, r)
+	c.bankWrites[r.Loc.Bank] = append(c.bankWrites[r.Loc.Bank], r)
+	c.rowDemand[r.Loc.Bank][r.Loc.Row]++
 	return true
 }
 
@@ -295,6 +321,12 @@ func (c *Controller) Tick(now int64) {
 	c.retire(now)
 	c.policy.OnCycle(now)
 	c.accountBLP()
+
+	// Global early-out: with the command bus busy this cycle, no command
+	// of any kind can issue, so skip all candidate enumeration.
+	if !c.dev.CommandBusFree(now) {
+		return
+	}
 
 	// All-bank refresh takes absolute priority once due: close the open
 	// banks, issue REF, and only then resume request scheduling. Modeled
@@ -354,9 +386,8 @@ func (c *Controller) refreshStep(now, trefi int64) bool {
 
 // retire completes data bursts whose end time has passed.
 func (c *Controller) retire(now int64) {
-	for len(c.inflight) > 0 && c.inflight[0].end <= now {
-		e := c.inflight[0]
-		c.inflight = c.inflight[1:]
+	for c.inflight.len() > 0 && c.inflight.front().end <= now {
+		e := c.inflight.pop()
 		r := e.req
 		r.done = true
 		st := &c.threadStats[r.Thread]
@@ -407,6 +438,99 @@ func (c *Controller) issueRead(now int64) bool {
 // bestReadCandidate enumerates ready commands for buffered reads and returns
 // the policy's most-preferred one.
 func (c *Controller) bestReadCandidate(now int64) (Candidate, bool) {
+	if c.cfg.ReferenceScan {
+		return c.bestReadCandidateScan(now)
+	}
+	return c.bestCandidate(c.bankReads, now, false)
+}
+
+// bestCandidate is the bank-indexed scheduling fast path: it visits only
+// banks with buffered work that have passed their readiness bound, performs
+// one legality check per (bank, command class) instead of one per request,
+// and lets the ordering function pick among the surviving candidates.
+//
+// Every registered policy's Better is a strict total order (all tie-break on
+// the unique request ID), so the winner is independent of enumeration order
+// and the fast path selects exactly what the flat scan would — pinned by the
+// command-stream equivalence tests in internal/sim.
+func (c *Controller) bestCandidate(queues [][]*Request, now int64, isWrite bool) (Candidate, bool) {
+	var best Candidate
+	found := false
+	var elig EligibilityPolicy
+	hasElig := false
+	if !isWrite {
+		elig, hasElig = c.policy.(EligibilityPolicy)
+	}
+	cas := dram.CmdRead
+	if isWrite {
+		cas = dram.CmdWrite
+	}
+	for b := range queues {
+		queue := queues[b]
+		if len(queue) == 0 || now < c.dev.BankReadyAt(b) {
+			continue
+		}
+		openRow := c.dev.OpenRow(b)
+		if openRow < 0 {
+			// Closed bank: every request needs an activate, whose legality
+			// is row-independent — one check covers the whole queue.
+			if !c.dev.CanIssue(now, dram.CmdActivate, b, 0) {
+				continue
+			}
+			for _, r := range queue {
+				if hasElig && !elig.Eligible(r) {
+					continue
+				}
+				cand := Candidate{Req: r, Cmd: dram.CmdActivate, RowState: dram.RowClosed}
+				if !found || c.better(cand, best, isWrite) {
+					best, found = cand, true
+				}
+			}
+			continue
+		}
+		// Open bank: requests to the open row need a CAS, the rest need a
+		// precharge; each class's legality is again a single check.
+		canCAS := c.dev.CanIssue(now, cas, b, openRow)
+		canPre := c.dev.CanIssue(now, dram.CmdPrecharge, b, 0)
+		if !canCAS && !canPre {
+			continue
+		}
+		for _, r := range queue {
+			if hasElig && !elig.Eligible(r) {
+				continue
+			}
+			var cand Candidate
+			if r.Loc.Row == openRow {
+				if !canCAS {
+					continue
+				}
+				cand = Candidate{Req: r, Cmd: cas, RowState: dram.RowHit}
+			} else {
+				if !canPre {
+					continue
+				}
+				cand = Candidate{Req: r, Cmd: dram.CmdPrecharge, RowState: dram.RowConflict}
+			}
+			if !found || c.better(cand, best, isWrite) {
+				best, found = cand, true
+			}
+		}
+	}
+	return best, found
+}
+
+// better orders candidates: the attached policy for reads, FR-FCFS for
+// writes.
+func (c *Controller) better(a, b Candidate, isWrite bool) bool {
+	if isWrite {
+		return writeBetter(a, b)
+	}
+	return c.policy.Better(a, b)
+}
+
+// bestReadCandidateScan is the pre-index O(buffer) reference scan, retained
+// for the equivalence tests (Config.ReferenceScan).
+func (c *Controller) bestReadCandidateScan(now int64) (Candidate, bool) {
 	var best Candidate
 	found := false
 	elig, hasElig := c.policy.(EligibilityPolicy)
@@ -438,6 +562,22 @@ func (c *Controller) candidateFor(r *Request, now int64) (Candidate, bool) {
 // issueWrite drains the write buffer with a fixed FR-FCFS order.
 func (c *Controller) issueWrite(now int64) bool {
 	var best Candidate
+	var found bool
+	if c.cfg.ReferenceScan {
+		best, found = c.issueWriteScan(now)
+	} else {
+		best, found = c.bestCandidate(c.bankWrites, now, true)
+	}
+	if !found {
+		return false
+	}
+	c.issue(best, now)
+	return true
+}
+
+// issueWriteScan is the pre-index reference scan over the write buffer.
+func (c *Controller) issueWriteScan(now int64) (Candidate, bool) {
+	var best Candidate
 	found := false
 	for _, r := range c.writes {
 		cand, ok := c.candidateFor(r, now)
@@ -449,11 +589,7 @@ func (c *Controller) issueWrite(now int64) bool {
 			found = true
 		}
 	}
-	if !found {
-		return false
-	}
-	c.issue(best, now)
-	return true
+	return best, found
 }
 
 // writeBetter is FR-FCFS: row-hit CAS first, then oldest.
@@ -493,7 +629,7 @@ func (c *Controller) issue(cand Candidate, now int64) {
 	}
 	if cand.Cmd == dram.CmdRead || cand.Cmd == dram.CmdWrite {
 		c.removeBuffered(r)
-		c.inflight = append(c.inflight, inflightEntry{end: end, req: r})
+		c.inflight.push(inflightEntry{end: end, req: r})
 	}
 }
 
@@ -508,7 +644,17 @@ func (c *Controller) issueCAS(cand Candidate, now int64) int64 {
 }
 
 // rowWanted reports whether any other buffered request targets req's row.
+// The demand counter still includes req itself (it is removed from the
+// buffer only after its CAS is chosen), hence the > 1 threshold.
 func (c *Controller) rowWanted(req *Request) bool {
+	if c.cfg.ReferenceScan {
+		return c.rowWantedScan(req)
+	}
+	return c.rowDemand[req.Loc.Bank][req.Loc.Row] > 1
+}
+
+// rowWantedScan is the pre-index O(buffer) reference implementation.
+func (c *Controller) rowWantedScan(req *Request) bool {
 	for _, r := range c.reads {
 		if r != req && r.Loc.Bank == req.Loc.Bank && r.Loc.Row == req.Loc.Row {
 			return true
@@ -523,11 +669,18 @@ func (c *Controller) rowWanted(req *Request) bool {
 }
 
 func (c *Controller) removeBuffered(r *Request) {
+	if n := c.rowDemand[r.Loc.Bank][r.Loc.Row] - 1; n > 0 {
+		c.rowDemand[r.Loc.Bank][r.Loc.Row] = n
+	} else {
+		delete(c.rowDemand[r.Loc.Bank], r.Loc.Row)
+	}
 	if r.IsWrite {
 		c.writes = removeReq(c.writes, r)
+		c.bankWrites[r.Loc.Bank] = removeReq(c.bankWrites[r.Loc.Bank], r)
 		return
 	}
 	c.reads = removeReq(c.reads, r)
+	c.bankReads[r.Loc.Bank] = removeReq(c.bankReads[r.Loc.Bank], r)
 	c.perThread[r.Thread]--
 	c.perThreadPerBank[r.Thread][r.Loc.Bank]--
 }

@@ -287,7 +287,7 @@ func TestConservationRandomStream(t *testing.T) {
 	}
 	for ; now < 100000; now++ {
 		c.Tick(now)
-		if c.PendingReads() == 0 && c.PendingWrites() == 0 && len(c.inflight) == 0 {
+		if c.PendingReads() == 0 && c.PendingWrites() == 0 && c.inflight.len() == 0 {
 			break
 		}
 	}

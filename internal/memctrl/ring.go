@@ -1,0 +1,52 @@
+package memctrl
+
+// inflightRing is a FIFO ring buffer of CAS-issued requests ordered by data
+// burst completion time. It replaces the earlier `inflight = inflight[1:]`
+// slice shift, which both copied on append-wraparound and pinned every
+// retired *Request in the backing array for the lifetime of the run.
+type inflightRing struct {
+	buf  []inflightEntry
+	head int
+	n    int
+}
+
+// newInflightRing pre-sizes the ring so steady-state operation never
+// allocates; capacity is the worst-case number of concurrently inflight
+// bursts (bounded by the request buffers feeding them).
+func newInflightRing(capacity int) inflightRing {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return inflightRing{buf: make([]inflightEntry, capacity)}
+}
+
+// len returns the number of queued entries.
+func (q *inflightRing) len() int { return q.n }
+
+// front returns the oldest entry; the ring must be non-empty.
+func (q *inflightRing) front() inflightEntry {
+	return q.buf[q.head]
+}
+
+// push appends an entry, growing the ring if full.
+func (q *inflightRing) push(e inflightEntry) {
+	if q.n == len(q.buf) {
+		grown := make([]inflightEntry, 2*len(q.buf))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
+}
+
+// pop removes and returns the oldest entry, releasing its slot's request
+// pointer so retired requests become collectable immediately.
+func (q *inflightRing) pop() inflightEntry {
+	e := q.buf[q.head]
+	q.buf[q.head] = inflightEntry{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e
+}

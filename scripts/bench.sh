@@ -1,0 +1,44 @@
+#!/bin/sh
+# Measures the two gated scheduling-path benchmarks and records them in
+# BENCH_1.json next to the frozen pre-rewrite baseline (the flat O(buffer)
+# scan + per-decision allocations, measured on the same machine class).
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2s}"
+
+out="$(go test -run '^$' -bench 'SimulatedCyclesPerSecond|PolicyDecision' \
+	-benchtime "$benchtime" .)"
+printf '%s\n' "$out"
+
+cycles="$(printf '%s\n' "$out" | awk '/BenchmarkSimulatedCyclesPerSecond/ {for (i=1;i<NF;i++) if ($(i+1)=="DRAMcycles/s") print $i}')"
+dec128="$(printf '%s\n' "$out" | awk '/BenchmarkPolicyDecision\/occupancy-128/ {for (i=1;i<NF;i++) if ($(i+1)=="ns/op") print $i}')"
+[ -n "$cycles" ] && [ -n "$dec128" ] || { echo "bench.sh: could not parse benchmark output" >&2; exit 1; }
+
+cat > BENCH_1.json <<EOF
+{
+  "benchmarks": [
+    {
+      "name": "BenchmarkSimulatedCyclesPerSecond",
+      "workload": "4-core Case Study I mix under PAR-BS",
+      "unit": "DRAMcycles/s",
+      "before": 669216,
+      "after": $cycles,
+      "higher_is_better": true
+    },
+    {
+      "name": "BenchmarkPolicyDecision/occupancy-128",
+      "workload": "one scheduling decision, 128-entry read buffer + 16 writes",
+      "unit": "ns/op",
+      "before": 2046,
+      "after": $dec128,
+      "higher_is_better": false
+    }
+  ],
+  "baseline": "flat O(buffer) candidate scan (retained behind memctrl.Config.ReferenceScan)",
+  "benchtime": "$benchtime"
+}
+EOF
+echo "wrote BENCH_1.json"
