@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench check
+.PHONY: all build vet test race bench-smoke bench check ci
 
 all: check
 
@@ -25,3 +25,7 @@ bench:
 	scripts/bench.sh
 
 check: build vet race bench-smoke
+
+# What .github/workflows/ci.yml runs (race is a separate CI job but part
+# of the local gate).
+ci: build vet test race bench-smoke

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	experiments [-run F5,T4,...] [-quick] [-out results] [-seed N]
+//	experiments [-run F5,T4,...] [-quick] [-out results] [-json] [-seed N]
+//
+// With -json (requires -out), each experiment additionally writes a
+// versioned machine-readable <ID>.json artifact (schema "parbs.exp/v1")
+// next to its <ID>.txt table.
 package main
 
 import (
@@ -23,10 +27,15 @@ func main() {
 		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		quick   = flag.Bool("quick", false, "reduced workload counts and cycles")
 		outDir  = flag.String("out", "", "directory for per-experiment result files")
+		jsonOut = flag.Bool("json", false, "also write <ID>.json artifacts under -out")
 		seed    = flag.Int64("seed", 1, "workload construction seed")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
+
+	if *jsonOut && *outDir == "" {
+		fatal(fmt.Errorf("-json requires -out"))
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -69,6 +78,16 @@ func main() {
 			path := filepath.Join(*outDir, e.ID+".txt")
 			if err := os.WriteFile(path, []byte(tb.String()), 0o644); err != nil {
 				fatal(err)
+			}
+			if *jsonOut {
+				data, err := tb.JSON()
+				if err != nil {
+					fatal(fmt.Errorf("%s: %w", e.ID, err))
+				}
+				path := filepath.Join(*outDir, e.ID+".json")
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					fatal(err)
+				}
 			}
 		}
 	}

@@ -5,6 +5,8 @@
 //
 //	parbs-sim -sched PAR-BS -mix libquantum,mcf,GemsFDTD,xalancbmk
 //	parbs-sim -sched STFM -mix CSII
+//	parbs-sim -sched PAR-BS -mix CSI -telemetry run.json [-epoch 1024]
+//	parbs-sim -device ddr3-1333 -mix CSI
 //	parbs-sim -list
 package main
 
@@ -14,11 +16,14 @@ import (
 	"os"
 	"strings"
 
+	parbs "repro"
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -28,9 +33,12 @@ func main() {
 		mixSpec   = flag.String("mix", "CSI", "named mix (CSI, CSII, CSIII, F9) or comma-separated benchmarks")
 		cycles    = flag.Int64("cycles", 2_000_000, "measured CPU cycles")
 		seed      = flag.Int64("seed", 1, "trace seed")
+		device    = flag.String("device", "", "DRAM device: "+strings.Join(parbs.DeviceNames(), ", "))
 		list      = flag.Bool("list", false, "list benchmarks and named mixes, then exit")
 		timeline  = flag.Int64("timeline", 0, "print an ASCII per-bank command timeline of the first N DRAM cycles")
 		batchInfo = flag.Bool("batchstats", false, "print PAR-BS batch telemetry (size/duration histograms)")
+		telFile   = flag.String("telemetry", "", "write a JSON telemetry run report (schema "+telemetry.Schema+") to this file")
+		epoch     = flag.Int64("epoch", 0, "telemetry sampling epoch in DRAM cycles (default 1024)")
 	)
 	flag.Parse()
 
@@ -52,11 +60,24 @@ func main() {
 	cfg := sim.DefaultConfig(len(mix.Benchmarks))
 	cfg.MeasureCPUCycles = *cycles
 	cfg.Seed = *seed
+	dev, err := parbs.ParseDevice(*device)
+	if err != nil {
+		fatal(err)
+	}
+	if dev == parbs.DDR3_1333 {
+		cfg.Timing = dram.DDR3_1333()
+		cfg.CPUCyclesPerDRAM = 6 // 4 GHz over a 667 MHz command clock
+	}
 	var tl *memctrl.Timeline
 	if *timeline > 0 {
 		tl = memctrl.NewTimeline(cfg.Geometry.Banks)
 		tl.WithThreads = true
 		cfg.CommandLog = tl.Record
+	}
+	var probe *telemetry.Probe
+	if *telFile != "" {
+		probe = telemetry.NewProbe(telemetry.Config{EpochDRAMCycles: *epoch})
+		cfg.Probe = probe
 	}
 
 	policy, err := sched.ByName(*schedName)
@@ -68,6 +89,7 @@ func main() {
 		fatal(err)
 	}
 	var cs []metrics.Comparison
+	aloneMCPI := make([]float64, len(res.Threads))
 	fmt.Printf("mix %s under %s (%d cores, %d lock-step channels)\n",
 		mix.Name, res.Policy, cfg.Cores, cfg.Geometry.Channels)
 	fmt.Printf("%-12s %10s %8s %8s %8s %8s %10s\n",
@@ -77,6 +99,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		aloneMCPI[i] = alone.CPU.MCPI()
 		c := metrics.Comparison{Alone: alone, Shared: th}
 		cs = append(cs, c)
 		fmt.Printf("%-12s %10.2f %8.3f %8.2f %8.2f %8.3f %10.1f\n",
@@ -99,6 +122,23 @@ func main() {
 		} else {
 			fmt.Println("\n-batchstats requires a PAR-BS scheduler")
 		}
+	}
+	if probe != nil {
+		rep := probe.Report(telemetry.ReportMeta{
+			Policy:     res.Policy,
+			Workload:   mix.Name,
+			Benchmarks: workload.Names(mix.Benchmarks),
+			AloneMCPI:  aloneMCPI,
+		})
+		data, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*telFile, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntelemetry: %d epochs (%d DRAM cycles each) written to %s\n",
+			rep.Epochs, rep.EpochDRAMCycles, *telFile)
 	}
 }
 

@@ -50,7 +50,7 @@ func NewCustomScheduler(p CustomPolicy) (Scheduler, error) {
 	if p.Less == nil {
 		return Scheduler{}, fmt.Errorf("parbs: custom policy needs a Less function")
 	}
-	return Scheduler{policy: &customAdapter{p: p}}, nil
+	return newScheduler(&customAdapter{p: p}), nil
 }
 
 // customAdapter lowers a CustomPolicy onto the internal policy interface.

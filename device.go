@@ -1,0 +1,32 @@
+package parbs
+
+import "fmt"
+
+// Device selects the simulated DRAM generation. Use the typed constants;
+// ParseDevice converts CLI-flag strings.
+type Device string
+
+// Supported DRAM devices.
+const (
+	// DDR2_800 is the paper's baseline part (Table 2).
+	DDR2_800 Device = "ddr2-800"
+	// DDR3_1333 is the faster part used in the device-sensitivity study.
+	DDR3_1333 Device = "ddr3-1333"
+)
+
+// DeviceNames lists the supported device names, default first.
+func DeviceNames() []string {
+	return []string{string(DDR2_800), string(DDR3_1333)}
+}
+
+// ParseDevice converts a device name string (e.g. from a command-line flag)
+// to its typed constant. The empty string selects the DDR2_800 default.
+func ParseDevice(s string) (Device, error) {
+	switch Device(s) {
+	case "", DDR2_800:
+		return DDR2_800, nil
+	case DDR3_1333:
+		return DDR3_1333, nil
+	}
+	return "", fmt.Errorf("parbs: unknown device %q (want one of %v)", s, DeviceNames())
+}

@@ -9,6 +9,14 @@ import (
 	"repro/internal/memctrl"
 )
 
+// BatchObserver receives batch lifecycle events (formation, completion).
+// *telemetry.Probe satisfies it; defining the interface here keeps this
+// package free of a telemetry dependency.
+type BatchObserver interface {
+	BatchFormed(now int64, size int)
+	BatchCompleted(now int64, durationDRAM int64)
+}
+
 // Engine is the PAR-BS scheduler: a memctrl.Policy implementing request
 // batching (Rule 1), the within-batch prioritization rules (Rule 2, plus the
 // PRIORITY rule of Section 5), and per-batch thread ranking (Rule 3).
@@ -56,6 +64,10 @@ type Engine struct {
 	sorter      rankSorter
 
 	batchStats BatchStats
+
+	// observer, when non-nil, is notified of batch formation/completion.
+	// Purely observational: it cannot influence marking or ranking.
+	observer BatchObserver
 }
 
 // rankKey is one thread's ranking key: its marked-request load shape
@@ -125,6 +137,10 @@ func (e *Engine) Name() string {
 
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
+
+// SetBatchObserver registers an observer for batch lifecycle events; nil
+// detaches. The sim layer wires telemetry probes through this.
+func (e *Engine) SetBatchObserver(o BatchObserver) { e.observer = o }
 
 // BatchesFormed returns how many batches have been formed.
 func (e *Engine) BatchesFormed() int64 { return e.batchesFormed }
@@ -250,6 +266,9 @@ func (e *Engine) formBatch(now int64) {
 		}
 	}
 	e.batchStats.recordSize(e.totalMarked)
+	if e.observer != nil {
+		e.observer.BatchFormed(now, e.totalMarked)
+	}
 	e.computeRanking()
 }
 
@@ -351,6 +370,9 @@ func (e *Engine) OnComplete(r *memctrl.Request, now int64) {
 		e.lastBatchLen = now - e.batchStart
 		e.batchCycleSum += e.lastBatchLen
 		e.batchStats.recordDuration(e.lastBatchLen)
+		if e.observer != nil {
+			e.observer.BatchCompleted(now, e.lastBatchLen)
+		}
 	}
 }
 

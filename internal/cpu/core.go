@@ -297,6 +297,10 @@ func (c *Core) ResetStats() { c.stats = Stats{} }
 // Outstanding returns current MSHR occupancy (loads in flight).
 func (c *Core) Outstanding() int { return c.outstanding }
 
+// WindowOccupancy returns the number of instructions currently occupying
+// the instruction window.
+func (c *Core) WindowOccupancy() int { return c.windowCount }
+
 // Complete schedules delivery of a finished DRAM read at CPU cycle `at`.
 // The controller's completion callback must route requests to the issuing
 // core.

@@ -102,6 +102,9 @@ type Device struct {
 	actWindowIdx int
 
 	stats Stats
+	// bankCAS counts CAS commands (reads + writes) issued per bank, for
+	// per-bank utilization telemetry.
+	bankCAS []int64
 }
 
 // NewDevice builds a device from validated timing and geometry.
@@ -122,6 +125,7 @@ func NewDevice(t Timing, g Geometry) (*Device, error) {
 		banks:        make([]bank, g.Banks),
 		burst:        burst,
 		lastCmdCycle: -1,
+		bankCAS:      make([]int64, g.Banks),
 	}
 	for i := range d.actWindow {
 		d.actWindow[i] = -t.TFAW
@@ -144,7 +148,20 @@ func (d *Device) Stats() Stats { return d.stats }
 
 // ResetStats zeroes the accumulated counters, e.g. after warmup. Timing
 // state (open rows, bus occupancy) is preserved.
-func (d *Device) ResetStats() { d.stats = Stats{} }
+func (d *Device) ResetStats() {
+	d.stats = Stats{}
+	for i := range d.bankCAS {
+		d.bankCAS[i] = 0
+	}
+}
+
+// BankCAS returns the number of CAS commands issued to the bank since the
+// last ResetStats.
+func (d *Device) BankCAS(bankID int) int64 { return d.bankCAS[bankID] }
+
+// CopyBankCAS copies the per-bank CAS counters into dst (len == Banks)
+// without allocating.
+func (d *Device) CopyBankCAS(dst []int64) { copy(dst, d.bankCAS) }
 
 // RowStateOf reports the row-buffer state a request to (bankID,row) sees.
 func (d *Device) RowStateOf(bankID int, row int64) RowState {
@@ -338,6 +355,7 @@ func (d *Device) Issue(now int64, cmd Command, bankID int, row int64) int64 {
 		b.wrAllowed = max64(b.wrAllowed, now+t.TBankCAS)
 		d.refreshEarliest(bankID)
 		d.stats.Reads++
+		d.bankCAS[bankID]++
 		return end
 	case CmdWrite:
 		start := now + t.TCWL
@@ -351,6 +369,7 @@ func (d *Device) Issue(now int64, cmd Command, bankID int, row int64) int64 {
 		b.wrAllowed = max64(b.wrAllowed, now+t.TBankCAS)
 		d.refreshEarliest(bankID)
 		d.stats.Writes++
+		d.bankCAS[bankID]++
 		return end
 	case CmdRefresh:
 		for i := range d.banks {

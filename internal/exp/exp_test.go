@@ -1,9 +1,28 @@
 package exp
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+// roundTripJSON asserts a produced table survives the versioned JSON
+// artifact format exactly — the contract behind cmd/experiments -json.
+func roundTripJSON(t *testing.T, tb *Table) {
+	t.Helper()
+	data, err := tb.JSON()
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", tb.ID, err)
+	}
+	back, err := TableFromJSON(data)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", tb.ID, err)
+	}
+	if !reflect.DeepEqual(tb, back) {
+		t.Errorf("%s changed across JSON round trip:\n orig: %+v\n back: %+v", tb.ID, tb, back)
+	}
+}
 
 func TestRegistryComplete(t *testing.T) {
 	// One experiment per evaluation artifact, then the extensions.
@@ -81,6 +100,7 @@ func TestCaseStudyExperimentsQuick(t *testing.T) {
 		if len(tb.Rows) < 4 {
 			t.Errorf("%s produced %d rows, want >= 4 (one per scheduler)", id, len(tb.Rows))
 		}
+		roundTripJSON(t, tb)
 	}
 }
 
@@ -102,6 +122,35 @@ func TestAggregateExperimentsQuick(t *testing.T) {
 		if len(tb.Rows) == 0 {
 			t.Errorf("%s produced no rows", id)
 		}
+		roundTripJSON(t, tb)
+	}
+}
+
+// TestTableJSONSchema pins the artifact's top-level key set and schema
+// string, and rejects foreign schemas.
+func TestTableJSONSchema(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	tb.AddNote("n")
+	roundTripJSON(t, tb)
+	data, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"schema", "id", "title", "header", "rows", "notes"}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("artifact missing top-level key %q", k)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("artifact has %d top-level keys, want %d — bump %s on schema changes", len(m), len(want), TableSchema)
+	}
+	if _, err := TableFromJSON([]byte(`{"schema":"parbs.exp/v999"}`)); err == nil {
+		t.Error("foreign schema accepted")
 	}
 }
 

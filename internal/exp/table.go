@@ -5,9 +5,13 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
+
+// TableSchema identifies the JSON artifact format for experiment tables.
+const TableSchema = "parbs.exp/v1"
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -71,6 +75,41 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// tableJSON is the versioned wire form of a Table.
+type tableJSON struct {
+	Schema string     `json:"schema"`
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// JSON renders the table as a versioned machine-readable artifact
+// (schema "parbs.exp/v1").
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(tableJSON{
+		Schema: TableSchema,
+		ID:     t.ID,
+		Title:  t.Title,
+		Header: t.Header,
+		Rows:   t.Rows,
+		Notes:  t.Notes,
+	}, "", "  ")
+}
+
+// TableFromJSON parses a JSON table artifact, rejecting unknown schemas.
+func TableFromJSON(data []byte) (*Table, error) {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("exp: parse table artifact: %w", err)
+	}
+	if tj.Schema != TableSchema {
+		return nil, fmt.Errorf("exp: unsupported table schema %q (want %q)", tj.Schema, TableSchema)
+	}
+	return &Table{ID: tj.ID, Title: tj.Title, Header: tj.Header, Rows: tj.Rows, Notes: tj.Notes}, nil
 }
 
 // f2 formats a float with two decimals; f3 with three.

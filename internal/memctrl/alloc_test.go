@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dram"
+	"repro/internal/telemetry"
 )
 
 // blockedPolicy is FR-FCFS with every request ineligible: the controller
@@ -53,6 +54,59 @@ func TestSchedulingPathAllocationFree(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("scheduling path allocates %.1f objects per 1000 idle-decision cycles, want 0", avg)
+	}
+}
+
+// TestSchedulingPathAllocationFreeWithProbe: an attached telemetry probe
+// must keep the per-cycle decision and retire paths allocation-free; the
+// probe's ring buffers are all preallocated at Bind.
+func TestSchedulingPathAllocationFreeWithProbe(t *testing.T) {
+	dev, err := dram.NewDevice(dram.DDR2_800(), dram.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(dev, &testPolicy{}, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := telemetry.NewProbe(telemetry.Config{})
+	probe.Bind(4, dev.Geometry().Banks, dev.BurstCycles(), 8)
+	c.SetProbe(probe)
+	g := dev.Geometry()
+	// Sustained traffic so the probe's ObserveReadLatency hook runs on every
+	// retire: each completion re-enqueues a fresh request.
+	var seq int64
+	c.SetOnComplete(func(r *Request, end int64) {
+		seq++
+		loc := dram.Location{Bank: int(seq) % g.Banks, Row: seq % 32, Col: 0}
+		c.EnqueueRead(int(seq)%4, g.Unmap(loc), end)
+	})
+	fillBuffers(t, c, 64, 0)
+	now := int64(0)
+	for ; now < 20_000; now++ { // reach steady state
+		c.Tick(now)
+	}
+	var enqueued int64
+	avg := testing.AllocsPerRun(1, func() {
+		start := seq
+		for i := 0; i < 5_000; i++ {
+			c.Tick(now)
+			now++
+		}
+		enqueued = seq - start
+	})
+	if enqueued == 0 {
+		t.Fatal("no traffic flowed; test is vacuous")
+	}
+	// Same bound as the probe-free steady-state test: only the Request
+	// objects themselves may allocate.
+	if avg > float64(enqueued)+8 {
+		t.Errorf("probed controller allocated %.0f objects per window for %d enqueues; the probe must add none",
+			avg, enqueued)
+	}
+	rep := probe.Report(telemetry.ReportMeta{})
+	if rep.ReadLatency.Count == 0 {
+		t.Error("probe observed no read latencies; hook coverage is vacuous")
 	}
 }
 

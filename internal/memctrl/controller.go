@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/telemetry"
 )
 
 // Config sizes the controller. The zero value is not usable; start from
@@ -123,6 +124,12 @@ func (s ThreadStats) RowHitRate() float64 {
 	return float64(s.RowHitReads) / float64(s.ReadsCompleted)
 }
 
+// BLPAccum exposes the raw BLP accumulators (sum of busy-bank counts and
+// the cycle count they were accumulated over) for epoch-delta telemetry.
+func (s ThreadStats) BLPAccum() (sum, cycles int64) {
+	return s.blpSum, s.blpCycles
+}
+
 type inflightEntry struct {
 	end int64
 	req *Request
@@ -154,6 +161,9 @@ type Controller struct {
 	draining   bool
 	onComplete func(*Request, int64)
 	cmdLog     func(CommandEvent)
+	// probe, when non-nil, receives per-read latency observations from the
+	// retire path. It never influences scheduling.
+	probe *telemetry.Probe
 	// nextRefresh is the next due all-bank refresh when the device's
 	// TREFI is non-zero.
 	nextRefresh int64
@@ -231,6 +241,10 @@ type CommandEvent struct {
 // SetCommandLog registers a hook receiving every issued DRAM command; nil
 // disables logging. Intended for timelines and debugging, not hot paths.
 func (c *Controller) SetCommandLog(fn func(CommandEvent)) { c.cmdLog = fn }
+
+// SetProbe attaches a telemetry probe (nil detaches). The probe must be
+// bound by the caller; the controller only feeds it read latencies.
+func (c *Controller) SetProbe(p *telemetry.Probe) { c.probe = p }
 
 // ReadRequests returns the live read request buffer. Policies may reorder
 // their own bookkeeping from it but must not mutate the slice.
@@ -404,6 +418,9 @@ func (c *Controller) retire(now int64) {
 		st.TotalReadLatency += lat
 		if lat > st.WorstCaseLatency {
 			st.WorstCaseLatency = lat
+		}
+		if c.probe != nil {
+			c.probe.ObserveReadLatency(r.Thread, lat)
 		}
 		if r.WasRowHit() {
 			st.RowHitReads++

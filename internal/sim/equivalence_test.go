@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/memctrl"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -25,14 +26,16 @@ type streamDigest struct {
 }
 
 // run simulates mix under the policy named name and digests its command
-// stream. referenceScan selects the pre-index scheduling path.
-func commandStream(t *testing.T, name string, seed int64, referenceScan bool) streamDigest {
+// stream. referenceScan selects the pre-index scheduling path; probe, when
+// non-nil, attaches telemetry sampling (which must not change the stream).
+func commandStream(t *testing.T, name string, seed int64, referenceScan bool, probe *telemetry.Probe) streamDigest {
 	t.Helper()
 	cfg := DefaultConfig(4)
 	cfg.Seed = seed
 	cfg.WarmupCPUCycles = 20_000
 	cfg.MeasureCPUCycles = 300_000
 	cfg.Ctrl.ReferenceScan = referenceScan
+	cfg.Probe = probe
 	h := fnv.New64a()
 	var buf [8]byte
 	writeInt := func(v int64) {
@@ -72,8 +75,8 @@ func TestCommandStreamEquivalence(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			for _, seed := range seeds {
-				ref := commandStream(t, name, seed, true)
-				fast := commandStream(t, name, seed, false)
+				ref := commandStream(t, name, seed, true, nil)
+				fast := commandStream(t, name, seed, false, nil)
 				if ref.count == 0 {
 					t.Fatalf("seed %d: reference run issued no commands (vacuous)", seed)
 				}

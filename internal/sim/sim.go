@@ -6,12 +6,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -46,6 +49,33 @@ type Config struct {
 	// CommandLog, when non-nil, receives every issued DRAM command
 	// (debugging/timelines; see memctrl.Timeline).
 	CommandLog func(memctrl.CommandEvent)
+	// Probe, when non-nil, samples telemetry on the probe's epoch during
+	// the measured window. Probes are passive: the command stream is
+	// byte-identical with and without one (pinned by the equivalence
+	// tests), and the nil-probe path performs no extra work.
+	Probe *telemetry.Probe
+	// Progress, when non-nil, is called at every epoch checkpoint
+	// (heartbeats for long runs). It must not block.
+	Progress func(Progress)
+	// Context, when non-nil, is polled at every epoch checkpoint;
+	// cancellation aborts the run with the context's error.
+	Context context.Context
+}
+
+// Progress is a heartbeat snapshot delivered to Config.Progress.
+type Progress struct {
+	// DRAMCycle and TotalDRAMCycles locate the run: DRAMCycle/Total is the
+	// fraction complete (warmup included).
+	DRAMCycle       int64
+	TotalDRAMCycles int64
+	// CPUCycle is DRAMCycle in CPU cycles.
+	CPUCycle int64
+	// Warmup reports whether the run is still inside the warmup window.
+	Warmup bool
+	// CommandsIssued is the cumulative DRAM command count.
+	CommandsIssued int64
+	// PendingReads is the request-buffer occupancy at the checkpoint.
+	PendingReads int
 }
 
 // DefaultConfig returns the paper's baseline system for the given core
@@ -150,6 +180,40 @@ func Run(cfg Config, mix workload.Mix, policy memctrl.Policy) (Result, error) {
 	warmupDRAM := cfg.WarmupCPUCycles / ratio
 	totalDRAM := warmupDRAM + cfg.MeasureCPUCycles/ratio
 
+	// Telemetry setup: bind the probe's ring buffers to this run's shape and
+	// attach the per-event hooks (read latencies from the controller, batch
+	// lifecycle from a PAR-BS engine when the policy is one). Everything is
+	// preallocated here; the per-cycle loop below allocates nothing.
+	var tel *sampler
+	checkEvery := int64(1024) // context/progress checkpoint period
+	if probe := cfg.Probe; probe != nil {
+		epochLen := probe.EpochDRAMCycles()
+		checkEvery = epochLen
+		probe.Bind(cfg.Cores, cfg.Geometry.Banks, dev.BurstCycles(),
+			(totalDRAM-warmupDRAM)/epochLen)
+		ctrl.SetProbe(probe)
+		if eng, ok := policy.(interface{ SetBatchObserver(core.BatchObserver) }); ok {
+			eng.SetBatchObserver(probe)
+		}
+		tel = &sampler{
+			probe:      probe,
+			cores:      cores,
+			ctrl:       ctrl,
+			dev:        dev,
+			threads:    make([]telemetry.ThreadSample, cfg.Cores),
+			bankCAS:    make([]int64, cfg.Geometry.Banks),
+			nextSample: warmupDRAM + epochLen,
+			epochLen:   epochLen,
+		}
+	}
+	// Checkpoints (context polls, progress heartbeats) share the epoch
+	// cadence; with no consumers the schedule stays past the horizon so the
+	// loop pays only one int64 comparison per cycle.
+	nextCheck := totalDRAM + 1
+	if cfg.Context != nil || cfg.Progress != nil {
+		nextCheck = checkEvery
+	}
+
 	lastIssued, lastIssuedAt := int64(0), int64(0)
 	for dc := int64(0); dc < totalDRAM; dc++ {
 		if dc == warmupDRAM && dc > 0 {
@@ -157,6 +221,9 @@ func Run(cfg Config, mix workload.Mix, policy memctrl.Policy) (Result, error) {
 				core.ResetStats()
 			}
 			ctrl.ResetStats()
+			if tel != nil {
+				tel.probe.Rebase()
+			}
 		}
 		port.now = dc
 		start := dc * ratio
@@ -171,6 +238,28 @@ func Run(cfg Config, mix workload.Mix, policy memctrl.Policy) (Result, error) {
 		} else if ctrl.PendingReads() > 0 && dc-lastIssuedAt > 100_000 {
 			return Result{}, fmt.Errorf("sim: no DRAM progress for %d cycles with %d reads pending (policy %s)",
 				dc-lastIssuedAt, ctrl.PendingReads(), policy.Name())
+		}
+		if tel != nil && dc+1 == tel.nextSample {
+			tel.sample(dc + 1)
+		}
+		if dc+1 == nextCheck {
+			nextCheck += checkEvery
+			if ctx := cfg.Context; ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return Result{}, fmt.Errorf("sim: run canceled at DRAM cycle %d of %d: %w",
+						dc+1, totalDRAM, err)
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(Progress{
+					DRAMCycle:       dc + 1,
+					TotalDRAMCycles: totalDRAM,
+					CPUCycle:        (dc + 1) * ratio,
+					Warmup:          dc+1 < warmupDRAM,
+					CommandsIssued:  lastIssued,
+					PendingReads:    ctrl.PendingReads(),
+				})
+			}
 		}
 	}
 
@@ -189,14 +278,60 @@ func Run(cfg Config, mix workload.Mix, policy memctrl.Policy) (Result, error) {
 	return res, nil
 }
 
+// sampler holds the preallocated scratch a probed run fills at each epoch
+// boundary.
+type sampler struct {
+	probe      *telemetry.Probe
+	cores      []*cpu.Core
+	ctrl       *memctrl.Controller
+	dev        *dram.Device
+	threads    []telemetry.ThreadSample
+	bankCAS    []int64
+	nextSample int64
+	epochLen   int64
+}
+
+// sample snapshots the cumulative simulation counters into the probe at the
+// epoch ending at DRAM cycle end. Allocation-free.
+func (s *sampler) sample(end int64) {
+	for i, core := range s.cores {
+		st := core.Stats()
+		ms := s.ctrl.ThreadStats(i)
+		blpSum, blpCycles := ms.BLPAccum()
+		s.threads[i] = telemetry.ThreadSample{
+			Instructions:     st.Instructions,
+			CPUCycles:        st.Cycles,
+			MemStallCycles:   st.MemStallCycles,
+			QueueLen:         s.ctrl.ReadsPerThread(i),
+			WindowOccupancy:  core.WindowOccupancy(),
+			ReadsCompleted:   ms.ReadsCompleted,
+			TotalReadLatency: ms.TotalReadLatency,
+			BLPSum:           blpSum,
+			BLPCycles:        blpCycles,
+		}
+	}
+	s.dev.CopyBankCAS(s.bankCAS)
+	ds := s.dev.Stats()
+	s.probe.Sample(end, s.threads, s.bankCAS, telemetry.DeviceSample{
+		Reads:      ds.Reads,
+		Writes:     ds.Writes,
+		Activates:  ds.Activates,
+		BusyCycles: ds.BusyCycles,
+	})
+	s.nextSample = end + s.epochLen
+}
+
 // RunAlone simulates one benchmark alone on the same memory system (same
 // channel count, banks and controller) — the baseline for slowdown metrics.
 // The scheduling policy is irrelevant with one thread; FR-FCFS is used as
-// in the paper's alone runs.
+// in the paper's alone runs. Telemetry probes and command logs apply only
+// to the shared run and are stripped here; Context and Progress carry over.
 func RunAlone(cfg Config, p workload.Profile) (metrics.ThreadOutcome, error) {
 	alone := cfg
 	alone.Cores = 1
 	alone.Ctrl.Threads = 1
+	alone.Probe = nil
+	alone.CommandLog = nil
 	mix := workload.Mix{Name: "alone-" + p.Name, Benchmarks: []workload.Profile{p}}
 	res, err := Run(alone, mix, frfcfsPolicy())
 	if err != nil {

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Schema identifies the run-report wire format. Bump the version suffix on
+// any incompatible change; readers reject mismatched schemas.
+const Schema = "parbs.telemetry/v1"
+
+// Histogram is a power-of-two latency histogram: Buckets[i] counts values
+// in [2^i, 2^(i+1)) DRAM cycles, the last bucket open-ended.
+type Histogram struct {
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Max     int64   `json:"max"`
+}
+
+// ThreadSeries is one thread's per-epoch telemetry.
+type ThreadSeries struct {
+	Thread          int       `json:"thread"`
+	Benchmark       string    `json:"benchmark,omitempty"`
+	QueueOccupancy  []float64 `json:"queue_occupancy"`
+	WindowOccupancy []float64 `json:"window_occupancy"`
+	IPC             []float64 `json:"ipc"`
+	MCPI            []float64 `json:"mcpi"`
+	Slowdown        []float64 `json:"slowdown,omitempty"`
+	BLP             []float64 `json:"blp"`
+	AvgReadLatency  []float64 `json:"avg_read_latency"`
+	ReadLatency     Histogram `json:"read_latency"`
+}
+
+// BankSeries is one DRAM bank's per-epoch data-bus utilization (fraction of
+// the epoch the bank's CAS bursts occupied the data bus).
+type BankSeries struct {
+	Bank        int       `json:"bank"`
+	Utilization []float64 `json:"utilization"`
+}
+
+// BatchSeries describes PAR-BS batch dynamics per epoch. It is present only
+// for batching schedulers.
+type BatchSeries struct {
+	Formed       []float64 `json:"formed"`
+	MeanSize     []float64 `json:"mean_size"`
+	MeanDuration []float64 `json:"mean_duration"`
+	TotalFormed  int64     `json:"total_formed"`
+}
+
+// RunReport is the versioned, machine-readable result of one probed run.
+// Every series is indexed by epoch, aligned with EpochEndCycles.
+type RunReport struct {
+	Schema          string         `json:"schema"`
+	Policy          string         `json:"policy,omitempty"`
+	Workload        string         `json:"workload,omitempty"`
+	EpochDRAMCycles int64          `json:"epoch_dram_cycles"`
+	Epochs          int            `json:"epochs"`
+	DroppedEpochs   int            `json:"dropped_epochs"`
+	EpochEndCycles  []int64        `json:"epoch_end_cycles"`
+	RowHitRate      []float64      `json:"row_hit_rate"`
+	BusUtilization  []float64      `json:"bus_utilization"`
+	Threads         []ThreadSeries `json:"threads"`
+	Banks           []BankSeries   `json:"banks"`
+	Batches         *BatchSeries   `json:"batches,omitempty"`
+	ReadLatency     Histogram      `json:"read_latency"`
+}
+
+// ReportMeta labels a report and optionally joins per-thread alone-run MCPI
+// so the report can carry instantaneous slowdown series.
+type ReportMeta struct {
+	Policy     string
+	Workload   string
+	Benchmarks []string
+	// AloneMCPI[t] is thread t's MCPI when run alone; when provided (same
+	// length as threads), each ThreadSeries gains Slowdown = MCPI/AloneMCPI.
+	AloneMCPI []float64
+}
+
+// aloneMCPIFloor guards slowdown division for compute-bound threads whose
+// alone MCPI is ~0; mirrors the floor used by internal/metrics.
+const aloneMCPIFloor = 1e-4
+
+// Report materializes the probe's ring buffers into a RunReport, unrolling
+// the ring into chronological order. The probe remains usable afterwards.
+func (p *Probe) Report(meta ReportMeta) *RunReport {
+	r := &RunReport{
+		Schema:          Schema,
+		Policy:          meta.Policy,
+		Workload:        meta.Workload,
+		EpochDRAMCycles: p.epochLen,
+		Epochs:          p.n,
+		DroppedEpochs:   p.dropped,
+	}
+	unrollI := func(src []int64) []int64 {
+		out := make([]int64, p.n)
+		for i := 0; i < p.n; i++ {
+			out[i] = src[(p.head+i)%p.capSlots]
+		}
+		return out
+	}
+	unrollF := func(src []float64) []float64 {
+		out := make([]float64, p.n)
+		for i := 0; i < p.n; i++ {
+			out[i] = src[(p.head+i)%p.capSlots]
+		}
+		return out
+	}
+	r.EpochEndCycles = unrollI(p.epochEnd)
+	r.RowHitRate = unrollF(p.rowHit)
+	r.BusUtilization = unrollF(p.busUtil)
+
+	r.Threads = make([]ThreadSeries, p.threads)
+	var global Histogram
+	global.Buckets = make([]int64, LatencyBuckets)
+	for t := 0; t < p.threads; t++ {
+		ts := ThreadSeries{
+			Thread:          t,
+			QueueOccupancy:  unrollF(p.queueOcc[t]),
+			WindowOccupancy: unrollF(p.winOcc[t]),
+			IPC:             unrollF(p.ipc[t]),
+			MCPI:            unrollF(p.mcpi[t]),
+			BLP:             unrollF(p.blp[t]),
+			AvgReadLatency:  unrollF(p.readLat[t]),
+		}
+		if t < len(meta.Benchmarks) {
+			ts.Benchmark = meta.Benchmarks[t]
+		}
+		if len(meta.AloneMCPI) == p.threads {
+			alone := meta.AloneMCPI[t]
+			if alone < aloneMCPIFloor {
+				alone = aloneMCPIFloor
+			}
+			ts.Slowdown = make([]float64, p.n)
+			for i, m := range ts.MCPI {
+				ts.Slowdown[i] = m / alone
+			}
+		}
+		h := Histogram{Buckets: make([]int64, LatencyBuckets)}
+		for b, v := range p.latHist[t] {
+			h.Buckets[b] = v
+			global.Buckets[b] += v
+		}
+		h.Count, h.Sum, h.Max = p.latCount[t], p.latSum[t], p.latMax[t]
+		global.Count += h.Count
+		global.Sum += h.Sum
+		if h.Max > global.Max {
+			global.Max = h.Max
+		}
+		ts.ReadLatency = h
+		r.Threads[t] = ts
+	}
+	r.ReadLatency = global
+
+	r.Banks = make([]BankSeries, p.banks)
+	for b := 0; b < p.banks; b++ {
+		r.Banks[b] = BankSeries{Bank: b, Utilization: unrollF(p.bankUtil[b])}
+	}
+
+	if p.totalBatches > 0 {
+		r.Batches = &BatchSeries{
+			Formed:       unrollF(p.batchFormed),
+			MeanSize:     unrollF(p.batchSize),
+			MeanDuration: unrollF(p.batchDur),
+			TotalFormed:  p.totalBatches,
+		}
+	}
+	return r
+}
+
+// JSON renders the report as indented JSON.
+func (r *RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ReportFromJSON parses a report produced by JSON, rejecting unknown or
+// missing schema identifiers.
+func ReportFromJSON(data []byte) (*RunReport, error) {
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("telemetry: parse report: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("telemetry: unsupported report schema %q (want %q)", r.Schema, Schema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,327 @@
+// Package telemetry is the simulator's observability layer: a probe that
+// samples controller, device, core and scheduler counters on a fixed epoch
+// into preallocated ring buffers, and renders them as structured, versioned
+// JSON run reports (see report.go).
+//
+// The probe is strictly passive — it only reads cumulative counters that the
+// simulation maintains anyway — so attaching one cannot perturb scheduling
+// decisions; the command-stream equivalence tests in internal/sim pin that.
+// All buffers are allocated at Bind time: per-epoch sampling and per-event
+// observation (read completions, batch formation) perform no allocations.
+package telemetry
+
+// DefaultEpochDRAMCycles is the default sampling period. At the baseline
+// 10:1 CPU:DRAM clock ratio it corresponds to 10240 CPU cycles, giving
+// ~195 epochs over the paper's 2M-cycle measurement window.
+const DefaultEpochDRAMCycles = 1024
+
+// DefaultMaxEpochs bounds the buffered epochs when the caller does not
+// choose; beyond it the oldest epochs are dropped (ring semantics).
+const DefaultMaxEpochs = 4096
+
+// LatencyBuckets is the number of power-of-two read-latency histogram
+// buckets: bucket i counts latencies in [2^i, 2^(i+1)) DRAM cycles, with
+// bucket 0 covering [0, 2) and the top bucket open-ended.
+const LatencyBuckets = 24
+
+// Config sizes a Probe. The zero value selects the defaults above.
+type Config struct {
+	// EpochDRAMCycles is the sampling period in DRAM cycles (>= 1).
+	EpochDRAMCycles int64
+	// MaxEpochs caps buffered epochs; older epochs are dropped when the
+	// ring wraps and reported as DroppedEpochs.
+	MaxEpochs int
+}
+
+// ThreadSample carries one thread's cumulative counters at an epoch
+// boundary. The probe differences consecutive samples itself; callers pass
+// the raw running totals.
+type ThreadSample struct {
+	Instructions     int64
+	CPUCycles        int64
+	MemStallCycles   int64
+	QueueLen         int // buffered reads at the sample instant
+	WindowOccupancy  int // instructions in the core's window at the instant
+	ReadsCompleted   int64
+	TotalReadLatency int64
+	BLPSum           int64
+	BLPCycles        int64
+}
+
+// DeviceSample carries the DRAM device's cumulative counters at an epoch
+// boundary.
+type DeviceSample struct {
+	Reads      int64
+	Writes     int64
+	Activates  int64
+	BusyCycles int64
+}
+
+// Probe collects one run's time series. Construct with NewProbe, attach via
+// the simulation configuration; the sim layer calls Bind before the first
+// cycle and Sample at every epoch boundary after warmup.
+type Probe struct {
+	cfg      Config
+	epochLen int64
+
+	threads int
+	banks   int
+	burst   int64
+	bound   bool
+
+	// Ring state shared by every series: capacity, start slot, length, and
+	// the count of epochs overwritten after the ring filled.
+	capSlots int
+	head     int
+	n        int
+	dropped  int
+
+	epochEnd []int64 // DRAM cycle at each slot's epoch end
+
+	// Per-thread series, [thread][slot].
+	queueOcc [][]float64
+	winOcc   [][]float64
+	ipc      [][]float64
+	mcpi     [][]float64
+	blp      [][]float64
+	readLat  [][]float64
+
+	// Per-bank series, [bank][slot].
+	bankUtil [][]float64
+
+	// Global series, [slot].
+	rowHit  []float64
+	busUtil []float64
+
+	// Batch series, [slot]; fed by the BatchFormed/BatchCompleted hooks.
+	batchFormed  []float64
+	batchSize    []float64
+	batchDur     []float64
+	totalBatches int64
+
+	// Per-thread read-latency histograms, [thread][bucket].
+	latHist  [][LatencyBuckets]int64
+	latCount []int64
+	latSum   []int64
+	latMax   []int64
+
+	// Previous cumulative snapshots for epoch deltas.
+	prevThreads []ThreadSample
+	prevBankCAS []int64
+	prevDev     DeviceSample
+
+	// In-epoch batch accumulators, reset every Sample.
+	epBatches  int64
+	epSizeSum  int64
+	epDurSum   int64
+	epDurCount int64
+}
+
+// NewProbe returns an unbound probe with the given configuration.
+func NewProbe(cfg Config) *Probe {
+	if cfg.EpochDRAMCycles <= 0 {
+		cfg.EpochDRAMCycles = DefaultEpochDRAMCycles
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = DefaultMaxEpochs
+	}
+	return &Probe{cfg: cfg, epochLen: cfg.EpochDRAMCycles}
+}
+
+// EpochDRAMCycles returns the sampling period.
+func (p *Probe) EpochDRAMCycles() int64 { return p.epochLen }
+
+// Epochs returns the number of epochs sampled so far, including any dropped
+// from the ring.
+func (p *Probe) Epochs() int { return p.n + p.dropped }
+
+// DroppedEpochs returns how many sampled epochs were overwritten after the
+// ring filled.
+func (p *Probe) DroppedEpochs() int { return p.dropped }
+
+// Bind sizes every buffer for a run over the given system shape and resets
+// collected state. expectEpochs hints the run length so short runs do not
+// pay for MaxEpochs slots; the ring still grows-by-wrapping past the hint
+// up to MaxEpochs. The sim layer calls Bind once per run.
+func (p *Probe) Bind(threads, banks int, burstCycles, expectEpochs int64) {
+	if threads <= 0 || banks <= 0 {
+		panic("telemetry: Bind needs positive thread and bank counts")
+	}
+	capSlots := p.cfg.MaxEpochs
+	if expectEpochs > 0 && expectEpochs+1 < int64(capSlots) {
+		capSlots = int(expectEpochs) + 1
+	}
+	if capSlots < 4 {
+		capSlots = 4
+	}
+	p.threads, p.banks, p.burst = threads, banks, burstCycles
+	p.capSlots = capSlots
+	p.head, p.n, p.dropped = 0, 0, 0
+	p.bound = true
+
+	p.epochEnd = make([]int64, capSlots)
+	series := func() [][]float64 {
+		s := make([][]float64, threads)
+		for i := range s {
+			s[i] = make([]float64, capSlots)
+		}
+		return s
+	}
+	p.queueOcc, p.winOcc, p.ipc = series(), series(), series()
+	p.mcpi, p.blp, p.readLat = series(), series(), series()
+	p.bankUtil = make([][]float64, banks)
+	for b := range p.bankUtil {
+		p.bankUtil[b] = make([]float64, capSlots)
+	}
+	p.rowHit = make([]float64, capSlots)
+	p.busUtil = make([]float64, capSlots)
+	p.batchFormed = make([]float64, capSlots)
+	p.batchSize = make([]float64, capSlots)
+	p.batchDur = make([]float64, capSlots)
+
+	p.latHist = make([][LatencyBuckets]int64, threads)
+	p.latCount = make([]int64, threads)
+	p.latSum = make([]int64, threads)
+	p.latMax = make([]int64, threads)
+
+	p.prevThreads = make([]ThreadSample, threads)
+	p.prevBankCAS = make([]int64, banks)
+	p.prevDev = DeviceSample{}
+	p.totalBatches = 0
+	p.epBatches, p.epSizeSum, p.epDurSum, p.epDurCount = 0, 0, 0, 0
+}
+
+// Rebase clears event-driven state accumulated during warmup (latency
+// histograms, batch counts) so only the measured window is reported. The
+// sim layer calls it at the warmup boundary, right after resetting the
+// cumulative simulation counters the probe snapshots.
+func (p *Probe) Rebase() {
+	for t := range p.latHist {
+		p.latHist[t] = [LatencyBuckets]int64{}
+		p.latCount[t], p.latSum[t], p.latMax[t] = 0, 0, 0
+	}
+	for i := range p.prevThreads {
+		p.prevThreads[i] = ThreadSample{}
+	}
+	for i := range p.prevBankCAS {
+		p.prevBankCAS[i] = 0
+	}
+	p.prevDev = DeviceSample{}
+	p.totalBatches = 0
+	p.epBatches, p.epSizeSum, p.epDurSum, p.epDurCount = 0, 0, 0, 0
+}
+
+// nextSlot claims the ring slot for a new epoch, dropping the oldest epoch
+// once the ring is full.
+func (p *Probe) nextSlot() int {
+	if p.n < p.capSlots {
+		s := p.head + p.n
+		if s >= p.capSlots {
+			s -= p.capSlots
+		}
+		p.n++
+		return s
+	}
+	s := p.head
+	p.head++
+	if p.head == p.capSlots {
+		p.head = 0
+	}
+	p.dropped++
+	return s
+}
+
+// Sample records one epoch ending at DRAM cycle end. threads and bankCAS
+// carry cumulative counters (one entry per thread / per bank); the probe
+// differences them against the previous sample. It performs no allocations.
+func (p *Probe) Sample(end int64, threads []ThreadSample, bankCAS []int64, dev DeviceSample) {
+	if !p.bound {
+		panic("telemetry: Sample before Bind")
+	}
+	if len(threads) != p.threads || len(bankCAS) != p.banks {
+		panic("telemetry: Sample shape mismatch with Bind")
+	}
+	s := p.nextSlot()
+	p.epochEnd[s] = end
+
+	for t := 0; t < p.threads; t++ {
+		cur, prev := threads[t], p.prevThreads[t]
+		dInstr := cur.Instructions - prev.Instructions
+		dCycles := cur.CPUCycles - prev.CPUCycles
+		dStall := cur.MemStallCycles - prev.MemStallCycles
+		dReads := cur.ReadsCompleted - prev.ReadsCompleted
+		dLat := cur.TotalReadLatency - prev.TotalReadLatency
+		dBLPSum := cur.BLPSum - prev.BLPSum
+		dBLPCycles := cur.BLPCycles - prev.BLPCycles
+
+		p.queueOcc[t][s] = float64(cur.QueueLen)
+		p.winOcc[t][s] = float64(cur.WindowOccupancy)
+		p.ipc[t][s] = ratio(float64(dInstr), float64(dCycles))
+		p.mcpi[t][s] = ratio(float64(dStall), float64(dInstr))
+		p.blp[t][s] = ratio(float64(dBLPSum), float64(dBLPCycles))
+		p.readLat[t][s] = ratio(float64(dLat), float64(dReads))
+		p.prevThreads[t] = cur
+	}
+
+	epoch := float64(p.epochLen)
+	for b := 0; b < p.banks; b++ {
+		dCAS := bankCAS[b] - p.prevBankCAS[b]
+		p.bankUtil[b][s] = float64(dCAS*p.burst) / epoch
+		p.prevBankCAS[b] = bankCAS[b]
+	}
+
+	dCAS := (dev.Reads + dev.Writes) - (p.prevDev.Reads + p.prevDev.Writes)
+	dACT := dev.Activates - p.prevDev.Activates
+	hits := dCAS - dACT
+	if hits < 0 {
+		hits = 0
+	}
+	p.rowHit[s] = ratio(float64(hits), float64(dCAS))
+	p.busUtil[s] = float64(dev.BusyCycles-p.prevDev.BusyCycles) / epoch
+	p.prevDev = dev
+
+	p.batchFormed[s] = float64(p.epBatches)
+	p.batchSize[s] = ratio(float64(p.epSizeSum), float64(p.epBatches))
+	p.batchDur[s] = ratio(float64(p.epDurSum), float64(p.epDurCount))
+	p.epBatches, p.epSizeSum, p.epDurSum, p.epDurCount = 0, 0, 0, 0
+}
+
+// ratio returns num/den, or 0 for an empty denominator (an idle epoch).
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ObserveReadLatency records one completed read's service latency in DRAM
+// cycles. The controller calls it from its retire path; it is allocation
+// free.
+func (p *Probe) ObserveReadLatency(thread int, lat int64) {
+	b := 0
+	for v := lat; v >= 2 && b < LatencyBuckets-1; v >>= 1 {
+		b++
+	}
+	p.latHist[thread][b]++
+	p.latCount[thread]++
+	p.latSum[thread] += lat
+	if lat > p.latMax[thread] {
+		p.latMax[thread] = lat
+	}
+}
+
+// BatchFormed implements the scheduler batch observer (see
+// internal/core.BatchObserver): it accrues one formed batch of the given
+// size into the current epoch.
+func (p *Probe) BatchFormed(now int64, size int) {
+	p.epBatches++
+	p.epSizeSum += int64(size)
+	p.totalBatches++
+}
+
+// BatchCompleted implements the scheduler batch observer: it accrues one
+// completed batch's duration (DRAM cycles) into the current epoch.
+func (p *Probe) BatchCompleted(now int64, durationDRAM int64) {
+	p.epDurSum += durationDRAM
+	p.epDurCount++
+}

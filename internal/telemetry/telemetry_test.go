@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// boundProbe returns a probe bound to a small 2-thread, 2-bank system.
+func boundProbe(cfg Config) *Probe {
+	p := NewProbe(cfg)
+	p.Bind(2, 2, 4, 8)
+	return p
+}
+
+func TestProbeDefaults(t *testing.T) {
+	p := NewProbe(Config{})
+	if got := p.EpochDRAMCycles(); got != DefaultEpochDRAMCycles {
+		t.Errorf("default epoch = %d, want %d", got, DefaultEpochDRAMCycles)
+	}
+}
+
+// TestSampleDeltas feeds two epochs of known cumulative counters and checks
+// every derived per-epoch series.
+func TestSampleDeltas(t *testing.T) {
+	p := boundProbe(Config{EpochDRAMCycles: 100})
+	// Epoch 1: thread 0 ran 200 instructions over 1000 CPU cycles with 400
+	// stall cycles; 10 reads completed for 500 cycles of latency; BLP 15/10.
+	threads := []ThreadSample{
+		{Instructions: 200, CPUCycles: 1000, MemStallCycles: 400, QueueLen: 3,
+			WindowOccupancy: 7, ReadsCompleted: 10, TotalReadLatency: 500,
+			BLPSum: 15, BLPCycles: 10},
+		{},
+	}
+	// Bank 0 took 5 CAS at burst 4 over the 100-cycle epoch: util 0.2.
+	// Device: 6 CAS, 2 activates -> row-hit 4/6; 30 busy cycles -> util 0.3.
+	p.Sample(100, threads, []int64{5, 1}, DeviceSample{Reads: 5, Writes: 1, Activates: 2, BusyCycles: 30})
+	// Epoch 2: thread 0 advances by half as much.
+	threads[0] = ThreadSample{Instructions: 300, CPUCycles: 2000, MemStallCycles: 600,
+		QueueLen: 1, WindowOccupancy: 2, ReadsCompleted: 15, TotalReadLatency: 900,
+		BLPSum: 20, BLPCycles: 15}
+	p.Sample(200, threads, []int64{5, 3}, DeviceSample{Reads: 8, Writes: 2, Activates: 6, BusyCycles: 50})
+
+	r := p.Report(ReportMeta{})
+	if r.Epochs != 2 || len(r.EpochEndCycles) != 2 || r.EpochEndCycles[1] != 200 {
+		t.Fatalf("epochs = %d, ends = %v; want 2 epochs ending at 100, 200", r.Epochs, r.EpochEndCycles)
+	}
+	t0 := r.Threads[0]
+	close := func(got, want float64, name string) {
+		t.Helper()
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	close(t0.IPC[0], 0.2, "ipc[0]")
+	close(t0.IPC[1], 0.1, "ipc[1]")
+	close(t0.MCPI[0], 2.0, "mcpi[0]")
+	close(t0.MCPI[1], 2.0, "mcpi[1]")
+	close(t0.QueueOccupancy[1], 1, "queue[1]")
+	close(t0.WindowOccupancy[0], 7, "window[0]")
+	close(t0.BLP[0], 1.5, "blp[0]")
+	close(t0.BLP[1], 1.0, "blp[1]")
+	close(t0.AvgReadLatency[0], 50, "avglat[0]")
+	close(t0.AvgReadLatency[1], 80, "avglat[1]")
+	close(r.Banks[0].Utilization[0], 0.2, "bank0 util[0]")
+	close(r.Banks[0].Utilization[1], 0, "bank0 util[1]")
+	close(r.Banks[1].Utilization[1], 8.0/100, "bank1 util[1]")
+	close(r.RowHitRate[0], 4.0/6, "rowhit[0]")
+	close(r.RowHitRate[1], 0, "rowhit[1]") // 4 CAS, 4 ACT in epoch 2
+	close(r.BusUtilization[0], 0.3, "busutil[0]")
+	close(r.BusUtilization[1], 0.2, "busutil[1]")
+	// Thread 1 was idle throughout: every series must be zero, not NaN.
+	for i := range r.Threads[1].IPC {
+		if r.Threads[1].IPC[i] != 0 || r.Threads[1].MCPI[i] != 0 || r.Threads[1].BLP[i] != 0 {
+			t.Errorf("idle thread produced non-zero epoch %d", i)
+		}
+	}
+}
+
+// TestRingOverflow: past MaxEpochs, the oldest epochs are dropped and the
+// report keeps the newest in chronological order.
+func TestRingOverflow(t *testing.T) {
+	p := NewProbe(Config{EpochDRAMCycles: 10, MaxEpochs: 4})
+	p.Bind(1, 1, 4, 100) // expect > MaxEpochs: capacity clamps to 4
+	threads := make([]ThreadSample, 1)
+	bank := make([]int64, 1)
+	for i := int64(1); i <= 10; i++ {
+		threads[0].Instructions = i * 100
+		threads[0].CPUCycles = i * 1000
+		p.Sample(i*10, threads, bank, DeviceSample{})
+	}
+	if p.Epochs() != 10 {
+		t.Errorf("Epochs() = %d, want 10 (sampled, including dropped)", p.Epochs())
+	}
+	r := p.Report(ReportMeta{})
+	if r.Epochs != 4 || r.DroppedEpochs != 6 {
+		t.Fatalf("report: %d kept, %d dropped; want 4 kept, 6 dropped", r.Epochs, r.DroppedEpochs)
+	}
+	want := []int64{70, 80, 90, 100}
+	if !reflect.DeepEqual(r.EpochEndCycles, want) {
+		t.Errorf("kept epochs end at %v, want %v", r.EpochEndCycles, want)
+	}
+	// Deltas must stay correct across the wrap (prev snapshots are global,
+	// not per-slot).
+	if got := r.Threads[0].IPC[3]; got != 0.1 {
+		t.Errorf("ipc after wrap = %v, want 0.1", got)
+	}
+}
+
+// TestRebase clears warmup-phase event state so reports cover only the
+// measured window.
+func TestRebase(t *testing.T) {
+	p := boundProbe(Config{EpochDRAMCycles: 100})
+	p.ObserveReadLatency(0, 40)
+	p.BatchFormed(50, 8)
+	p.Rebase()
+	p.Sample(100, make([]ThreadSample, 2), make([]int64, 2), DeviceSample{})
+	r := p.Report(ReportMeta{})
+	if r.ReadLatency.Count != 0 {
+		t.Errorf("latency count after Rebase = %d, want 0", r.ReadLatency.Count)
+	}
+	if r.Batches != nil {
+		t.Errorf("batch series present after Rebase with no post-warmup batches")
+	}
+}
+
+// TestLatencyHistogramBuckets pins the power-of-two bucket boundaries.
+func TestLatencyHistogramBuckets(t *testing.T) {
+	p := boundProbe(Config{})
+	cases := []struct {
+		lat    int64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1 << 40, LatencyBuckets - 1},
+	}
+	for _, c := range cases {
+		p.ObserveReadLatency(0, c.lat)
+	}
+	p.Sample(1024, make([]ThreadSample, 2), make([]int64, 2), DeviceSample{})
+	h := p.Report(ReportMeta{}).Threads[0].ReadLatency
+	counts := map[int]int64{}
+	for _, c := range cases {
+		counts[c.bucket]++
+	}
+	for b, want := range counts {
+		if h.Buckets[b] != want {
+			t.Errorf("bucket %d = %d, want %d", b, h.Buckets[b], want)
+		}
+	}
+	if h.Count != int64(len(cases)) || h.Max != 1<<40 {
+		t.Errorf("count %d max %d, want %d and %d", h.Count, h.Max, len(cases), int64(1)<<40)
+	}
+}
+
+// TestHotPathsAllocationFree pins Sample, ObserveReadLatency and the batch
+// hooks at zero allocations.
+func TestHotPathsAllocationFree(t *testing.T) {
+	p := boundProbe(Config{EpochDRAMCycles: 100, MaxEpochs: 8})
+	threads := make([]ThreadSample, 2)
+	bank := make([]int64, 2)
+	end := int64(0)
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 10; i++ {
+			p.ObserveReadLatency(i%2, int64(40+i))
+			p.BatchFormed(end, 4)
+			p.BatchCompleted(end, 300)
+		}
+		end += 100
+		threads[0].Instructions += 50
+		threads[0].CPUCycles += 1000
+		p.Sample(end, threads, bank, DeviceSample{})
+	})
+	if avg != 0 {
+		t.Errorf("telemetry hot paths allocate %.1f objects per epoch, want 0", avg)
+	}
+}
+
+// TestReportJSONRoundTrip: a report must survive JSON serialization exactly.
+func TestReportJSONRoundTrip(t *testing.T) {
+	p := boundProbe(Config{EpochDRAMCycles: 100})
+	p.ObserveReadLatency(0, 55)
+	p.BatchFormed(10, 6)
+	p.BatchCompleted(90, 80)
+	threads := []ThreadSample{
+		{Instructions: 100, CPUCycles: 1000, MemStallCycles: 300, QueueLen: 2,
+			WindowOccupancy: 5, ReadsCompleted: 4, TotalReadLatency: 220, BLPSum: 9, BLPCycles: 5},
+		{Instructions: 50, CPUCycles: 1000},
+	}
+	p.Sample(100, threads, []int64{3, 1}, DeviceSample{Reads: 3, Writes: 1, Activates: 1, BusyCycles: 16})
+	orig := p.Report(ReportMeta{
+		Policy: "PAR-BS", Workload: "CSI",
+		Benchmarks: []string{"mcf", "lbm"},
+		AloneMCPI:  []float64{2.0, 0.5},
+	})
+	data, err := orig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReportFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("report changed across JSON round trip:\n orig: %+v\n back: %+v", orig, back)
+	}
+	if back.Threads[0].Slowdown == nil || back.Threads[0].Slowdown[0] <= 0 {
+		t.Errorf("slowdown series missing after round trip: %+v", back.Threads[0].Slowdown)
+	}
+}
+
+// TestReportSchemaStability pins the exact top-level JSON key set: any
+// rename or removal is a schema break and must bump the version string.
+func TestReportSchemaStability(t *testing.T) {
+	p := boundProbe(Config{EpochDRAMCycles: 100})
+	p.BatchFormed(10, 3)
+	p.Sample(100, make([]ThreadSample, 2), make([]int64, 2), DeviceSample{})
+	data, err := p.Report(ReportMeta{Policy: "x", Workload: "y"}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"schema", "policy", "workload", "epoch_dram_cycles", "epochs",
+		"dropped_epochs", "epoch_end_cycles", "row_hit_rate",
+		"bus_utilization", "threads", "banks", "batches", "read_latency",
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("top-level key %q missing from report JSON", k)
+		}
+	}
+	if len(m) != len(want) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		t.Errorf("report has %d top-level keys %v, want the %d pinned ones %v — bump the schema version on any change",
+			len(m), keys, len(want), want)
+	}
+	var hdr struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &hdr); err != nil || hdr.Schema != Schema {
+		t.Errorf("schema field = %q, want %q", hdr.Schema, Schema)
+	}
+}
+
+func TestReportFromJSONRejectsForeignSchema(t *testing.T) {
+	if _, err := ReportFromJSON([]byte(`{"schema":"parbs.telemetry/v999"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := ReportFromJSON([]byte(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

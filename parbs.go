@@ -22,6 +22,7 @@ package parbs
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/memctrl"
@@ -29,29 +30,49 @@ import (
 )
 
 // Scheduler is a DRAM scheduling policy instance. Instances are stateful
-// and single-use: construct a fresh one per Run.
+// and single-use: construct a fresh one per Run. Reusing one is detected
+// and Run returns an error instead of silently corrupting results.
 type Scheduler struct {
 	policy memctrl.Policy
+	// used flips on the first Run. A pointer so the flag is shared across
+	// copies of this value type.
+	used *atomic.Bool
+}
+
+// newScheduler wraps an internal policy with fresh single-use tracking.
+func newScheduler(p memctrl.Policy) Scheduler {
+	return Scheduler{policy: p, used: new(atomic.Bool)}
+}
+
+// acquire claims the scheduler for a run, failing on zero values and reuse.
+func (s Scheduler) acquire() error {
+	if s.policy == nil {
+		return fmt.Errorf("parbs: zero Scheduler is not usable; construct one with NewFCFS, NewFRFCFS, NewNFQ, NewSTFM, NewPARBS or SchedulerByName")
+	}
+	if !s.used.CompareAndSwap(false, true) {
+		return fmt.Errorf("parbs: scheduler %q was already used in a Run; scheduler instances are stateful and single-use — construct a fresh one per run", s.policy.Name())
+	}
+	return nil
 }
 
 // Name returns the scheduler's display name.
 func (s Scheduler) Name() string { return s.policy.Name() }
 
 // NewFCFS returns the first-come-first-serve baseline.
-func NewFCFS() Scheduler { return Scheduler{policy: sched.NewFCFS()} }
+func NewFCFS() Scheduler { return newScheduler(sched.NewFCFS()) }
 
 // NewFRFCFS returns the throughput-oriented first-ready FCFS baseline,
 // the common policy of Rixner et al. that PAR-BS is compared against.
-func NewFRFCFS() Scheduler { return Scheduler{policy: sched.NewFRFCFS()} }
+func NewFRFCFS() Scheduler { return newScheduler(sched.NewFRFCFS()) }
 
 // NewNFQ returns the network-fair-queueing scheduler of Nesbit et al.
 // (MICRO 2006). weights, if given, assigns per-thread bandwidth shares;
 // omit for equal shares.
 func NewNFQ(weights ...float64) Scheduler {
 	if len(weights) == 0 {
-		return Scheduler{policy: sched.NewNFQ()}
+		return newScheduler(sched.NewNFQ())
 	}
-	return Scheduler{policy: sched.NewNFQWeighted(weights)}
+	return newScheduler(sched.NewNFQWeighted(weights))
 }
 
 // NewSTFM returns the stall-time fair memory scheduler of Mutlu &
@@ -59,9 +80,9 @@ func NewNFQ(weights ...float64) Scheduler {
 // targets; omit for equal treatment.
 func NewSTFM(weights ...float64) Scheduler {
 	if len(weights) == 0 {
-		return Scheduler{policy: sched.NewSTFM()}
+		return newScheduler(sched.NewSTFM())
 	}
-	return Scheduler{policy: sched.NewSTFMWeighted(weights)}
+	return newScheduler(sched.NewSTFMWeighted(weights))
 }
 
 // Batching selects the PAR-BS batch formation mode.
@@ -123,13 +144,24 @@ type PARBSOptions struct {
 
 // NewPARBS returns the paper's parallelism-aware batch scheduler.
 // It panics on malformed options (mixed-up batching/ranking names);
-// use Validate to check first.
+// use NewPARBSWithOptions for the error-returning variant, or Validate
+// to check first.
 func NewPARBS(opts PARBSOptions) Scheduler {
-	coreOpts, err := opts.toCore()
+	s, err := NewPARBSWithOptions(opts)
 	if err != nil {
 		panic(err)
 	}
-	return Scheduler{policy: sched.NewPARBS(coreOpts)}
+	return s
+}
+
+// NewPARBSWithOptions is NewPARBS with an error return instead of a panic,
+// for callers assembling options at runtime (flags, config files).
+func NewPARBSWithOptions(opts PARBSOptions) (Scheduler, error) {
+	coreOpts, err := opts.toCore()
+	if err != nil {
+		return Scheduler{}, err
+	}
+	return newScheduler(sched.NewPARBS(coreOpts)), nil
 }
 
 // Validate reports whether the options are well-formed for numThreads
@@ -193,7 +225,7 @@ func SchedulerByName(name string) (Scheduler, error) {
 	if err != nil {
 		return Scheduler{}, err
 	}
-	return Scheduler{policy: p}, nil
+	return newScheduler(p), nil
 }
 
 // SchedulerNames lists the five evaluated schedulers in paper order.

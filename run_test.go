@@ -1,0 +1,169 @@
+package parbs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSchedulerReuseError: scheduler instances are single-use; a second Run
+// must fail loudly instead of silently reusing corrupted policy state.
+func TestSchedulerReuseError(t *testing.T) {
+	w, err := WorkloadFromNames("mcf", "lbm", "hmmer", "h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewFRFCFS()
+	if _, err := Run(quickSystem(4), w, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(quickSystem(4), w, s); err == nil {
+		t.Fatal("reused scheduler accepted")
+	} else if !strings.Contains(err.Error(), "single-use") {
+		t.Errorf("reuse error %q does not explain single-use semantics", err)
+	}
+}
+
+// TestZeroSchedulerError: the zero Scheduler value fails with guidance, not
+// a nil-pointer panic.
+func TestZeroSchedulerError(t *testing.T) {
+	w, err := WorkloadFromNames("mcf", "lbm", "hmmer", "h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(quickSystem(4), w, Scheduler{}); err == nil {
+		t.Fatal("zero Scheduler accepted")
+	}
+}
+
+// TestNewPARBSWithOptions: the error-returning constructor variant covers
+// NewPARBS's panic path.
+func TestNewPARBSWithOptions(t *testing.T) {
+	if _, err := NewPARBSWithOptions(PARBSOptions{Batching: "bogus"}); err == nil {
+		t.Error("malformed options accepted")
+	}
+	s, err := NewPARBSWithOptions(PARBSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "PAR-BS" {
+		t.Errorf("default options built %q, want PAR-BS", s.Name())
+	}
+}
+
+func TestParseDevice(t *testing.T) {
+	for in, want := range map[string]Device{"": DDR2_800, "ddr2-800": DDR2_800, "ddr3-1333": DDR3_1333} {
+		got, err := ParseDevice(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDevice(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseDevice("rambus"); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if names := DeviceNames(); len(names) != 2 || names[0] != string(DDR2_800) {
+		t.Errorf("DeviceNames() = %v", names)
+	}
+}
+
+// TestRunContextCancellation: an already-expired deadline aborts the run
+// mid-flight with the context's error.
+func TestRunContextCancellation(t *testing.T) {
+	w, err := WorkloadFromNames("mcf", "lbm", "hmmer", "h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = RunContext(ctx, quickSystem(4), w, NewFRFCFS())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextTelemetryAndProgress drives the full option surface: the
+// telemetry collector yields a parseable versioned report with slowdown
+// series joined from the alone baselines, progress heartbeats cover shared
+// and alone phases, and the command log streams the shared run's commands.
+func TestRunContextTelemetryAndProgress(t *testing.T) {
+	w, err := WorkloadFromNames("mcf", "lbm", "hmmer", "h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry(TelemetryConfig{EpochCycles: 10_240})
+	phases := map[string]bool{}
+	var commands int
+	rep, err := RunContext(context.Background(), quickSystem(4), w, NewPARBS(PARBSOptions{}),
+		WithTelemetry(tel),
+		WithProgress(func(p Progress) { phases[p.Phase] = true }),
+		WithCommandLog(func(ev CommandEvent) { commands++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Threads) != 4 {
+		t.Fatalf("report has %d threads", len(rep.Threads))
+	}
+	if commands == 0 {
+		t.Error("command log received nothing")
+	}
+	for _, ph := range []string{"warmup", "measure", "alone:mcf", "alone:lbm"} {
+		if !phases[ph] {
+			t.Errorf("no progress heartbeat for phase %q (saw %v)", ph, phases)
+		}
+	}
+	if tel.Epochs() == 0 {
+		t.Fatal("telemetry sampled no epochs")
+	}
+	data, err := tel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Schema  string `json:"schema"`
+		Policy  string `json:"policy"`
+		Epochs  int    `json:"epochs"`
+		Threads []struct {
+			Benchmark string    `json:"benchmark"`
+			Slowdown  []float64 `json:"slowdown"`
+		} `json:"threads"`
+		Batches *struct {
+			TotalFormed int64 `json:"total_formed"`
+		} `json:"batches"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Schema != "parbs.telemetry/v1" || parsed.Policy != "PAR-BS" || parsed.Epochs == 0 {
+		t.Errorf("report header wrong: %+v", parsed)
+	}
+	if len(parsed.Threads) != 4 || parsed.Threads[0].Benchmark != "mcf" {
+		t.Fatalf("report threads wrong: %+v", parsed.Threads)
+	}
+	if len(parsed.Threads[0].Slowdown) != parsed.Epochs {
+		t.Errorf("slowdown series has %d epochs, want %d", len(parsed.Threads[0].Slowdown), parsed.Epochs)
+	}
+	if parsed.Batches == nil || parsed.Batches.TotalFormed == 0 {
+		t.Error("PAR-BS run reported no batches")
+	}
+
+	// Collectors are single-use, like schedulers.
+	if _, err := RunContext(context.Background(), quickSystem(4), w, NewFRFCFS(), WithTelemetry(tel)); err == nil {
+		t.Error("reused Telemetry collector accepted")
+	}
+}
+
+// TestTelemetryBeforeRun: JSON before the run completes is an error, not a
+// panic or an empty report.
+func TestTelemetryBeforeRun(t *testing.T) {
+	tel := NewTelemetry(TelemetryConfig{})
+	if _, err := tel.JSON(); err == nil {
+		t.Error("JSON before run accepted")
+	}
+	if tel.Epochs() != 0 {
+		t.Error("epochs non-zero before run")
+	}
+}

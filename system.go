@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
-	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -25,9 +24,9 @@ type System struct {
 	WarmupCycles int64
 	// Seed drives trace generation.
 	Seed int64
-	// Device selects the DRAM generation: "ddr2-800" (default, the
-	// paper's baseline) or "ddr3-1333".
-	Device string
+	// Device selects the DRAM generation: DDR2_800 (default, the paper's
+	// baseline) or DDR3_1333. Use ParseDevice for flag strings.
+	Device Device
 }
 
 // DefaultSystem returns the paper's baseline system for the core count.
@@ -57,13 +56,13 @@ func (s System) toSim() (sim.Config, error) {
 		cfg.Seed = s.Seed
 	}
 	switch s.Device {
-	case "", "ddr2-800":
+	case "", DDR2_800:
 		// baseline
-	case "ddr3-1333":
+	case DDR3_1333:
 		cfg.Timing = dram.DDR3_1333()
 		cfg.CPUCyclesPerDRAM = 6 // 4 GHz over a 667 MHz command clock
 	default:
-		return sim.Config{}, fmt.Errorf("parbs: unknown device %q (want ddr2-800 or ddr3-1333)", s.Device)
+		return sim.Config{}, fmt.Errorf("parbs: unknown device %q (want one of %v)", s.Device, DeviceNames())
 	}
 	return cfg, nil
 }
@@ -154,47 +153,3 @@ func (r Report) String() string {
 	return s
 }
 
-// Run simulates the workload on the system under the scheduler, including
-// the per-benchmark alone runs needed for slowdown metrics.
-func Run(sys System, w Workload, s Scheduler) (Report, error) {
-	cfg, err := sys.toSim()
-	if err != nil {
-		return Report{}, err
-	}
-	if len(w.mix.Benchmarks) != cfg.Cores {
-		return Report{}, fmt.Errorf("parbs: workload %q has %d benchmarks for %d cores",
-			w.mix.Name, len(w.mix.Benchmarks), cfg.Cores)
-	}
-	res, err := sim.Run(cfg, w.mix, s.policy)
-	if err != nil {
-		return Report{}, err
-	}
-	alone := map[string]metrics.ThreadOutcome{}
-	var cs []metrics.Comparison
-	rep := Report{Scheduler: res.Policy, BusUtilization: res.BusUtilization()}
-	for i, th := range res.Threads {
-		base, ok := alone[th.Benchmark]
-		if !ok {
-			base, err = sim.RunAlone(cfg, w.mix.Benchmarks[i])
-			if err != nil {
-				return Report{}, err
-			}
-			alone[th.Benchmark] = base
-		}
-		c := metrics.Comparison{Alone: base, Shared: th}
-		cs = append(cs, c)
-		rep.Threads = append(rep.Threads, ThreadReport{
-			Benchmark:   th.Benchmark,
-			MemSlowdown: c.MemSlowdown(),
-			IPC:         th.CPU.IPC(),
-			BLP:         th.Mem.BLP(),
-			RowHitRate:  th.Mem.RowHitRate(),
-			ASTPerReq:   th.CPU.ASTPerReq(),
-		})
-	}
-	rep.Unfairness = metrics.Unfairness(cs)
-	rep.WeightedSpeedup = metrics.WeightedSpeedup(cs)
-	rep.HmeanSpeedup = metrics.HmeanSpeedup(cs)
-	rep.WorstCaseLatency = metrics.WorstCaseLatency(cs, cfg.CPUCyclesPerDRAM)
-	return rep, nil
-}

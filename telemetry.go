@@ -1,0 +1,89 @@
+package parbs
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// TelemetryConfig sizes a Telemetry collector. The zero value selects the
+// defaults.
+type TelemetryConfig struct {
+	// EpochCycles is the sampling period in CPU cycles (default 10240,
+	// i.e. 1024 DRAM cycles at the baseline 10:1 clock ratio). Values
+	// below one DRAM cycle are clamped up.
+	EpochCycles int64
+	// MaxEpochs caps the buffered epochs (default 4096); beyond it the
+	// oldest epochs are dropped, recorded in the report's dropped count.
+	MaxEpochs int
+}
+
+// Telemetry collects per-epoch time series from one run — queue occupancy
+// and IPC/MCPI/slowdown per thread, batch dynamics, row-hit rate, per-bank
+// utilization, BLP, read-latency histograms — and renders them as a
+// versioned JSON report (schema "parbs.telemetry/v1").
+//
+// Attach with WithTelemetry; after the run returns, call JSON. Like
+// Scheduler, a collector serves a single run: construct a fresh one per
+// RunContext call.
+type Telemetry struct {
+	cfg    TelemetryConfig
+	probe  *telemetry.Probe
+	report *telemetry.RunReport
+	bound  bool
+}
+
+// NewTelemetry returns a collector with the given configuration.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry {
+	return &Telemetry{cfg: cfg}
+}
+
+// bind converts the CPU-cycle epoch to DRAM cycles for the clock ratio and
+// builds the internal probe. It errors on reuse.
+func (t *Telemetry) bind(cpuCyclesPerDRAM int64) (*telemetry.Probe, error) {
+	if t == nil {
+		return nil, fmt.Errorf("parbs: WithTelemetry needs a non-nil *Telemetry")
+	}
+	if t.bound {
+		return nil, fmt.Errorf("parbs: Telemetry collector was already used in a run; construct a fresh one per run")
+	}
+	t.bound = true
+	epochDRAM := t.cfg.EpochCycles / cpuCyclesPerDRAM
+	if t.cfg.EpochCycles > 0 && epochDRAM < 1 {
+		epochDRAM = 1
+	}
+	t.probe = telemetry.NewProbe(telemetry.Config{
+		EpochDRAMCycles: epochDRAM,
+		MaxEpochs:       t.cfg.MaxEpochs,
+	})
+	return t.probe, nil
+}
+
+// finish renders the probe's buffers into the final report; called by
+// RunContext after the alone baselines complete.
+func (t *Telemetry) finish(policy, workload string, benchmarks []string, aloneMCPI []float64) {
+	t.report = t.probe.Report(telemetry.ReportMeta{
+		Policy:     policy,
+		Workload:   workload,
+		Benchmarks: benchmarks,
+		AloneMCPI:  aloneMCPI,
+	})
+}
+
+// Epochs returns the number of epochs sampled, including any dropped from
+// the buffer. Zero before the run completes.
+func (t *Telemetry) Epochs() int {
+	if t.probe == nil {
+		return 0
+	}
+	return t.probe.Epochs()
+}
+
+// JSON renders the collected run report as indented, versioned JSON
+// (schema "parbs.telemetry/v1"). It errors if the run has not completed.
+func (t *Telemetry) JSON() ([]byte, error) {
+	if t.report == nil {
+		return nil, fmt.Errorf("parbs: telemetry report not available until the run completes")
+	}
+	return t.report.JSON()
+}
