@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench check ci
+.PHONY: all build vet test race bench-smoke bench serve serve-smoke check ci
 
 all: check
 
@@ -23,6 +23,14 @@ bench-smoke:
 # Full measurement; rewrites BENCH_1.json with fresh "after" numbers.
 bench:
 	scripts/bench.sh
+
+# Run the simulation service locally (Ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/parbs-serve
+
+# Boot the service, submit a quick job over HTTP, assert it completes.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 check: build vet race bench-smoke
 

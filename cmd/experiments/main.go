@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
@@ -63,13 +66,28 @@ func main() {
 		}
 	}
 
+	// Ctrl-C (or SIGTERM) cancels the context; running simulations abort at
+	// their next checkpoint, parallel workers stop scheduling new runs, and
+	// artifacts completed before the interrupt stay flushed on disk — no
+	// partially written files.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	x := exp.NewContext(*quick)
 	x.Seed = *seed
+	x.Ctx = ctx
+	completed := 0
 	for _, e := range selected {
+		if ctx.Err() != nil {
+			interrupted(completed, len(selected))
+		}
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Title)
 		tb, err := e.Run(x)
 		if err != nil {
+			if ctx.Err() != nil {
+				interrupted(completed, len(selected))
+			}
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
@@ -90,7 +108,16 @@ func main() {
 				}
 			}
 		}
+		completed++
 	}
+}
+
+// interrupted reports a clean early exit: everything finished before the
+// signal is already on disk, the in-flight experiment is discarded whole.
+func interrupted(completed, selected int) {
+	fmt.Fprintf(os.Stderr, "experiments: interrupted; %d of %d artifacts completed and flushed\n",
+		completed, selected)
+	os.Exit(130)
 }
 
 func fatal(err error) {

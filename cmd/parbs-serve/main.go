@@ -1,0 +1,98 @@
+// Command parbs-serve runs the simulation service: an HTTP/JSON API that
+// accepts simulation jobs, schedules them through a PAR-BS-style admission
+// queue (per-client batching + Max–Total shortest-job-first ranking), and
+// executes them on a bounded worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/runs             submit a job (202 queued, 200 cached replay)
+//	GET  /v1/runs/{id}        job status + report/telemetry when done
+//	GET  /v1/runs/{id}/events live progress via Server-Sent Events
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             Prometheus text exposition
+//
+// SIGINT/SIGTERM triggers a graceful drain: admissions stop, every accepted
+// job runs to completion (bounded by -drain-timeout), then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8380", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queueCap := flag.Int("queue", 64, "admission queue capacity (beyond it: 429)")
+	admission := flag.String("admission", "parbs", "admission discipline: parbs | fifo")
+	markingCap := flag.Int("marking-cap", 5, "jobs marked per client per admission batch")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline when timeout_ms is unset (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "graceful-shutdown drain budget before in-flight jobs are aborted")
+	flag.Parse()
+
+	var adm serve.Admission
+	switch *admission {
+	case "parbs":
+		adm = serve.AdmissionPARBS
+	case "fifo":
+		adm = serve.AdmissionFIFO
+	default:
+		fmt.Fprintf(os.Stderr, "parbs-serve: unknown -admission %q (want parbs or fifo)\n", *admission)
+		os.Exit(2)
+	}
+
+	sv := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		Admission:      adm,
+		MarkingCap:     *markingCap,
+		DefaultTimeout: *jobTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: sv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	poolSize := *workers
+	if poolSize <= 0 {
+		poolSize = runtime.GOMAXPROCS(0)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("parbs-serve: listening on %s (admission=%s workers=%d queue=%d)",
+		*addr, adm, poolSize, *queueCap)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("parbs-serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("parbs-serve: draining (budget %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := sv.Shutdown(drainCtx); err != nil {
+		log.Printf("parbs-serve: drain overran its budget; in-flight jobs aborted: %v", err)
+	}
+	// Jobs are done (or aborted); now close the listener so SSE streams and
+	// pending responses finish cleanly.
+	closeCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(closeCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("parbs-serve: http shutdown: %v", err)
+	}
+	log.Printf("parbs-serve: stopped")
+}

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +41,7 @@ func main() {
 		batchInfo = flag.Bool("batchstats", false, "print PAR-BS batch telemetry (size/duration histograms)")
 		telFile   = flag.String("telemetry", "", "write a JSON telemetry run report (schema "+telemetry.Schema+") to this file")
 		epoch     = flag.Int64("epoch", 0, "telemetry sampling epoch in DRAM cycles (default 1024)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 
@@ -60,6 +63,13 @@ func main() {
 	cfg := sim.DefaultConfig(len(mix.Benchmarks))
 	cfg.MeasureCPUCycles = *cycles
 	cfg.Seed = *seed
+	if *timeout > 0 {
+		// The deadline is the RunContext-style cooperative one: the shared
+		// run and every alone baseline poll it at their epoch checkpoints.
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Context = ctx
+	}
 	dev, err := parbs.ParseDevice(*device)
 	if err != nil {
 		fatal(err)
@@ -161,6 +171,10 @@ func resolveMix(spec string) (workload.Mix, error) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "parbs-sim: -timeout deadline exceeded:", err)
+		os.Exit(124)
+	}
 	fmt.Fprintln(os.Stderr, "parbs-sim:", err)
 	os.Exit(1)
 }

@@ -29,7 +29,7 @@ type aggregate struct {
 // per-scheduler aggregates plus the per-mix unfairness for sample columns.
 func runSet(x *Context, cores int, mixes []workload.Mix) (map[string]aggregate, map[string][]MixResult, error) {
 	cfg := x.Config(cores)
-	if err := x.prepareAlone(cfg, mixes); err != nil {
+	if err := x.prepareAlone(x.ctx(), cfg, mixes); err != nil {
 		return nil, nil, err
 	}
 	names := sched.Names()
@@ -44,7 +44,7 @@ func runSet(x *Context, cores int, mixes []workload.Mix) (map[string]aggregate, 
 	for i := range results {
 		results[i] = make([]MixResult, len(names))
 	}
-	err := parallelFor(len(jobs), func(i int) error {
+	err := parallelFor(x.ctx(), len(jobs), func(i int) error {
 		j := jobs[i]
 		pol, err := sched.ByName(names[j.si])
 		if err != nil {

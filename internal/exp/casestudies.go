@@ -20,7 +20,7 @@ func init() {
 // per-thread memory slowdowns, unfairness and system throughput.
 func caseStudyTable(x *Context, id, title string, mix workload.Mix) (*Table, error) {
 	cfg := x.Config(len(mix.Benchmarks))
-	if err := x.prepareAlone(cfg, []workload.Mix{mix}); err != nil {
+	if err := x.prepareAlone(x.ctx(), cfg, []workload.Mix{mix}); err != nil {
 		return nil, err
 	}
 	header := []string{"scheduler"}
@@ -32,7 +32,7 @@ func caseStudyTable(x *Context, id, title string, mix workload.Mix) (*Table, err
 
 	names := sched.Names()
 	results := make([]MixResult, len(names))
-	err := parallelFor(len(names), func(i int) error {
+	err := parallelFor(x.ctx(), len(names), func(i int) error {
 		pol, err := sched.ByName(names[i])
 		if err != nil {
 			return err

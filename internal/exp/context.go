@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,6 +20,11 @@ type Context struct {
 	Quick bool
 	// Seed drives workload construction and trace generation.
 	Seed int64
+	// Ctx, when non-nil, cancels in-flight experiments: parallel workers
+	// stop scheduling new simulations and running simulations abort at
+	// their next epoch checkpoint. Nil means no cancellation (and keeps
+	// the simulator's zero-overhead no-checkpoint fast path).
+	Ctx context.Context
 
 	mu    sync.Mutex
 	alone map[aloneKey]metrics.ThreadOutcome
@@ -39,11 +45,20 @@ func NewContext(quick bool) *Context {
 func (x *Context) Config(cores int) sim.Config {
 	cfg := sim.DefaultConfig(cores)
 	cfg.Seed = x.Seed
+	cfg.Context = x.Ctx
 	if x.Quick {
 		cfg.WarmupCPUCycles = 50_000
 		cfg.MeasureCPUCycles = 500_000
 	}
 	return cfg
+}
+
+// ctx returns the context experiments run under, defaulting to Background.
+func (x *Context) ctx() context.Context {
+	if x.Ctx != nil {
+		return x.Ctx
+	}
+	return context.Background()
 }
 
 // MixCount scales a workload-count to the context's fidelity.
@@ -120,8 +135,12 @@ func (x *Context) RunMix(cfg sim.Config, mix workload.Mix, policy memctrl.Policy
 }
 
 // parallelFor runs fn(i) for i in [0,n) on up to GOMAXPROCS workers and
-// returns the first error.
-func parallelFor(n int, fn func(i int) error) error {
+// returns the first error. Workers pull the next index under a lock and
+// check ctx before each pull, so cancellation stops scheduling new indexes
+// (in-flight fn calls finish; simulations observe the same ctx through
+// sim.Config.Context and abort at their next checkpoint). internal/serve's
+// worker pool reuses this pull-under-lock shape for its job queue.
+func parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -141,7 +160,7 @@ func parallelFor(n int, fn func(i int) error) error {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if err != nil || next >= n {
+				if err != nil || next >= n || ctx.Err() != nil {
 					mu.Unlock()
 					return
 				}
@@ -160,12 +179,16 @@ func parallelFor(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err == nil {
+		err = ctx.Err()
+	}
 	return err
 }
 
 // prepareAlone pre-computes alone baselines for every benchmark in the
-// mixes, in parallel, so subsequent RunMix calls hit the cache.
-func (x *Context) prepareAlone(cfg sim.Config, mixes []workload.Mix) error {
+// mixes, in parallel, so subsequent RunMix calls hit the cache. ctx
+// cancellation stops scheduling new baseline runs.
+func (x *Context) prepareAlone(ctx context.Context, cfg sim.Config, mixes []workload.Mix) error {
 	seen := map[string]workload.Profile{}
 	for _, m := range mixes {
 		for _, p := range m.Benchmarks {
@@ -176,7 +199,7 @@ func (x *Context) prepareAlone(cfg sim.Config, mixes []workload.Mix) error {
 	for _, p := range seen {
 		ps = append(ps, p)
 	}
-	return parallelFor(len(ps), func(i int) error {
+	return parallelFor(ctx, len(ps), func(i int) error {
 		_, err := x.Alone(cfg, ps[i])
 		return err
 	})

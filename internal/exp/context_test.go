@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -11,7 +13,7 @@ import (
 
 func TestParallelForRunsAll(t *testing.T) {
 	var n int64
-	if err := parallelFor(100, func(i int) error {
+	if err := parallelFor(context.Background(), 100, func(i int) error {
 		atomic.AddInt64(&n, 1)
 		return nil
 	}); err != nil {
@@ -20,14 +22,14 @@ func TestParallelForRunsAll(t *testing.T) {
 	if n != 100 {
 		t.Errorf("ran %d of 100", n)
 	}
-	if err := parallelFor(0, func(int) error { return nil }); err != nil {
+	if err := parallelFor(context.Background(), 0, func(int) error { return nil }); err != nil {
 		t.Errorf("empty parallelFor errored: %v", err)
 	}
 }
 
 func TestParallelForPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	err := parallelFor(50, func(i int) error {
+	err := parallelFor(context.Background(), 50, func(i int) error {
 		if i == 7 {
 			return boom
 		}
@@ -35,6 +37,49 @@ func TestParallelForPropagatesError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Errorf("got %v, want boom", err)
+	}
+}
+
+// TestParallelForPreCanceled: a canceled context schedules no work at all
+// and reports the context's error.
+func TestParallelForPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var n int64
+	err := parallelFor(ctx, 100, func(i int) error {
+		atomic.AddInt64(&n, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if n != 0 {
+		t.Errorf("canceled parallelFor still ran %d indexes", n)
+	}
+}
+
+// TestParallelForCancellationStopsScheduling: canceling mid-flight lets
+// in-flight calls finish but stops new indexes from being scheduled — at
+// most one extra index per worker can slip in between the cancel and the
+// workers' next pull.
+func TestParallelForCancellationStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 100_000
+	var ran int64
+	err := parallelFor(ctx, n, func(i int) error {
+		if atomic.AddInt64(&ran, 1) == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	// Every worker may have had one index in flight when cancel hit, and the
+	// canceling call itself counts; anything near n means cancel was ignored.
+	if limit := int64(2 * (runtime.GOMAXPROCS(0) + 1)); ran > limit {
+		t.Errorf("ran %d of %d indexes after cancellation (limit %d)", ran, n, limit)
 	}
 }
 

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestArtifactsDeterministicAcrossGOMAXPROCS: the JSON artifacts behind
+// cmd/experiments -quick -json must be byte-identical whether the worker
+// pool runs serially or 8-wide — parallelFor changes wall-clock, never
+// results. F5 fans out across schedulers and T3 across mixes, so both
+// exercise the pool with work that would expose ordering or shared-state
+// leaks between indexes.
+func TestArtifactsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs quick-fidelity simulations")
+	}
+	run := func(procs int, id string) []byte {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := e.Run(NewContext(true))
+		if err != nil {
+			t.Fatalf("%s at GOMAXPROCS=%d: %v", id, procs, err)
+		}
+		data, err := tb.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	for _, id := range []string{"F5", "T3"} {
+		serial := run(1, id)
+		wide := run(8, id)
+		if !bytes.Equal(serial, wide) {
+			t.Errorf("%s artifact differs between GOMAXPROCS=1 and 8:\n serial: %s\n   wide: %s",
+				id, serial, wide)
+		}
+	}
+}

@@ -39,7 +39,7 @@ func sensitivity(x *Context, id, title, param string, values []string,
 		cells []string
 	}
 	rows := make([][]row, len(values))
-	err := parallelFor(len(values), func(vi int) error {
+	err := parallelFor(x.ctx(), len(values), func(vi int) error {
 		// A private context per configuration: alone baselines depend on
 		// the memory system shape.
 		sub := NewContext(x.Quick)

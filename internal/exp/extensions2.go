@@ -22,7 +22,7 @@ func init() {
 func runX8(x *Context) (*Table, error) {
 	mix := workload.Figure9Workload()
 	cfg := x.Config(8)
-	if err := x.prepareAlone(cfg, []workload.Mix{mix}); err != nil {
+	if err := x.prepareAlone(x.ctx(), cfg, []workload.Mix{mix}); err != nil {
 		return nil, err
 	}
 	t := &Table{ID: "X8", Title: "8-core mixed workload: channel organization",

@@ -69,11 +69,11 @@ func runF14(x *Context) (*Table, error) {
 
 func prioRows(x *Context, t *Table, scenario string, mix workload.Mix, variants []variant) error {
 	cfg := x.Config(len(mix.Benchmarks))
-	if err := x.prepareAlone(cfg, []workload.Mix{mix}); err != nil {
+	if err := x.prepareAlone(x.ctx(), cfg, []workload.Mix{mix}); err != nil {
 		return err
 	}
 	rows := make([][]string, len(variants))
-	err := parallelFor(len(variants), func(i int) error {
+	err := parallelFor(x.ctx(), len(variants), func(i int) error {
 		r, err := x.RunMix(cfg, mix, variants[i].make())
 		if err != nil {
 			return err

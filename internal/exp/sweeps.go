@@ -30,7 +30,7 @@ type variant struct {
 // GMEAN (unfairness, weighted, hmean).
 func sweepSet(x *Context, cores int, mixes []workload.Mix, variants []variant) (*Table, error) {
 	cfg := x.Config(cores)
-	if err := x.prepareAlone(cfg, mixes); err != nil {
+	if err := x.prepareAlone(x.ctx(), cfg, mixes); err != nil {
 		return nil, err
 	}
 	type cell struct{ unf, wsp, hsp []float64 }
@@ -46,7 +46,7 @@ func sweepSet(x *Context, cores int, mixes []workload.Mix, variants []variant) (
 	for i := range results {
 		results[i] = make([]MixResult, len(mixes))
 	}
-	err := parallelFor(len(jobs), func(i int) error {
+	err := parallelFor(x.ctx(), len(jobs), func(i int) error {
 		j := jobs[i]
 		r, err := x.RunMix(cfg, mixes[j.mi], variants[j.vi].make())
 		if err != nil {
@@ -75,11 +75,11 @@ func sweepSet(x *Context, cores int, mixes []workload.Mix, variants []variant) (
 // slowdowns as note lines.
 func caseSlowdowns(x *Context, t *Table, mix workload.Mix, variants []variant) error {
 	cfg := x.Config(len(mix.Benchmarks))
-	if err := x.prepareAlone(cfg, []workload.Mix{mix}); err != nil {
+	if err := x.prepareAlone(x.ctx(), cfg, []workload.Mix{mix}); err != nil {
 		return err
 	}
 	lines := make([]string, len(variants))
-	err := parallelFor(len(variants), func(i int) error {
+	err := parallelFor(x.ctx(), len(variants), func(i int) error {
 		r, err := x.RunMix(cfg, mix, variants[i].make())
 		if err != nil {
 			return err

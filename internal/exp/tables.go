@@ -93,7 +93,7 @@ func runT3(x *Context) (*Table, error) {
 		Header: []string{"benchmark", "cat", "MPKI", "(paper)", "RBhit", "(paper)", "BLP", "(paper)", "MCPI", "(paper)", "AST/req", "(paper)"},
 	}
 	rows := make([][]string, len(bs))
-	err := parallelFor(len(bs), func(i int) error {
+	err := parallelFor(x.ctx(), len(bs), func(i int) error {
 		p := bs[i]
 		out, err := x.Alone(cfg, p)
 		if err != nil {

@@ -1,0 +1,153 @@
+package serve
+
+import "sort"
+
+// admitter orders accepted jobs for dispatch. Implementations are not
+// safe for concurrent use; the Queue serializes access.
+type admitter interface {
+	// add accepts a job into the waiting set.
+	add(j *Job)
+	// next returns the next job to dispatch, or nil when empty.
+	next() *Job
+	// size reports the number of waiting jobs.
+	size() int
+	// batches reports the total batches formed (0 for FIFO).
+	batches() int64
+}
+
+// fifoAdmitter dispatches in arrival order — the baseline the e2e tests
+// measure the batch scheduler against, and the analog of the paper's FCFS.
+type fifoAdmitter struct {
+	q []*Job
+}
+
+func (f *fifoAdmitter) add(j *Job) { f.q = append(f.q, j) }
+
+func (f *fifoAdmitter) next() *Job {
+	if len(f.q) == 0 {
+		return nil
+	}
+	j := f.q[0]
+	f.q[0] = nil
+	f.q = f.q[1:]
+	return j
+}
+
+func (f *fifoAdmitter) size() int      { return len(f.q) }
+func (f *fifoAdmitter) batches() int64 { return 0 }
+
+// parbsAdmitter re-instantiates the paper's Section 3 rules one level up,
+// on the service's own admission queue:
+//
+//   - Batch formation (Rule 1/2 analog): when the current batch empties, up
+//     to markingCap waiting jobs per client are marked. Marked jobs
+//     strictly precede anything that arrives later, so a job's worst-case
+//     wait is bounded by the batches ahead of it — at most
+//     ceil(position/markingCap) batches of at most markingCap × clients
+//     jobs each — no matter how hard another client floods the queue
+//     (starvation-freedom).
+//
+//   - Max–Total ranking (Rule 3 analog): within a batch, clients are
+//     ranked shortest-job-first by estimated cost — lowest max single-job
+//     cost first, total cost breaking ties (the paper ranks threads by
+//     max-per-bank then total outstanding requests). Within a client, jobs
+//     stay in arrival order.
+type parbsAdmitter struct {
+	markingCap int
+	// waiting holds each client's unmarked jobs in arrival order.
+	waiting map[string][]*Job
+	// batch holds the current batch's marked jobs, flattened in rank order.
+	batch  []*Job
+	formed int64
+	total  int
+}
+
+// defaultMarkingCap mirrors the paper's Marking-Cap default of 5: big
+// enough to preserve a flooding client's intra-batch locality, small enough
+// to bound everyone else's wait.
+const defaultMarkingCap = 5
+
+func newParbsAdmitter(markingCap int) *parbsAdmitter {
+	if markingCap <= 0 {
+		markingCap = defaultMarkingCap
+	}
+	return &parbsAdmitter{markingCap: markingCap, waiting: make(map[string][]*Job)}
+}
+
+func (p *parbsAdmitter) add(j *Job) {
+	p.waiting[j.Client] = append(p.waiting[j.Client], j)
+	p.total++
+}
+
+func (p *parbsAdmitter) next() *Job {
+	if len(p.batch) == 0 {
+		p.formBatch()
+	}
+	if len(p.batch) == 0 {
+		return nil
+	}
+	j := p.batch[0]
+	p.batch[0] = nil
+	p.batch = p.batch[1:]
+	p.total--
+	return j
+}
+
+func (p *parbsAdmitter) size() int      { return p.total }
+func (p *parbsAdmitter) batches() int64 { return p.formed }
+
+// clientRank carries one client's marked jobs and its ranking signals.
+type clientRank struct {
+	jobs     []*Job
+	maxCost  int64
+	total    int64
+	earliest int64
+}
+
+// formBatch marks up to markingCap jobs per waiting client and flattens
+// them into dispatch order by Max–Total client rank.
+func (p *parbsAdmitter) formBatch() {
+	if p.total == 0 {
+		return
+	}
+	ranks := make([]clientRank, 0, len(p.waiting))
+	for client, jobs := range p.waiting {
+		if len(jobs) == 0 {
+			continue
+		}
+		n := p.markingCap
+		if n > len(jobs) {
+			n = len(jobs)
+		}
+		r := clientRank{jobs: jobs[:n:n], earliest: jobs[0].arrival}
+		for _, j := range r.jobs {
+			if j.Cost > r.maxCost {
+				r.maxCost = j.Cost
+			}
+			r.total += j.Cost
+		}
+		rest := jobs[n:]
+		if len(rest) == 0 {
+			delete(p.waiting, client)
+		} else {
+			p.waiting[client] = rest
+		}
+		ranks = append(ranks, r)
+	}
+	// Shortest job first: lowest max, then lowest total, then FCFS. The
+	// arrival tie-break also makes batch contents independent of map order.
+	sort.Slice(ranks, func(a, b int) bool {
+		ra, rb := ranks[a], ranks[b]
+		if ra.maxCost != rb.maxCost {
+			return ra.maxCost < rb.maxCost
+		}
+		if ra.total != rb.total {
+			return ra.total < rb.total
+		}
+		return ra.earliest < rb.earliest
+	})
+	for _, r := range ranks {
+		p.batch = append(p.batch, r.jobs...)
+	}
+	p.formed++
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// job builds a bare job for admitter-level tests; arrival mimics the
+// queue's stamping.
+func job(client string, cost, arrival int64) *Job {
+	return &Job{ID: fmt.Sprintf("%s-%d", client, arrival), Client: client, Cost: cost, arrival: arrival}
+}
+
+func drain(a admitter) []*Job {
+	var out []*Job
+	for j := a.next(); j != nil; j = a.next() {
+		out = append(out, j)
+	}
+	return out
+}
+
+func TestFIFOAdmitterPreservesArrivalOrder(t *testing.T) {
+	f := &fifoAdmitter{}
+	for i := int64(1); i <= 5; i++ {
+		f.add(job("c", 10, i))
+	}
+	for i, j := range drain(f) {
+		if j.arrival != int64(i+1) {
+			t.Fatalf("position %d got arrival %d", i, j.arrival)
+		}
+	}
+	if f.batches() != 0 {
+		t.Errorf("FIFO reported %d batches", f.batches())
+	}
+}
+
+// TestMarkingCapBoundsPerClientShare: a batch takes at most markingCap jobs
+// per client, so a flooding client cannot fill a batch.
+func TestMarkingCapBoundsPerClientShare(t *testing.T) {
+	p := newParbsAdmitter(2)
+	for i := int64(1); i <= 10; i++ {
+		p.add(job("flood", 100, i))
+	}
+	p.add(job("sparse", 100, 11))
+	// First batch: 2 flood + 1 sparse.
+	batch := []*Job{p.next(), p.next(), p.next()}
+	counts := map[string]int{}
+	for _, j := range batch {
+		counts[j.Client]++
+	}
+	if counts["flood"] != 2 || counts["sparse"] != 1 {
+		t.Fatalf("first batch client shares = %v, want flood:2 sparse:1", counts)
+	}
+	// The 4th dispatch starts batch two: flood only now.
+	if j := p.next(); j.Client != "flood" {
+		t.Fatalf("batch 2 started with %s", j.Client)
+	}
+	if p.batches() != 2 {
+		t.Errorf("formed %d batches, want 2", p.batches())
+	}
+}
+
+// TestMaxTotalRanking: within a batch, the client with the cheaper jobs is
+// served first (shortest job first); ties fall to total cost, then arrival.
+func TestMaxTotalRanking(t *testing.T) {
+	p := newParbsAdmitter(2)
+	p.add(job("heavy", 1000, 1))
+	p.add(job("heavy", 1000, 2))
+	p.add(job("light", 10, 3))
+	p.add(job("light", 10, 4))
+	order := drain(p)
+	if len(order) != 4 {
+		t.Fatalf("drained %d jobs", len(order))
+	}
+	for i, want := range []string{"light", "light", "heavy", "heavy"} {
+		if order[i].Client != want {
+			t.Fatalf("dispatch order %v, want light before heavy",
+				[]string{order[0].Client, order[1].Client, order[2].Client, order[3].Client})
+		}
+	}
+
+	// Equal max: lower total wins.
+	p = newParbsAdmitter(3)
+	p.add(job("two", 50, 1))
+	p.add(job("two", 50, 2))
+	p.add(job("one", 50, 3))
+	if j := p.next(); j.Client != "one" {
+		t.Errorf("equal-max tie went to %s, want the lower-total client", j.Client)
+	}
+
+	// Equal max and total: earlier arrival wins.
+	p = newParbsAdmitter(1)
+	p.add(job("b", 50, 2))
+	p.add(job("a", 50, 1))
+	if j := p.next(); j.Client != "a" {
+		t.Errorf("full tie went to %s, want the earlier arrival", j.Client)
+	}
+}
+
+// TestBatchBoundsWorstCaseWait: marked batches strictly precede later
+// arrivals, so a sparse client's job dispatches within
+// ceil(position/cap) batches of bounded size — here, ahead of most of an
+// earlier flood, and never behind jobs submitted after it.
+func TestBatchBoundsWorstCaseWait(t *testing.T) {
+	const cap = 2
+	p := newParbsAdmitter(cap)
+	for i := int64(1); i <= 20; i++ {
+		p.add(job("flood", 100, i))
+	}
+	p.add(job("sparse", 10, 21))
+	order := drain(p)
+	pos := -1
+	for i, j := range order {
+		if j.Client == "sparse" {
+			pos = i
+			break
+		}
+	}
+	// Batch 1 (flood-only, formed semantics: sparse is present before the
+	// first next() call here, so it lands in batch 1 and ranks first).
+	if pos < 0 {
+		t.Fatal("sparse job never dispatched")
+	}
+	if pos > cap {
+		t.Errorf("sparse job dispatched at position %d behind a 20-job flood; cap %d should bound it", pos, cap)
+	}
+}
+
+// TestLateArrivalWaitsForNextBatch: jobs arriving after a batch formed do
+// not preempt it (the strict batch boundary that gives marked jobs their
+// wait bound).
+func TestLateArrivalWaitsForNextBatch(t *testing.T) {
+	p := newParbsAdmitter(2)
+	p.add(job("flood", 100, 1))
+	p.add(job("flood", 100, 2))
+	if j := p.next(); j.Client != "flood" {
+		t.Fatal("expected flood job")
+	}
+	// Batch 1 is formed and half-dispatched; a cheap job arrives late.
+	p.add(job("late", 1, 3))
+	if j := p.next(); j.Client != "flood" {
+		t.Errorf("late arrival %s preempted the current batch", j.Client)
+	}
+	if j := p.next(); j.Client != "late" {
+		t.Error("late arrival missing from the next batch")
+	}
+}

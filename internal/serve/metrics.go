@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// waitBuckets is the number of power-of-two wait histogram buckets:
+// bucket 0 counts sub-millisecond waits, bucket i>0 counts waits in
+// [2^(i-1), 2^i) milliseconds, the last bucket open-ended (~17 min and up).
+const waitBuckets = 21
+
+// waitHist is one client's queue-wait histogram.
+type waitHist struct {
+	buckets [waitBuckets]int64
+	count   int64
+	sumMS   int64
+	maxMS   int64
+}
+
+func (h *waitHist) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	b := bits.Len64(uint64(ms))
+	if b >= waitBuckets {
+		b = waitBuckets - 1
+	}
+	h.buckets[b]++
+	h.count++
+	h.sumMS += ms
+	if ms > h.maxMS {
+		h.maxMS = ms
+	}
+}
+
+// Metrics holds the service counters exported at /metrics. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	accepted  int64
+	rejected  int64
+	completed int64
+	failed    int64
+	cacheHits int64
+	waits     map[string]*waitHist
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{waits: make(map[string]*waitHist)}
+}
+
+func (m *Metrics) jobAccepted() { m.add(&m.accepted) }
+func (m *Metrics) jobRejected() { m.add(&m.rejected) }
+
+func (m *Metrics) jobCompleted(client string, wait time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.observeWait(client, wait)
+}
+
+func (m *Metrics) jobFailed(client string, wait time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failed++
+	m.observeWait(client, wait)
+}
+
+func (m *Metrics) cacheHit() { m.add(&m.cacheHits) }
+
+func (m *Metrics) add(c *int64) {
+	m.mu.Lock()
+	*c++
+	m.mu.Unlock()
+}
+
+// observeWait records a completed job's queue wait; callers hold m.mu.
+func (m *Metrics) observeWait(client string, wait time.Duration) {
+	h := m.waits[client]
+	if h == nil {
+		h = &waitHist{}
+		m.waits[client] = h
+	}
+	h.observe(wait)
+}
+
+// Counters is a consistent snapshot of the scalar counters.
+type Counters struct {
+	Accepted, Rejected, Completed, Failed, CacheHits int64
+}
+
+// Snapshot returns the current counter values.
+func (m *Metrics) Snapshot() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Counters{
+		Accepted:  m.accepted,
+		Rejected:  m.rejected,
+		Completed: m.completed,
+		Failed:    m.failed,
+		CacheHits: m.cacheHits,
+	}
+}
+
+// render writes the counters in Prometheus text exposition format. The
+// gauges (queue depth, batch count) are sampled by the caller so Metrics
+// stays a plain counter bag.
+func (m *Metrics) render(w io.Writer, queueDepth int, batchesFormed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP parbs_serve_%s %s\n# TYPE parbs_serve_%s counter\nparbs_serve_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("jobs_accepted_total", "Jobs admitted to the queue (including cached replays).", m.accepted)
+	counter("jobs_rejected_total", "Submissions rejected by queue backpressure.", m.rejected)
+	counter("jobs_completed_total", "Jobs finished successfully (including cached replays).", m.completed)
+	counter("jobs_failed_total", "Jobs that errored, timed out, or panicked.", m.failed)
+	counter("cache_hits_total", "Submissions served instantly from the content-hash result cache.", m.cacheHits)
+	counter("batches_formed_total", "Admission batches formed by the PAR-BS scheduler.", batchesFormed)
+	fmt.Fprintf(w, "# HELP parbs_serve_queue_depth Jobs waiting for a worker.\n# TYPE parbs_serve_queue_depth gauge\nparbs_serve_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintf(w, "# HELP parbs_serve_wait_ms Per-client queue wait (milliseconds), power-of-two buckets.\n# TYPE parbs_serve_wait_ms histogram\n")
+	clients := make([]string, 0, len(m.waits))
+	for c := range m.waits {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	for _, c := range clients {
+		h := m.waits[c]
+		var cum int64
+		for i := 0; i < waitBuckets-1; i++ {
+			// Buckets 0..i together hold waits < 2^i ms, i.e. le = 2^i - 1.
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "parbs_serve_wait_ms_bucket{client=%q,le=\"%d\"} %d\n", c, int64(1)<<i-1, cum)
+		}
+		fmt.Fprintf(w, "parbs_serve_wait_ms_bucket{client=%q,le=\"+Inf\"} %d\n", c, h.count)
+		fmt.Fprintf(w, "parbs_serve_wait_ms_sum{client=%q} %d\n", c, h.sumMS)
+		fmt.Fprintf(w, "parbs_serve_wait_ms_count{client=%q} %d\n", c, h.count)
+		fmt.Fprintf(w, "parbs_serve_wait_ms_max{client=%q} %d\n", c, h.maxMS)
+	}
+}

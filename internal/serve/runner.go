@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	parbs "repro"
+)
+
+// Runner executes one validated job spec. The default is SimulationRunner;
+// tests substitute stubs to make scheduling behavior observable without
+// paying for real simulations.
+type Runner func(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error)
+
+// reportJSON is the wire form of a parbs.Report, embedded in run results.
+type reportJSON struct {
+	Scheduler        string             `json:"scheduler"`
+	Unfairness       float64            `json:"unfairness"`
+	WeightedSpeedup  float64            `json:"weighted_speedup"`
+	HmeanSpeedup     float64            `json:"hmean_speedup"`
+	WorstCaseLatency int64              `json:"worst_case_latency"`
+	BusUtilization   float64            `json:"bus_utilization"`
+	Threads          []threadReportJSON `json:"threads"`
+}
+
+type threadReportJSON struct {
+	Benchmark   string  `json:"benchmark"`
+	MemSlowdown float64 `json:"mem_slowdown"`
+	IPC         float64 `json:"ipc"`
+	BLP         float64 `json:"blp"`
+	RowHitRate  float64 `json:"row_hit_rate"`
+	ASTPerReq   float64 `json:"ast_per_req"`
+}
+
+func marshalReport(rep parbs.Report) (json.RawMessage, error) {
+	out := reportJSON{
+		Scheduler:        rep.Scheduler,
+		Unfairness:       rep.Unfairness,
+		WeightedSpeedup:  rep.WeightedSpeedup,
+		HmeanSpeedup:     rep.HmeanSpeedup,
+		WorstCaseLatency: rep.WorstCaseLatency,
+		BusUtilization:   rep.BusUtilization,
+	}
+	for _, t := range rep.Threads {
+		out.Threads = append(out.Threads, threadReportJSON{
+			Benchmark:   t.Benchmark,
+			MemSlowdown: t.MemSlowdown,
+			IPC:         t.IPC,
+			BLP:         t.BLP,
+			RowHitRate:  t.RowHitRate,
+			ASTPerReq:   t.ASTPerReq,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// SimulationRunner returns the production Runner: it lowers the spec onto
+// the public parbs API and executes it under the job's context, sharing
+// alone-run baselines across jobs through cache (identical system shapes
+// skip the baseline simulations entirely).
+func SimulationRunner(cache *parbs.AloneCache) Runner {
+	return func(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error) {
+		w, err := spec.workload()
+		if err != nil {
+			return nil, err
+		}
+		sched, err := spec.scheduler()
+		if err != nil {
+			return nil, err
+		}
+		opts := []parbs.RunOption{}
+		if cache != nil {
+			opts = append(opts, parbs.WithAloneCache(cache))
+		}
+		if progress != nil {
+			opts = append(opts, parbs.WithProgress(progress))
+		}
+		var tel *parbs.Telemetry
+		if spec.Telemetry != nil {
+			tel = parbs.NewTelemetry(parbs.TelemetryConfig{
+				EpochCycles: spec.Telemetry.EpochCycles,
+				MaxEpochs:   spec.Telemetry.MaxEpochs,
+			})
+			opts = append(opts, parbs.WithTelemetry(tel))
+		}
+		rep, err := parbs.RunContext(ctx, spec.system(), w, sched, opts...)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{}
+		if res.Report, err = marshalReport(rep); err != nil {
+			return nil, fmt.Errorf("marshal report: %w", err)
+		}
+		if tel != nil {
+			if res.Telemetry, err = tel.JSON(); err != nil {
+				return nil, fmt.Errorf("render telemetry: %w", err)
+			}
+		}
+		return res, nil
+	}
+}

@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	parbs "repro"
+)
+
+// Schema identifies the job-status wire format served at GET /v1/runs/{id}.
+const Schema = "parbs.serve/v1"
+
+// Admission selects the admission-queue scheduling discipline.
+type Admission string
+
+// Admission disciplines.
+const (
+	// AdmissionPARBS batches per client and ranks Max–Total (default).
+	AdmissionPARBS Admission = "parbs"
+	// AdmissionFIFO dispatches in arrival order — the fairness baseline.
+	AdmissionFIFO Admission = "fifo"
+)
+
+// Options configures a Server. The zero value selects the defaults.
+type Options struct {
+	// Workers sizes the simulation worker pool (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the admission queue; submissions beyond it are
+	// rejected with 429 (default 64).
+	QueueCap int
+	// Admission selects the queue discipline (default AdmissionPARBS).
+	Admission Admission
+	// MarkingCap bounds jobs marked per client per admission batch
+	// (default 5, the paper's Marking-Cap).
+	MarkingCap int
+	// DefaultTimeout caps jobs that do not set timeout_ms; 0 = no cap.
+	DefaultTimeout time.Duration
+	// Runner executes jobs (default SimulationRunner with a shared
+	// AloneCache). Tests substitute stubs.
+	Runner Runner
+}
+
+// Server is the simulation service: admission queue, worker pool, job
+// store, result cache, and HTTP API. Construct with New, mount Handler,
+// and call Shutdown to drain.
+type Server struct {
+	opts    Options
+	store   *Store
+	queue   *Queue
+	metrics *Metrics
+	pool    *pool
+	mux     *http.ServeMux
+
+	// baseCtx parents every job execution; cancel is the hard-abort used
+	// when a graceful drain overruns its deadline.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	draining    atomic.Bool
+	dispatchSeq atomic.Int64
+}
+
+// New starts a Server: the worker pool is live on return.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 64
+	}
+	if opts.Admission == "" {
+		opts.Admission = AdmissionPARBS
+	}
+	if opts.Runner == nil {
+		opts.Runner = SimulationRunner(parbs.NewAloneCache())
+	}
+	var adm admitter
+	switch opts.Admission {
+	case AdmissionFIFO:
+		adm = &fifoAdmitter{}
+	default:
+		adm = newParbsAdmitter(opts.MarkingCap)
+	}
+	s := &Server{
+		opts:    opts,
+		store:   NewStore(),
+		metrics: NewMetrics(),
+		queue:   newQueue(adm, opts.QueueCap),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.pool = startPool(opts.Workers, s.queue, s.runJob)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains gracefully: admissions stop (503/429), every already
+// accepted job still runs to completion, and the worker pool exits. If ctx
+// expires first, in-flight and remaining jobs are hard-aborted through
+// context cancellation (they finish in the failed state) and the error is
+// ctx's. Shutdown does not close HTTP listeners — that is the caller's
+// http.Server.Shutdown, sequenced after this drain so SSE streams end.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.close()
+	done := make(chan struct{})
+	go func() {
+		s.pool.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // hard abort: jobs observe cancellation at their next checkpoint
+		<-done
+		return ctx.Err()
+	}
+}
+
+// runJob executes one dispatched job on a worker, with panic recovery and
+// deadline enforcement.
+func (s *Server) runJob(j *Job) {
+	seq := s.dispatchSeq.Add(1)
+	j.start(seq, time.Now())
+	ctx := s.baseCtx
+	timeout := j.Spec.timeout()
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := s.safeRun(ctx, j)
+	now := time.Now()
+	j.finish(res, err, now)
+	snap := j.snapshot()
+	if err != nil {
+		s.metrics.jobFailed(j.Client, snap.Wait(now))
+		return
+	}
+	s.store.PutCache(j.Hash, res)
+	s.metrics.jobCompleted(j.Client, snap.Wait(now))
+}
+
+// safeRun invokes the Runner, converting panics into job failures so one
+// poisoned job cannot take a worker (or the server) down.
+func (s *Server) safeRun(ctx context.Context, j *Job) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("job panicked: %v", p)
+		}
+	}()
+	return s.opts.Runner(ctx, j.Spec, j.subs.publish)
+}
+
+// httpError writes a JSON error payload.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// jobView is the wire form of a job's status (GET /v1/runs/{id} and the
+// submission response).
+type jobView struct {
+	Schema      string          `json:"schema"`
+	ID          string          `json:"id"`
+	Client      string          `json:"client"`
+	Status      Status          `json:"status"`
+	Cached      bool            `json:"cached"`
+	Cost        int64           `json:"cost"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	WaitMS      int64           `json:"wait_ms"`
+	DispatchSeq int64           `json:"dispatch_seq,omitempty"`
+	Report      json.RawMessage `json:"report,omitempty"`
+	Telemetry   json.RawMessage `json:"telemetry,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+func viewOf(j *Job) jobView {
+	snap := j.snapshot()
+	v := jobView{
+		Schema:      Schema,
+		ID:          j.ID,
+		Client:      j.Client,
+		Status:      snap.Status,
+		Cached:      snap.Cached,
+		Cost:        j.Cost,
+		SubmittedAt: snap.SubmittedAt,
+		WaitMS:      snap.Wait(time.Now()).Milliseconds(),
+		DispatchSeq: snap.DispatchSeq,
+		Error:       snap.Err,
+	}
+	if !snap.StartedAt.IsZero() {
+		t := snap.StartedAt
+		v.StartedAt = &t
+	}
+	if !snap.FinishedAt.IsZero() {
+		t := snap.FinishedAt
+		v.FinishedAt = &t
+	}
+	if snap.Result != nil {
+		v.Report = snap.Result.Report
+		v.Telemetry = snap.Result.Telemetry
+	}
+	return v
+}
+
+// handleSubmit admits one job: 200 with the completed view on a cache hit,
+// 202 on admission, 400 on a malformed spec, 429 on backpressure, 503 while
+// draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parse spec: %w", err))
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Content-hash replay: an identical completed simulation answers
+	// instantly, no queue slot, no simulation.
+	if res, ok := s.store.Cached(spec.hash()); ok {
+		j := s.store.NewJob(spec, time.Now())
+		j.finishCached(res, time.Now())
+		s.metrics.jobAccepted()
+		s.metrics.cacheHit()
+		s.metrics.jobCompleted(j.Client, 0)
+		writeJSON(w, http.StatusOK, viewOf(j))
+		return
+	}
+	j := s.store.NewJob(spec, time.Now())
+	if err := s.queue.Add(j); err != nil {
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, ErrQueueFull) {
+			code = http.StatusTooManyRequests
+		}
+		s.metrics.jobRejected()
+		httpError(w, code, err)
+		return
+	}
+	s.metrics.jobAccepted()
+	writeJSON(w, http.StatusAccepted, viewOf(j))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j))
+}
+
+// progressView is the SSE wire form of a parbs.Progress heartbeat.
+type progressView struct {
+	Phase          string `json:"phase"`
+	CPUCycles      int64  `json:"cpu_cycles"`
+	TotalCPUCycles int64  `json:"total_cpu_cycles"`
+	CommandsIssued int64  `json:"commands_issued"`
+	PendingReads   int    `json:"pending_reads"`
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: "progress"
+// events with heartbeat JSON, then one final "done" event carrying the
+// job's terminal view.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// Subscribe before the terminal-state check so a completion between the
+	// two cannot be missed.
+	ch, unsubscribe := j.subs.subscribe()
+	defer unsubscribe()
+	sendDone := func() {
+		data, _ := json.Marshal(viewOf(j))
+		fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case p, open := <-ch:
+			if !open {
+				sendDone()
+				return
+			}
+			data, _ := json.Marshal(progressView{
+				Phase:          p.Phase,
+				CPUCycles:      p.CPUCycles,
+				TotalCPUCycles: p.TotalCPUCycles,
+				CommandsIssued: p.CommandsIssued,
+				PendingReads:   p.PendingReads,
+			})
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+			flusher.Flush()
+		case <-j.done:
+			// Drain any last buffered heartbeat, then finish.
+			select {
+			case p, open := <-ch:
+				if open {
+					data, _ := json.Marshal(progressView{
+						Phase:          p.Phase,
+						CPUCycles:      p.CPUCycles,
+						TotalCPUCycles: p.TotalCPUCycles,
+						CommandsIssued: p.CommandsIssued,
+						PendingReads:   p.PendingReads,
+					})
+					fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+				}
+			default:
+			}
+			sendDone()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, s.queue.Depth(), s.queue.Batches())
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	parbs "repro"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states. Terminal states are StatusDone and StatusFailed.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Result is a completed job's payload: the run report and, when requested,
+// the embedded parbs.telemetry/v1 report. Results are immutable once
+// published and shared between a job and the content-hash cache.
+type Result struct {
+	Report    json.RawMessage
+	Telemetry json.RawMessage
+}
+
+// Job is one accepted simulation run.
+type Job struct {
+	// Immutable after admission.
+	ID      string
+	Client  string
+	Spec    Spec
+	Hash    string
+	Cost    int64
+	arrival int64 // admission order within the queue
+
+	mu          sync.Mutex
+	status      Status
+	cached      bool
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	dispatchSeq int64 // global 1-based order the worker pool started it
+	result      *Result
+	errMsg      string
+
+	// done closes on entry to a terminal state; SSE streams and tests wait
+	// on it.
+	done chan struct{}
+	subs *broadcaster
+}
+
+// start transitions the job to running.
+func (j *Job) start(seq int64, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = StatusRunning
+	j.dispatchSeq = seq
+	j.startedAt = now
+}
+
+// finish transitions the job to its terminal state and wakes waiters.
+func (j *Job) finish(res *Result, err error, now time.Time) {
+	j.mu.Lock()
+	if err != nil {
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	} else {
+		j.status = StatusDone
+		j.result = res
+	}
+	j.finishedAt = now
+	j.mu.Unlock()
+	close(j.done)
+	j.subs.close()
+}
+
+// finishCached completes the job instantly from a cached result: no
+// dispatch, no simulation.
+func (j *Job) finishCached(res *Result, now time.Time) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.cached = true
+	j.result = res
+	j.finishedAt = now
+	j.mu.Unlock()
+	close(j.done)
+	j.subs.close()
+}
+
+// Snapshot is a consistent copy of a job's mutable state.
+type Snapshot struct {
+	Status      Status
+	Cached      bool
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+	DispatchSeq int64
+	Result      *Result
+	Err         string
+}
+
+// snapshot copies the mutable state under the job's lock.
+func (j *Job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		Status:      j.status,
+		Cached:      j.cached,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+		DispatchSeq: j.dispatchSeq,
+		Result:      j.result,
+		Err:         j.errMsg,
+	}
+}
+
+// Wait returns the job's wait in queue: submission to dispatch (or to now
+// while still queued).
+func (s Snapshot) Wait(now time.Time) time.Duration {
+	switch {
+	case s.StartedAt.IsZero() && s.FinishedAt.IsZero():
+		return now.Sub(s.SubmittedAt)
+	case s.StartedAt.IsZero():
+		// Cached replay: never dispatched.
+		return s.FinishedAt.Sub(s.SubmittedAt)
+	default:
+		return s.StartedAt.Sub(s.SubmittedAt)
+	}
+}
+
+// Store owns the job table and the content-hash result cache.
+type Store struct {
+	mu    sync.Mutex
+	seq   int64
+	jobs  map[string]*Job
+	cache map[string]*Result
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{jobs: make(map[string]*Job), cache: make(map[string]*Result)}
+}
+
+// NewJob admits a job record in the queued state.
+func (st *Store) NewJob(spec Spec, now time.Time) *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &Job{
+		ID:     fmt.Sprintf("r-%06d", st.seq),
+		Client: spec.Client,
+		Spec:   spec,
+		Hash:   spec.hash(),
+		Cost:   spec.cost(),
+
+		status:      StatusQueued,
+		submittedAt: now,
+		done:        make(chan struct{}),
+		subs:        newBroadcaster(),
+	}
+	st.jobs[j.ID] = j
+	return j
+}
+
+// Get returns the job with the given ID.
+func (st *Store) Get(id string) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// Cached returns the cached result for a content hash, if any.
+func (st *Store) Cached(hash string) (*Result, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.cache[hash]
+	return r, ok
+}
+
+// PutCache publishes a completed result under its content hash.
+func (st *Store) PutCache(hash string, r *Result) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cache[hash] = r
+}
+
+// Jobs returns the number of admitted jobs.
+func (st *Store) Jobs() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.jobs)
+}
+
+// broadcaster fans a job's progress heartbeats out to its SSE subscribers.
+// publish never blocks (the hook runs inside the simulator loop): each
+// subscriber holds a 1-slot channel and a stale snapshot is replaced by the
+// newest — SSE consumers want the latest state, not every epoch.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan parbs.Progress]struct{}
+	closed bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan parbs.Progress]struct{})}
+}
+
+// subscribe registers a listener; cancel removes it. Subscribing to an
+// already-closed broadcaster returns a closed channel.
+func (b *broadcaster) subscribe() (<-chan parbs.Progress, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan parbs.Progress, 1)
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+		}
+	}
+}
+
+// publish delivers the newest snapshot to every subscriber, dropping stale
+// undelivered ones.
+func (b *broadcaster) publish(p parbs.Progress) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- p:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+	}
+}
+
+// close ends the stream: subscriber channels close after any buffered
+// final snapshot drains.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+		delete(b.subs, ch)
+	}
+}

@@ -3,7 +3,10 @@ package parbs
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"repro/internal/cpu"
+	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -44,11 +47,91 @@ type Progress struct {
 	PendingReads int
 }
 
+// AloneCache memoizes alone-run baselines across RunContext calls. A run's
+// slowdown metrics need one single-thread baseline per distinct benchmark,
+// and those baselines depend only on the benchmark and the system shape —
+// not on the scheduler or co-runners — so services and sweeps that simulate
+// many workloads on the same system can share one cache and skip the
+// (dominant) baseline cost on every run after the first. Safe for
+// concurrent use by multiple simultaneous runs.
+type AloneCache struct {
+	mu sync.Mutex
+	m  map[aloneCacheKey]metrics.ThreadOutcome
+}
+
+// aloneCacheKey captures everything an alone run's outcome depends on: the
+// benchmark and every configuration field that survives sim.RunAlone's
+// single-core normalization. Threads is normalized to 1 so systems that
+// differ only in core count (but share a memory-system shape) hit the same
+// entries.
+type aloneCacheKey struct {
+	benchmark string
+	timing    dram.Timing
+	geometry  dram.Geometry
+	ctrl      memctrl.Config
+	core      cpu.Config
+	ratio     int64
+	warmup    int64
+	measure   int64
+	overhead  int64
+	seed      int64
+}
+
+// NewAloneCache returns an empty baseline cache.
+func NewAloneCache() *AloneCache {
+	return &AloneCache{m: make(map[aloneCacheKey]metrics.ThreadOutcome)}
+}
+
+// Len reports the number of cached baselines.
+func (c *AloneCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func aloneKeyFor(cfg sim.Config, benchmark string) aloneCacheKey {
+	ctrl := cfg.Ctrl
+	ctrl.Threads = 1
+	return aloneCacheKey{
+		benchmark: benchmark,
+		timing:    cfg.Timing,
+		geometry:  cfg.Geometry,
+		ctrl:      ctrl,
+		core:      cfg.Core,
+		ratio:     cfg.CPUCyclesPerDRAM,
+		warmup:    cfg.WarmupCPUCycles,
+		measure:   cfg.MeasureCPUCycles,
+		overhead:  cfg.CompletionOverheadCPU,
+		seed:      cfg.Seed,
+	}
+}
+
+func (c *AloneCache) get(cfg sim.Config, benchmark string) (metrics.ThreadOutcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.m[aloneKeyFor(cfg, benchmark)]
+	return out, ok
+}
+
+func (c *AloneCache) put(cfg sim.Config, benchmark string, out metrics.ThreadOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[aloneKeyFor(cfg, benchmark)] = out
+}
+
+// WithAloneCache shares alone-run baselines across runs through c. Runs
+// that find their benchmarks' baselines in the cache skip the alone
+// simulations entirely; misses are computed once and inserted.
+func WithAloneCache(c *AloneCache) RunOption {
+	return func(rc *runConfig) { rc.aloneCache = c }
+}
+
 // runConfig collects the RunOption settings.
 type runConfig struct {
-	tel      *Telemetry
-	cmdLog   func(CommandEvent)
-	progress func(Progress)
+	tel        *Telemetry
+	cmdLog     func(CommandEvent)
+	progress   func(Progress)
+	aloneCache *AloneCache
 }
 
 // RunOption customizes a RunContext call.
@@ -155,6 +238,11 @@ func RunContext(ctx context.Context, sys System, w Workload, s Scheduler, opts .
 	rep := Report{Scheduler: res.Policy, BusUtilization: res.BusUtilization()}
 	for i, th := range res.Threads {
 		base, ok := alone[th.Benchmark]
+		if !ok && rc.aloneCache != nil {
+			if base, ok = rc.aloneCache.get(cfg, th.Benchmark); ok {
+				alone[th.Benchmark] = base
+			}
+		}
 		if !ok {
 			phase = "alone:" + th.Benchmark
 			base, err = sim.RunAlone(cfg, w.mix.Benchmarks[i])
@@ -162,6 +250,9 @@ func RunContext(ctx context.Context, sys System, w Workload, s Scheduler, opts .
 				return Report{}, err
 			}
 			alone[th.Benchmark] = base
+			if rc.aloneCache != nil {
+				rc.aloneCache.put(cfg, th.Benchmark, base)
+			}
 		}
 		aloneMCPI[i] = base.CPU.MCPI()
 		c := metrics.Comparison{Alone: base, Shared: th}

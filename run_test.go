@@ -156,6 +156,51 @@ func TestRunContextTelemetryAndProgress(t *testing.T) {
 	}
 }
 
+// TestAloneCacheSharesBaselines: a shared AloneCache is filled by the first
+// run, reused by a second run with an identical system shape (identical
+// reports), and kept distinct across shapes (different seeds miss).
+func TestAloneCacheSharesBaselines(t *testing.T) {
+	w, err := WorkloadFromNames("mcf", "lbm", "hmmer", "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewAloneCache()
+	first, err := RunContext(context.Background(), quickSystem(4), w, NewFRFCFS(), WithAloneCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 3 {
+		t.Fatalf("cache has %d baselines after a 3-benchmark run, want 3", cache.Len())
+	}
+	// Second run: all baselines hit the cache; no alone phases are entered.
+	var alonePhases int
+	second, err := RunContext(context.Background(), quickSystem(4), w, NewFRFCFS(),
+		WithAloneCache(cache),
+		WithProgress(func(p Progress) {
+			if strings.HasPrefix(p.Phase, "alone:") {
+				alonePhases++
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alonePhases != 0 {
+		t.Errorf("second run entered %d alone-phase heartbeats despite a warm cache", alonePhases)
+	}
+	if first.String() != second.String() {
+		t.Errorf("cached baselines changed the report:\n first: %v\n second: %v", first, second)
+	}
+	// A different trace seed is a different shape: it must not hit.
+	sys := quickSystem(4)
+	sys.Seed = 99
+	if _, err := RunContext(context.Background(), sys, w, NewFRFCFS(), WithAloneCache(cache)); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 6 {
+		t.Errorf("cache has %d baselines after a second shape, want 6", cache.Len())
+	}
+}
+
 // TestTelemetryBeforeRun: JSON before the run completes is an error, not a
 // panic or an empty report.
 func TestTelemetryBeforeRun(t *testing.T) {

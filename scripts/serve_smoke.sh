@@ -1,0 +1,73 @@
+#!/bin/sh
+# End-to-end smoke test for parbs-serve: build the binary, boot it on a
+# private port, submit one quick simulation over HTTP, poll until it
+# completes, verify a cached replay answers with 200, and check that the
+# /metrics counters reconcile. Exits nonzero on any failure.
+#
+# Usage: scripts/serve_smoke.sh [port]   (default 18380)
+set -eu
+
+cd "$(dirname "$0")/.."
+port="${1:-18380}"
+base="http://127.0.0.1:$port"
+tmp="$(mktemp -d)"
+pid=""
+
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/parbs-serve" ./cmd/parbs-serve
+"$tmp/parbs-serve" -addr "127.0.0.1:$port" &
+pid=$!
+
+for _ in $(seq 1 50); do
+	if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+	sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null || { echo "serve_smoke: server never became healthy" >&2; exit 1; }
+
+spec='{
+  "client": "smoke",
+  "system":    {"cores": 4, "warmup_cycles": 10000, "measure_cycles": 100000},
+  "workload":  {"mix": "CSI"},
+  "scheduler": {"name": "PAR-BS"},
+  "telemetry": {"epoch_cycles": 10240}
+}'
+
+code="$(curl -s -o "$tmp/submit.json" -w '%{http_code}' -d "$spec" "$base/v1/runs")"
+[ "$code" = "202" ] || { echo "serve_smoke: submit returned $code" >&2; cat "$tmp/submit.json" >&2; exit 1; }
+id="$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$tmp/submit.json" | head -1)"
+[ -n "$id" ] || { echo "serve_smoke: no run id in submit response" >&2; exit 1; }
+
+status=""
+for _ in $(seq 1 600); do
+	code="$(curl -s -o "$tmp/run.json" -w '%{http_code}' "$base/v1/runs/$id")"
+	[ "$code" = "200" ] || { echo "serve_smoke: GET $id returned $code" >&2; exit 1; }
+	status="$(sed -n 's/.*"status": *"\([^"]*\)".*/\1/p' "$tmp/run.json" | head -1)"
+	case "$status" in
+	done) break ;;
+	failed) echo "serve_smoke: run failed:" >&2; cat "$tmp/run.json" >&2; exit 1 ;;
+	esac
+	sleep 0.5
+done
+[ "$status" = "done" ] || { echo "serve_smoke: run stuck in '$status'" >&2; exit 1; }
+grep -q '"scheduler": *"PAR-BS"' "$tmp/run.json" || { echo "serve_smoke: report missing from terminal view" >&2; exit 1; }
+grep -q 'parbs.telemetry/v1' "$tmp/run.json" || { echo "serve_smoke: telemetry missing from terminal view" >&2; exit 1; }
+
+# Identical resubmission must replay from the cache: 200, no new run.
+code="$(curl -s -o "$tmp/replay.json" -w '%{http_code}' -d "$spec" "$base/v1/runs")"
+[ "$code" = "200" ] || { echo "serve_smoke: cached replay returned $code, want 200" >&2; exit 1; }
+grep -q '"cached": *true' "$tmp/replay.json" || { echo "serve_smoke: replay not marked cached" >&2; exit 1; }
+
+curl -fsS "$base/metrics" >"$tmp/metrics"
+grep -q '^parbs_serve_jobs_accepted_total 2$' "$tmp/metrics" || { echo "serve_smoke: accepted != 2" >&2; cat "$tmp/metrics" >&2; exit 1; }
+grep -q '^parbs_serve_jobs_completed_total 2$' "$tmp/metrics" || { echo "serve_smoke: completed != 2" >&2; cat "$tmp/metrics" >&2; exit 1; }
+grep -q '^parbs_serve_cache_hits_total 1$' "$tmp/metrics" || { echo "serve_smoke: cache_hits != 1" >&2; cat "$tmp/metrics" >&2; exit 1; }
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "serve_smoke: OK (run $id completed, replayed from cache, metrics reconcile)"

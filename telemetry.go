@@ -6,6 +6,11 @@ import (
 	"repro/internal/telemetry"
 )
 
+// TelemetrySchema identifies the JSON wire format produced by
+// Telemetry.JSON (and embedded in parbs-serve run results). Readers should
+// reject reports with a different schema string.
+const TelemetrySchema = telemetry.Schema
+
 // TelemetryConfig sizes a Telemetry collector. The zero value selects the
 // defaults.
 type TelemetryConfig struct {
