@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench serve serve-smoke check ci
+.PHONY: all build vet test race bench-smoke bench serve serve-smoke trace-smoke check ci
 
 all: check
 
@@ -31,6 +31,11 @@ serve:
 # Boot the service, submit a quick job over HTTP, assert it completes.
 serve-smoke:
 	scripts/serve_smoke.sh
+
+# Record a short traced run, analyze it, assert the starvation audit
+# passes. Set TRACE_OUT=<dir> to keep the artifacts.
+trace-smoke:
+	scripts/trace_smoke.sh
 
 check: build vet race bench-smoke
 

@@ -6,6 +6,7 @@
 //	parbs-sim -sched PAR-BS -mix libquantum,mcf,GemsFDTD,xalancbmk
 //	parbs-sim -sched STFM -mix CSII
 //	parbs-sim -sched PAR-BS -mix CSI -telemetry run.json [-epoch 1024]
+//	parbs-sim -sched PAR-BS -mix CSI -trace run.trace.json -trace-events run.jsonl
 //	parbs-sim -device ddr3-1333 -mix CSI
 //	parbs-sim -list
 package main
@@ -15,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -41,6 +44,9 @@ func main() {
 		batchInfo = flag.Bool("batchstats", false, "print PAR-BS batch telemetry (size/duration histograms)")
 		telFile   = flag.String("telemetry", "", "write a JSON telemetry run report (schema "+telemetry.Schema+") to this file")
 		epoch     = flag.Int64("epoch", 0, "telemetry sampling epoch in DRAM cycles (default 1024)")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto/chrome://tracing) to this file")
+		eventFile = flag.String("trace-events", "", "write a JSONL lifecycle event log (schema "+trace.Schema+", for parbs-trace analyze) to this file")
+		maxEvents = flag.Int("trace-max-events", 0, "cap buffered trace events (default 2^20)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
@@ -88,6 +94,11 @@ func main() {
 	if *telFile != "" {
 		probe = telemetry.NewProbe(telemetry.Config{EpochDRAMCycles: *epoch})
 		cfg.Probe = probe
+	}
+	var tracer *trace.Tracer
+	if *traceFile != "" || *eventFile != "" {
+		tracer = trace.NewTracer(trace.Config{MaxEvents: *maxEvents})
+		cfg.Tracer = tracer
 	}
 
 	policy, err := sched.ByName(*schedName)
@@ -150,6 +161,38 @@ func main() {
 		fmt.Printf("\ntelemetry: %d epochs (%d DRAM cycles each) written to %s\n",
 			rep.Epochs, rep.EpochDRAMCycles, *telFile)
 	}
+	if tracer != nil {
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile, tracer.WriteChrome); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\ntrace: %d events written to %s (load in Perfetto or chrome://tracing)\n",
+				tracer.Events(), *traceFile)
+		}
+		if *eventFile != "" {
+			if err := writeTrace(*eventFile, tracer.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace events: %d written to %s (analyze with parbs-trace analyze)\n",
+				tracer.Events(), *eventFile)
+		}
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Printf("trace: %d events dropped after the buffer filled; raise -trace-max-events\n", n)
+		}
+	}
+}
+
+// writeTrace renders one tracer output into path.
+func writeTrace(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func resolveMix(spec string) (workload.Mix, error) {

@@ -1,14 +1,17 @@
-// Command parbs-trace records synthetic benchmark traces to text files and
-// replays trace files through the simulator, so external traces can drive
-// the reproduction.
+// Command parbs-trace records synthetic benchmark traces to text files,
+// replays trace files through the simulator, and analyzes lifecycle event
+// logs (parbs-sim -trace-events) into per-request wait forensics and the
+// paper's starvation audit.
 //
 // Usage:
 //
 //	parbs-trace record -bench lbm -n 50000 -out lbm.trace
 //	parbs-trace replay -sched PAR-BS -traces lbm.trace,mcf.trace
+//	parbs-trace analyze run.jsonl [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -29,13 +33,15 @@ func main() {
 		record(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "analyze":
+		analyze(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: parbs-trace record|replay [flags]")
+	fmt.Fprintln(os.Stderr, "usage: parbs-trace record|replay|analyze [flags]")
 	os.Exit(2)
 }
 
@@ -118,6 +124,38 @@ func replay(args []string) {
 			th.Benchmark, th.CPU.IPC(), th.CPU.MCPI(), th.Mem.BLP(), th.Mem.RowHitRate(), th.CPU.ASTPerReq())
 	}
 	fmt.Printf("bus utilization %.1f%%\n", 100*res.BusUtilization())
+}
+
+// analyze folds a JSONL lifecycle event log into per-thread wait
+// decomposition and the Marking-Cap starvation audit.
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the analysis as JSON instead of text")
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("analyze needs one event-log file (from parbs-sim -trace-events), schema %s", trace.Schema))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	log, err := trace.ReadLog(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+	a := trace.Analyze(log)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := a.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -17,6 +17,23 @@ type BatchObserver interface {
 	BatchCompleted(now int64, durationDRAM int64)
 }
 
+// LifecycleObserver receives per-request marking events and detailed batch
+// spans. *trace.Tracer satisfies it; as with BatchObserver, the interface
+// lives here so core stays free of an observability dependency. Strictly
+// passive: it cannot influence marking or ranking.
+type LifecycleObserver interface {
+	// RequestMarked fires for each request marked into batch (Rule 1 and
+	// the empty-slot admission path).
+	RequestMarked(id int64, thread int, batch int64, now int64)
+	// BatchFormedDetail fires once per batch formation with the batch's
+	// total marked size, per-thread marked counts, and how many requests
+	// the Marking-Cap clipped out. perThread is only valid for the call.
+	BatchFormedDetail(batch int64, now int64, size int, perThread []int, clipped int)
+	// BatchDrained fires when every marked request of the batch has been
+	// serviced (never under StaticBatching, which re-marks on a timer).
+	BatchDrained(batch int64, now int64, duration int64)
+}
+
 // Engine is the PAR-BS scheduler: a memctrl.Policy implementing request
 // batching (Rule 1), the within-batch prioritization rules (Rule 2, plus the
 // PRIORITY rule of Section 5), and per-batch thread ranking (Rule 3).
@@ -68,6 +85,11 @@ type Engine struct {
 	// observer, when non-nil, is notified of batch formation/completion.
 	// Purely observational: it cannot influence marking or ranking.
 	observer BatchObserver
+	// lifecycle, when non-nil, receives per-request marking events and
+	// detailed batch spans; lifecycleScratch is its reused per-thread
+	// count buffer.
+	lifecycle        LifecycleObserver
+	lifecycleScratch []int
 }
 
 // rankKey is one thread's ranking key: its marked-request load shape
@@ -141,6 +163,16 @@ func (e *Engine) Options() Options { return e.opts }
 // SetBatchObserver registers an observer for batch lifecycle events; nil
 // detaches. The sim layer wires telemetry probes through this.
 func (e *Engine) SetBatchObserver(o BatchObserver) { e.observer = o }
+
+// SetLifecycleObserver registers an observer for per-request marking and
+// detailed batch spans; nil detaches. The sim layer wires tracers through
+// this. Call after OnAttach (the sim layer constructs the controller first).
+func (e *Engine) SetLifecycleObserver(o LifecycleObserver) {
+	e.lifecycle = o
+	if o != nil && e.lifecycleScratch == nil {
+		e.lifecycleScratch = make([]int, e.threads)
+	}
+}
 
 // BatchesFormed returns how many batches have been formed.
 func (e *Engine) BatchesFormed() int64 { return e.batchesFormed }
@@ -242,6 +274,7 @@ func (e *Engine) formBatch(now int64) {
 		}
 	}
 	capacity := e.currentCap()
+	clipped := 0
 	for _, r := range e.ctrl.ReadRequests() { // buffer order == oldest first
 		if r.Marked {
 			// Only possible under StaticBatching: leftovers stay marked and
@@ -253,6 +286,7 @@ func (e *Engine) formBatch(now int64) {
 			continue
 		}
 		if e.markedInBatch[r.Thread][r.Loc.Bank] >= capacity {
+			clipped++
 			continue
 		}
 		r.Marked = true
@@ -264,10 +298,23 @@ func (e *Engine) formBatch(now int64) {
 			}
 			delete(e.arrivalBatch, r)
 		}
+		if e.lifecycle != nil {
+			e.lifecycle.RequestMarked(r.ID, r.Thread, e.batchIndex, now)
+		}
 	}
 	e.batchStats.recordSize(e.totalMarked)
 	if e.observer != nil {
 		e.observer.BatchFormed(now, e.totalMarked)
+	}
+	if e.lifecycle != nil {
+		pt := e.lifecycleScratch
+		for t := range pt {
+			pt[t] = 0
+			for b := 0; b < e.banks; b++ {
+				pt[t] += e.markedInBatch[t][b]
+			}
+		}
+		e.lifecycle.BatchFormedDetail(e.batchIndex, now, e.totalMarked, pt, clipped)
 	}
 	e.computeRanking()
 }
@@ -353,6 +400,9 @@ func (e *Engine) OnEnqueue(r *memctrl.Request, now int64) {
 	e.markedInBatch[r.Thread][r.Loc.Bank]++
 	e.totalMarked++
 	delete(e.arrivalBatch, r)
+	if e.lifecycle != nil {
+		e.lifecycle.RequestMarked(r.ID, r.Thread, e.batchIndex, now)
+	}
 }
 
 // OnIssue is part of memctrl.Policy; PAR-BS needs no per-command bookkeeping.
@@ -372,6 +422,9 @@ func (e *Engine) OnComplete(r *memctrl.Request, now int64) {
 		e.batchStats.recordDuration(e.lastBatchLen)
 		if e.observer != nil {
 			e.observer.BatchCompleted(now, e.lastBatchLen)
+		}
+		if e.lifecycle != nil {
+			e.lifecycle.BatchDrained(e.batchIndex, now, e.lastBatchLen)
 		}
 	}
 }

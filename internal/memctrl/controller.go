@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config sizes the controller. The zero value is not usable; start from
@@ -164,6 +165,12 @@ type Controller struct {
 	// probe, when non-nil, receives per-read latency observations from the
 	// retire path. It never influences scheduling.
 	probe *telemetry.Probe
+	// tracer, when non-nil, receives request lifecycle events (arrival,
+	// command issue, completion). Like the probe it is strictly passive.
+	tracer *trace.Tracer
+	// ranked is the attached policy's ranking view when it has one, used
+	// only to stamp rank-at-issue onto trace events.
+	ranked RankedPolicy
 	// nextRefresh is the next due all-bank refresh when the device's
 	// TREFI is non-zero.
 	nextRefresh int64
@@ -246,6 +253,21 @@ func (c *Controller) SetCommandLog(fn func(CommandEvent)) { c.cmdLog = fn }
 // bound by the caller; the controller only feeds it read latencies.
 func (c *Controller) SetProbe(p *telemetry.Probe) { c.probe = p }
 
+// RankedPolicy is the optional ranking view of a scheduling policy: the
+// thread's current rank position, 0 highest. *core.Engine satisfies it.
+type RankedPolicy interface {
+	RankPosition(thread int) int
+}
+
+// SetTracer attaches a lifecycle tracer (nil detaches). The tracer must be
+// bound by the caller; the controller feeds it arrivals, per-command
+// issues (with rank-at-issue when the policy ranks threads), and
+// completions. It never influences scheduling.
+func (c *Controller) SetTracer(t *trace.Tracer) {
+	c.tracer = t
+	c.ranked, _ = c.policy.(RankedPolicy)
+}
+
 // ReadRequests returns the live read request buffer. Policies may reorder
 // their own bookkeeping from it but must not mutate the slice.
 func (c *Controller) ReadRequests() []*Request { return c.reads }
@@ -294,6 +316,12 @@ func (c *Controller) EnqueueRead(thread int, addr int64, now int64) (*Request, b
 	c.rowDemand[r.Loc.Bank][r.Loc.Row]++
 	c.perThread[thread]++
 	c.perThreadPerBank[thread][r.Loc.Bank]++
+	// Arrival is traced before the policy sees the request: empty-slot
+	// batching may mark it inside OnEnqueue, and the trace must show the
+	// arrival first.
+	if c.tracer != nil {
+		c.tracer.RequestArrived(r.ID, thread, r.Loc.Bank, r.Loc.Row, false, now)
+	}
 	c.policy.OnEnqueue(r, now)
 	return r, true
 }
@@ -308,6 +336,9 @@ func (c *Controller) EnqueueWrite(thread int, addr int64, now int64) bool {
 	c.writes = append(c.writes, r)
 	c.bankWrites[r.Loc.Bank] = append(c.bankWrites[r.Loc.Bank], r)
 	c.rowDemand[r.Loc.Bank][r.Loc.Row]++
+	if c.tracer != nil {
+		c.tracer.RequestArrived(r.ID, thread, r.Loc.Bank, r.Loc.Row, true, now)
+	}
 	return true
 }
 
@@ -382,6 +413,9 @@ func (c *Controller) refreshStep(now, trefi int64) bool {
 		c.dev.Issue(now, dram.CmdRefresh, 0, 0)
 		c.cmdsIssued++
 		c.logCmd(now, dram.CmdRefresh, 0, 0, nil)
+		if c.tracer != nil {
+			c.tracer.CommandIssued(-1, -1, dram.CmdRefresh, 0, 0, -1, now)
+		}
 		c.nextRefresh = now + trefi
 		return true
 	}
@@ -390,6 +424,9 @@ func (c *Controller) refreshStep(now, trefi int64) bool {
 			c.dev.Issue(now, dram.CmdPrecharge, b, 0)
 			c.cmdsIssued++
 			c.logCmd(now, dram.CmdPrecharge, b, 0, nil)
+			if c.tracer != nil {
+				c.tracer.CommandIssued(-1, -1, dram.CmdPrecharge, b, 0, -1, now)
+			}
 			return true
 		}
 	}
@@ -404,6 +441,9 @@ func (c *Controller) retire(now int64) {
 		e := c.inflight.pop()
 		r := e.req
 		r.done = true
+		if c.tracer != nil {
+			c.tracer.RequestCompleted(r.ID, r.Thread, e.end, e.end-r.Arrival)
+		}
 		st := &c.threadStats[r.Thread]
 		if r.IsWrite {
 			st.WritesCompleted++
@@ -629,6 +669,13 @@ func (c *Controller) issue(cand Candidate, now int64) {
 	}
 	c.cmdsIssued++
 	c.logCmd(now, cand.Cmd, r.Loc.Bank, r.Loc.Row, r)
+	if c.tracer != nil {
+		rank := -1
+		if c.ranked != nil && !r.IsWrite {
+			rank = c.ranked.RankPosition(r.Thread)
+		}
+		c.tracer.CommandIssued(r.ID, r.Thread, cand.Cmd, r.Loc.Bank, r.Loc.Row, rank, now)
+	}
 	if r.firstCmd < 0 {
 		r.firstCmd = now
 		if !r.IsWrite {

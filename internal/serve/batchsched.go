@@ -1,6 +1,9 @@
 package serve
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // admitter orders accepted jobs for dispatch. Implementations are not
 // safe for concurrent use; the Queue serializes access.
@@ -60,6 +63,11 @@ type parbsAdmitter struct {
 	batch  []*Job
 	formed int64
 	total  int
+	// formedAt stamps the current batch's formation time; onDrained, when
+	// set, observes each batch's formation-to-drain lifetime (wired to the
+	// server's metrics registry).
+	formedAt  time.Time
+	onDrained func(time.Duration)
 }
 
 // defaultMarkingCap mirrors the paper's Marking-Cap default of 5: big
@@ -90,6 +98,9 @@ func (p *parbsAdmitter) next() *Job {
 	p.batch[0] = nil
 	p.batch = p.batch[1:]
 	p.total--
+	if len(p.batch) == 0 && p.onDrained != nil {
+		p.onDrained(time.Since(p.formedAt))
+	}
 	return j
 }
 
@@ -150,4 +161,5 @@ func (p *parbsAdmitter) formBatch() {
 		p.batch = append(p.batch, r.jobs...)
 	}
 	p.formed++
+	p.formedAt = time.Now()
 }

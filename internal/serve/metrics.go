@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -39,21 +41,50 @@ func (h *waitHist) observe(d time.Duration) {
 	}
 }
 
+// durSummary is a count/sum/max duration summary (no buckets).
+type durSummary struct {
+	count int64
+	sumMS int64
+	maxMS int64
+}
+
+func (s *durSummary) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	s.count++
+	s.sumMS += ms
+	if ms > s.maxMS {
+		s.maxMS = ms
+	}
+}
+
 // Metrics holds the service counters exported at /metrics. All methods are
 // safe for concurrent use.
 type Metrics struct {
 	mu        sync.Mutex
+	start     time.Time
 	accepted  int64
 	rejected  int64
 	completed int64
 	failed    int64
 	cacheHits int64
 	waits     map[string]*waitHist
+	// runs holds per-policy simulation run durations (dispatch to finish)
+	// for successfully completed jobs.
+	runs map[string]*waitHist
+	// batchDur summarizes admission batch lifetimes (formation to drain).
+	batchDur durSummary
 }
 
 // NewMetrics returns an empty counter set.
 func NewMetrics() *Metrics {
-	return &Metrics{waits: make(map[string]*waitHist)}
+	return &Metrics{
+		start: time.Now(),
+		waits: make(map[string]*waitHist),
+		runs:  make(map[string]*waitHist),
+	}
 }
 
 func (m *Metrics) jobAccepted() { m.add(&m.accepted) }
@@ -74,6 +105,27 @@ func (m *Metrics) jobFailed(client string, wait time.Duration) {
 }
 
 func (m *Metrics) cacheHit() { m.add(&m.cacheHits) }
+
+// observeRun records a successful job's simulation duration under its
+// policy name.
+func (m *Metrics) observeRun(policy string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.runs[policy]
+	if h == nil {
+		h = &waitHist{}
+		m.runs[policy] = h
+	}
+	h.observe(d)
+}
+
+// observeBatch records one admission batch's formation-to-drain lifetime.
+// Wired as the parbsAdmitter's drain callback.
+func (m *Metrics) observeBatch(d time.Duration) {
+	m.mu.Lock()
+	m.batchDur.observe(d)
+	m.mu.Unlock()
+}
 
 func (m *Metrics) add(c *int64) {
 	m.mu.Lock()
@@ -127,23 +179,50 @@ func (m *Metrics) render(w io.Writer, queueDepth int, batchesFormed int64) {
 	counter("batches_formed_total", "Admission batches formed by the PAR-BS scheduler.", batchesFormed)
 	fmt.Fprintf(w, "# HELP parbs_serve_queue_depth Jobs waiting for a worker.\n# TYPE parbs_serve_queue_depth gauge\nparbs_serve_queue_depth %d\n", queueDepth)
 
+	fmt.Fprintf(w, "# HELP parbs_build_info Build metadata; the value is always 1.\n# TYPE parbs_build_info gauge\n")
+	fmt.Fprintf(w, "parbs_build_info{version=%q,go=%q} 1\n", buildVersion(), runtime.Version())
+	fmt.Fprintf(w, "# HELP parbs_serve_uptime_seconds Seconds since the metrics registry was created.\n# TYPE parbs_serve_uptime_seconds counter\n")
+	fmt.Fprintf(w, "parbs_serve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
 	fmt.Fprintf(w, "# HELP parbs_serve_wait_ms Per-client queue wait (milliseconds), power-of-two buckets.\n# TYPE parbs_serve_wait_ms histogram\n")
-	clients := make([]string, 0, len(m.waits))
-	for c := range m.waits {
-		clients = append(clients, c)
+	renderHists(w, "parbs_serve_wait_ms", "client", m.waits)
+
+	fmt.Fprintf(w, "# HELP parbs_serve_run_duration_ms Per-policy simulation run duration for completed jobs (milliseconds), power-of-two buckets.\n# TYPE parbs_serve_run_duration_ms histogram\n")
+	renderHists(w, "parbs_serve_run_duration_ms", "policy", m.runs)
+
+	fmt.Fprintf(w, "# HELP parbs_serve_admission_batch_duration_ms Admission batch lifetime, formation to drain (milliseconds).\n# TYPE parbs_serve_admission_batch_duration_ms summary\n")
+	fmt.Fprintf(w, "parbs_serve_admission_batch_duration_ms_count %d\n", m.batchDur.count)
+	fmt.Fprintf(w, "parbs_serve_admission_batch_duration_ms_sum %d\n", m.batchDur.sumMS)
+	fmt.Fprintf(w, "parbs_serve_admission_batch_duration_ms_max %d\n", m.batchDur.maxMS)
+}
+
+// renderHists writes one labeled histogram family in label order.
+func renderHists(w io.Writer, name, label string, hists map[string]*waitHist) {
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
 	}
-	sort.Strings(clients)
-	for _, c := range clients {
-		h := m.waits[c]
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
 		var cum int64
 		for i := 0; i < waitBuckets-1; i++ {
-			// Buckets 0..i together hold waits < 2^i ms, i.e. le = 2^i - 1.
+			// Buckets 0..i together hold values < 2^i ms, i.e. le = 2^i - 1.
 			cum += h.buckets[i]
-			fmt.Fprintf(w, "parbs_serve_wait_ms_bucket{client=%q,le=\"%d\"} %d\n", c, int64(1)<<i-1, cum)
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%d\"} %d\n", name, label, k, int64(1)<<i-1, cum)
 		}
-		fmt.Fprintf(w, "parbs_serve_wait_ms_bucket{client=%q,le=\"+Inf\"} %d\n", c, h.count)
-		fmt.Fprintf(w, "parbs_serve_wait_ms_sum{client=%q} %d\n", c, h.sumMS)
-		fmt.Fprintf(w, "parbs_serve_wait_ms_count{client=%q} %d\n", c, h.count)
-		fmt.Fprintf(w, "parbs_serve_wait_ms_max{client=%q} %d\n", c, h.maxMS)
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, h.count)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %d\n", name, label, k, h.sumMS)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, k, h.count)
+		fmt.Fprintf(w, "%s_max{%s=%q} %d\n", name, label, k, h.maxMS)
 	}
+}
+
+// buildVersion reports the main module's version from the embedded build
+// info ("(devel)" for plain go build, a pseudo-version for installs).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }

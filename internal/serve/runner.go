@@ -84,6 +84,11 @@ func SimulationRunner(cache *parbs.AloneCache) Runner {
 			})
 			opts = append(opts, parbs.WithTelemetry(tel))
 		}
+		var tracer *parbs.Tracer
+		if spec.Trace != nil {
+			tracer = parbs.NewTracer(parbs.TracerConfig{MaxEvents: spec.Trace.MaxEvents})
+			opts = append(opts, parbs.WithTrace(tracer))
+		}
 		rep, err := parbs.RunContext(ctx, spec.system(), w, sched, opts...)
 		if err != nil {
 			return nil, err
@@ -95,6 +100,11 @@ func SimulationRunner(cache *parbs.AloneCache) Runner {
 		if tel != nil {
 			if res.Telemetry, err = tel.JSON(); err != nil {
 				return nil, fmt.Errorf("render telemetry: %w", err)
+			}
+		}
+		if tracer != nil {
+			if res.Trace, err = tracer.ChromeTrace(); err != nil {
+				return nil, fmt.Errorf("render trace: %w", err)
 			}
 		}
 		return res, nil

@@ -80,17 +80,20 @@ func New(opts Options) *Server {
 	if opts.Runner == nil {
 		opts.Runner = SimulationRunner(parbs.NewAloneCache())
 	}
+	metrics := NewMetrics()
 	var adm admitter
 	switch opts.Admission {
 	case AdmissionFIFO:
 		adm = &fifoAdmitter{}
 	default:
-		adm = newParbsAdmitter(opts.MarkingCap)
+		p := newParbsAdmitter(opts.MarkingCap)
+		p.onDrained = metrics.observeBatch
+		adm = p
 	}
 	s := &Server{
 		opts:    opts,
 		store:   NewStore(),
-		metrics: NewMetrics(),
+		metrics: metrics,
 		queue:   newQueue(adm, opts.QueueCap),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
@@ -157,6 +160,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.store.PutCache(j.Hash, res)
 	s.metrics.jobCompleted(j.Client, snap.Wait(now))
+	s.metrics.observeRun(j.Spec.Scheduler.Name, now.Sub(snap.StartedAt))
 }
 
 // safeRun invokes the Runner, converting panics into job failures so one
@@ -201,6 +205,7 @@ type jobView struct {
 	DispatchSeq int64           `json:"dispatch_seq,omitempty"`
 	Report      json.RawMessage `json:"report,omitempty"`
 	Telemetry   json.RawMessage `json:"telemetry,omitempty"`
+	Trace       json.RawMessage `json:"trace,omitempty"`
 	Error       string          `json:"error,omitempty"`
 }
 
@@ -229,6 +234,7 @@ func viewOf(j *Job) jobView {
 	if snap.Result != nil {
 		v.Report = snap.Result.Report
 		v.Telemetry = snap.Result.Telemetry
+		v.Trace = snap.Result.Trace
 	}
 	return v
 }

@@ -308,6 +308,67 @@ func TestEndToEndBatchAdmissionVsFIFO(t *testing.T) {
 	if !strings.Contains(body, `parbs_serve_wait_ms_count{client="sparse"}`) {
 		t.Error("per-client wait histogram missing the sparse client")
 	}
+	// 17 simulations executed (the cached replay never dispatched), all
+	// under the PAR-BS policy, so the run-duration histogram carries them.
+	if got := metricValue(t, body, `parbs_serve_run_duration_ms_count{policy="PAR-BS"}`); got != 17 {
+		t.Errorf("run_duration count = %d, want 17", got)
+	}
+	// Every formed admission batch eventually drains once the queue empties.
+	if got := metricValue(t, body, "parbs_serve_admission_batch_duration_ms_count"); got < 2 {
+		t.Errorf("admission batch duration count = %d, want >= 2", got)
+	}
+	if !strings.Contains(body, `parbs_build_info{version=`) {
+		t.Error("build info gauge missing")
+	}
+	if !strings.Contains(body, "parbs_serve_uptime_seconds ") {
+		t.Error("uptime counter missing")
+	}
+}
+
+// TestTraceArtifactFlowsThrough: a spec requesting a trace gets the
+// runner's Chrome trace artifact embedded in the terminal job view, a spec
+// without one does not, and the two hash to different cache keys.
+func TestTraceArtifactFlowsThrough(t *testing.T) {
+	runner := func(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error) {
+		res := &Result{Report: json.RawMessage(`{"scheduler":"stub"}`)}
+		if spec.Trace != nil {
+			res.Trace = json.RawMessage(`{"traceEvents":[]}`)
+		}
+		return res, nil
+	}
+	sv := New(Options{Workers: 1, Runner: runner})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	plain := testSpec("tracer", 1)
+	traced := testSpec("tracer", 1)
+	traced.Trace = &TraceSpec{MaxEvents: 1 << 10}
+	if plain.hash() == traced.hash() {
+		t.Error("trace spec does not contribute to the content hash")
+	}
+
+	code, v := submit(t, ts.URL, traced)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit traced: status %d", code)
+	}
+	done := waitDone(t, ts.URL, v.ID, 5*time.Second)
+	if done.Status != StatusDone {
+		t.Fatalf("traced job: %s (%s)", done.Status, done.Error)
+	}
+	if len(done.Trace) == 0 || !json.Valid(done.Trace) {
+		t.Errorf("traced job view carries no valid trace artifact: %q", done.Trace)
+	}
+
+	code, v = submit(t, ts.URL, plain)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit plain: status %d", code)
+	}
+	if done := waitDone(t, ts.URL, v.ID, 5*time.Second); len(done.Trace) != 0 {
+		t.Errorf("untraced job view carries a trace artifact: %q", done.Trace)
+	}
+	if err := sv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestQueueBackpressure429: beyond QueueCap the server rejects with 429 and

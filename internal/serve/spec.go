@@ -33,6 +33,9 @@ type Spec struct {
 	// Telemetry, when present, attaches a collector; the run result then
 	// embeds a parbs.telemetry/v1 report.
 	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
+	// Trace, when present, attaches a lifecycle tracer; the run result then
+	// embeds a Chrome trace-event JSON artifact (Perfetto-loadable).
+	Trace *TraceSpec `json:"trace,omitempty"`
 	// TimeoutMS caps the job's wall-clock execution; 0 means no deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -70,6 +73,11 @@ type SchedulerSpec struct {
 type TelemetrySpec struct {
 	EpochCycles int64 `json:"epoch_cycles,omitempty"`
 	MaxEpochs   int   `json:"max_epochs,omitempty"`
+}
+
+// TraceSpec mirrors parbs.TracerConfig.
+type TraceSpec struct {
+	MaxEvents int `json:"max_events,omitempty"`
 }
 
 // Baseline cycle budgets, mirrored from sim.DefaultConfig for cost
@@ -191,7 +199,8 @@ func (sp Spec) hash() string {
 		Workload  WorkloadSpec   `json:"workload"`
 		Scheduler SchedulerSpec  `json:"scheduler"`
 		Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
-	}{sp.System, sp.Workload, sp.Scheduler, sp.Telemetry}
+		Trace     *TraceSpec     `json:"trace,omitempty"`
+	}{sp.System, sp.Workload, sp.Scheduler, sp.Telemetry, sp.Trace}
 	data, err := json.Marshal(canonical)
 	if err != nil {
 		// Spec is plain data; Marshal cannot fail. Keep a distinct key

@@ -21,11 +21,13 @@ const (
 )
 
 // Result is a completed job's payload: the run report and, when requested,
-// the embedded parbs.telemetry/v1 report. Results are immutable once
-// published and shared between a job and the content-hash cache.
+// the embedded parbs.telemetry/v1 report and/or Chrome trace-event
+// artifact. Results are immutable once published and shared between a job
+// and the content-hash cache.
 type Result struct {
 	Report    json.RawMessage
 	Telemetry json.RawMessage
+	Trace     json.RawMessage
 }
 
 // Job is one accepted simulation run.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -54,6 +55,11 @@ type Config struct {
 	// byte-identical with and without one (pinned by the equivalence
 	// tests), and the nil-probe path performs no extra work.
 	Probe *telemetry.Probe
+	// Tracer, when non-nil, records request/batch lifecycle events for the
+	// run (warmup included — forensics need complete request histories).
+	// Tracers obey the same discipline as probes: passive, nil-gated, and
+	// pinned non-perturbing by the equivalence tests.
+	Tracer *trace.Tracer
 	// Progress, when non-nil, is called at every epoch checkpoint
 	// (heartbeats for long runs). It must not block.
 	Progress func(Progress)
@@ -206,6 +212,30 @@ func Run(cfg Config, mix workload.Mix, policy memctrl.Policy) (Result, error) {
 			epochLen:   epochLen,
 		}
 	}
+	// Tracing setup: stamp the run's metadata and attach the lifecycle
+	// hooks (arrivals/commands/completions from the controller, marking
+	// and batch spans from a PAR-BS engine when the policy is one).
+	if tr := cfg.Tracer; tr != nil {
+		markingCap := 0
+		if eng, ok := policy.(*core.Engine); ok {
+			markingCap = eng.Options().MarkingCap
+		}
+		tr.Bind(trace.Meta{
+			Policy:         policy.Name(),
+			Workload:       mix.Name,
+			Cores:          cfg.Cores,
+			Banks:          cfg.Geometry.Banks,
+			CPUPerDRAM:     ratio,
+			WarmupDRAM:     warmupDRAM,
+			TotalDRAM:      totalDRAM,
+			MarkingCap:     markingCap,
+			ReadBufEntries: ctrlCfg.ReadBufEntries,
+		})
+		ctrl.SetTracer(tr)
+		if eng, ok := policy.(interface{ SetLifecycleObserver(core.LifecycleObserver) }); ok {
+			eng.SetLifecycleObserver(tr)
+		}
+	}
 	// Checkpoints (context polls, progress heartbeats) share the epoch
 	// cadence; with no consumers the schedule stays past the horizon so the
 	// loop pays only one int64 comparison per cycle.
@@ -324,13 +354,15 @@ func (s *sampler) sample(end int64) {
 // RunAlone simulates one benchmark alone on the same memory system (same
 // channel count, banks and controller) — the baseline for slowdown metrics.
 // The scheduling policy is irrelevant with one thread; FR-FCFS is used as
-// in the paper's alone runs. Telemetry probes and command logs apply only
-// to the shared run and are stripped here; Context and Progress carry over.
+// in the paper's alone runs. Telemetry probes, tracers and command logs
+// apply only to the shared run and are stripped here; Context and Progress
+// carry over.
 func RunAlone(cfg Config, p workload.Profile) (metrics.ThreadOutcome, error) {
 	alone := cfg
 	alone.Cores = 1
 	alone.Ctrl.Threads = 1
 	alone.Probe = nil
+	alone.Tracer = nil
 	alone.CommandLog = nil
 	mix := workload.Mix{Name: "alone-" + p.Name, Benchmarks: []workload.Profile{p}}
 	res, err := Run(alone, mix, frfcfsPolicy())

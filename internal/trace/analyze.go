@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The forensics analyzer folds an event log into per-request wait
+// decomposition, per-thread worst-case latencies, and the starvation
+// audit. Each completed request's latency splits into three phases:
+//
+//	unmarked-queued: arrival → marked into a batch (or first command,
+//	                 for policies that never mark)
+//	marked-waiting:  marked → first DRAM command issued on its behalf
+//	service:         first command → data return
+//
+// The audit checks the paper's §4.3 starvation-freedom argument against
+// observation: under batching with Marking-Cap C and a request buffer of
+// R entries per bank, a newly arrived request is marked no later than the
+// next batch formation and a thread can have at most ceil(R/C)-1 older
+// batches' worth of same-bank requests ahead of it, so no request waits
+// more than ceil(R/C) batch formations before being marked and serviced.
+// The analyzer verifies the structural form of the bound — the maximum
+// number of batch formations any request sat through — and derives an
+// empirical cycle envelope from the observed worst batch span.
+
+// ThreadForensics aggregates the wait decomposition for one thread's
+// completed read requests (writes are fire-and-forget and excluded).
+type ThreadForensics struct {
+	Thread int
+	// Reads is the number of completed reads folded in.
+	Reads int64
+	// AvgLatency is the mean arrival→return latency in DRAM cycles.
+	AvgLatency float64
+	// MaxLatency is the worst observed latency; MaxLatencyReq its request.
+	MaxLatency    int64
+	MaxLatencyReq int64
+	// UnmarkedWait, MarkedWait, and Service are summed phase durations
+	// across the thread's reads (divide by Reads for means).
+	UnmarkedWait int64
+	MarkedWait   int64
+	Service      int64
+	// MaxBatchesWaited is the most batch formations any one of the
+	// thread's requests observed between arriving and being marked.
+	MaxBatchesWaited int64
+}
+
+// Audit is the starvation audit verdict.
+type Audit struct {
+	// Batched reports whether the traced policy formed batches at all.
+	// When false, the policy provides no delay bound and Holds is false.
+	Batched    bool
+	MarkingCap int
+	ReadBuf    int
+	// BatchWaitBound is ceil(ReadBuf/MarkingCap)-1: the §4.3 bound on how
+	// many batch formations can pass a buffered request over before it is
+	// marked. -1 when inapplicable (no cap, or unbatched policy).
+	BatchWaitBound int64
+	// MaxBatchesWaited is the observed worst case across all requests.
+	MaxBatchesWaited int64
+	// BatchWaitOK reports MaxBatchesWaited <= BatchWaitBound.
+	BatchWaitOK bool
+	// DelayBoundCycles is the empirical cycle envelope implied by the
+	// batch-wait bound and the worst observed batch span:
+	// (BatchWaitBound+2) * MaxBatchSpan — the +2 covers the residual of
+	// the batch in flight at arrival plus the request's own batch's
+	// drain. -1 when inapplicable.
+	DelayBoundCycles int64
+	// MaxDelayCycles is the worst observed request latency, with the
+	// offending thread and request alongside.
+	MaxDelayCycles int64
+	MaxDelayThread int
+	MaxDelayReq    int64
+	// DelayOK reports MaxDelayCycles <= DelayBoundCycles.
+	DelayOK bool
+	// Holds is the overall verdict: batched, bound applicable, and both
+	// checks passed.
+	Holds bool
+}
+
+// Analysis is the analyzer's output.
+type Analysis struct {
+	Meta     Meta
+	Requests int64
+	Threads  []ThreadForensics
+	// Batches counts batch formations; MaxBatchSpan and AvgBatchSpan
+	// summarize formation→drain durations (0 when drains are untraced).
+	Batches      int64
+	MaxBatchSpan int64
+	AvgBatchSpan float64
+	Audit        Audit
+}
+
+// reqState tracks one in-flight request during the scan.
+type reqState struct {
+	arrival      int64
+	marked       int64 // -1 until marked
+	firstCmd     int64 // -1 until a command issues for it
+	arrivalBatch int64 // batches formed before arrival
+	markedBatch  int64 // batches formed when marked
+	write        bool
+}
+
+// Analyze folds the log into forensics and the starvation audit. The scan
+// relies on the stream's faithful interleaving of arrivals, marks, and
+// batch formations (the controller emits arrival before the policy can
+// mark, and batch events sit at their true position), so batches-waited
+// counts are exact.
+func Analyze(log *Log) *Analysis {
+	a := &Analysis{Meta: log.Meta}
+	live := make(map[int64]*reqState)
+	perThread := make(map[int32]*ThreadForensics)
+	th := func(id int32) *ThreadForensics {
+		t := perThread[id]
+		if t == nil {
+			t = &ThreadForensics{Thread: int(id)}
+			perThread[id] = t
+		}
+		return t
+	}
+
+	var batchesFormed int64
+	var spanSum, spanCount int64
+	var maxBatchesWaited int64
+	audit := &a.Audit
+	audit.MaxDelayThread = -1
+	audit.MaxDelayReq = -1
+
+	for _, ev := range log.Events {
+		switch ev.Kind {
+		case KindArrive:
+			live[ev.Req] = &reqState{arrival: ev.Cycle, marked: -1,
+				firstCmd: -1, arrivalBatch: batchesFormed, write: ev.Write}
+		case KindMark:
+			if r := live[ev.Req]; r != nil && r.marked < 0 {
+				r.marked = ev.Cycle
+				r.markedBatch = batchesFormed
+			}
+		case KindBatch:
+			batchesFormed++
+		case KindBatchEnd:
+			spanSum += ev.Row
+			spanCount++
+			if ev.Row > a.MaxBatchSpan {
+				a.MaxBatchSpan = ev.Row
+			}
+		case KindCommand:
+			if r := live[ev.Req]; r != nil && r.firstCmd < 0 {
+				r.firstCmd = ev.Cycle
+			}
+		case KindComplete:
+			r := live[ev.Req]
+			if r == nil {
+				continue // pre-trace arrival
+			}
+			delete(live, ev.Req)
+			if r.write {
+				continue
+			}
+			t := th(ev.Thread)
+			t.Reads++
+			a.Requests++
+			lat := ev.Row
+			t.AvgLatency += float64(lat)
+			if lat > t.MaxLatency {
+				t.MaxLatency = lat
+				t.MaxLatencyReq = ev.Req
+			}
+			if lat > audit.MaxDelayCycles {
+				audit.MaxDelayCycles = lat
+				audit.MaxDelayThread = int(ev.Thread)
+				audit.MaxDelayReq = ev.Req
+			}
+			markEnd := r.firstCmd
+			if markEnd < 0 {
+				markEnd = ev.Cycle
+			}
+			if r.marked >= 0 {
+				if markEnd >= r.marked {
+					t.UnmarkedWait += r.marked - r.arrival
+					t.MarkedWait += markEnd - r.marked
+				} else {
+					// Serviced before its mark: an unmarked request issued
+					// while its bank had no marked candidate, then swept into
+					// a batch mid-flight. Its whole pre-command wait was
+					// spent unmarked.
+					t.UnmarkedWait += markEnd - r.arrival
+				}
+				waited := r.markedBatch - r.arrivalBatch
+				if waited > t.MaxBatchesWaited {
+					t.MaxBatchesWaited = waited
+				}
+				if waited > maxBatchesWaited {
+					maxBatchesWaited = waited
+				}
+			} else {
+				t.UnmarkedWait += markEnd - r.arrival
+			}
+			t.Service += ev.Cycle - markEnd
+		}
+	}
+
+	for _, t := range perThread {
+		if t.Reads > 0 {
+			t.AvgLatency /= float64(t.Reads)
+		}
+		a.Threads = append(a.Threads, *t)
+	}
+	sort.Slice(a.Threads, func(i, j int) bool { return a.Threads[i].Thread < a.Threads[j].Thread })
+
+	a.Batches = batchesFormed
+	if spanCount > 0 {
+		a.AvgBatchSpan = float64(spanSum) / float64(spanCount)
+	}
+
+	audit.MarkingCap = log.Meta.MarkingCap
+	audit.ReadBuf = log.Meta.ReadBufEntries
+	audit.Batched = batchesFormed > 0
+	audit.MaxBatchesWaited = maxBatchesWaited
+	audit.BatchWaitBound = -1
+	audit.DelayBoundCycles = -1
+	if audit.Batched && audit.MarkingCap > 0 && audit.ReadBuf > 0 {
+		// ceil(ReadBuf/Cap)-1: even the newest of a full buffer of
+		// same-thread same-bank requests is passed over by at most that
+		// many batch formations before being marked (§4.3).
+		audit.BatchWaitBound = int64((audit.ReadBuf+audit.MarkingCap-1)/audit.MarkingCap) - 1
+		if audit.BatchWaitBound < 0 {
+			audit.BatchWaitBound = 0
+		}
+		audit.BatchWaitOK = audit.MaxBatchesWaited <= audit.BatchWaitBound
+		if a.MaxBatchSpan > 0 {
+			audit.DelayBoundCycles = (audit.BatchWaitBound + 2) * a.MaxBatchSpan
+			audit.DelayOK = audit.MaxDelayCycles <= audit.DelayBoundCycles
+			audit.Holds = audit.BatchWaitOK && audit.DelayOK
+		} else {
+			// Drain spans untraced (static batching): only the structural
+			// bound is checkable.
+			audit.Holds = audit.BatchWaitOK
+		}
+	}
+	return a
+}
+
+// WriteText renders the analysis as a human-readable report. The final
+// line is "starvation audit: PASS" or "starvation audit: FAIL ..." —
+// greppable by the trace-smoke script.
+func (a *Analysis) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("run: policy=%s workload=%s cores=%d banks=%d marking_cap=%d read_buf=%d\n",
+		a.Meta.Policy, a.Meta.Workload, a.Meta.Cores, a.Meta.Banks,
+		a.Meta.MarkingCap, a.Meta.ReadBufEntries)
+	p("requests analyzed: %d completed reads; batches formed: %d", a.Requests, a.Batches)
+	if a.MaxBatchSpan > 0 {
+		p(" (avg span %.0f cycles, max %d)", a.AvgBatchSpan, a.MaxBatchSpan)
+	}
+	p("\n\n")
+	p("per-thread wait decomposition (DRAM cycles, means over completed reads):\n")
+	p("  thread    reads  avg_lat  unmarked    marked   service   max_lat  max_req  batches_waited\n")
+	for _, t := range a.Threads {
+		n := float64(t.Reads)
+		if n == 0 {
+			n = 1
+		}
+		p("  %6d %8d %8.0f %9.0f %9.0f %9.0f %9d %8d %15d\n",
+			t.Thread, t.Reads, t.AvgLatency,
+			float64(t.UnmarkedWait)/n, float64(t.MarkedWait)/n,
+			float64(t.Service)/n, t.MaxLatency, t.MaxLatencyReq, t.MaxBatchesWaited)
+	}
+	p("\n")
+	au := &a.Audit
+	if !au.Batched {
+		p("starvation audit: policy %q formed no batches — it provides no Marking-Cap\n", a.Meta.Policy)
+		p("delay bound; worst observed delay %d cycles (thread %d, request %d) is unbounded by design.\n",
+			au.MaxDelayCycles, au.MaxDelayThread, au.MaxDelayReq)
+		p("starvation audit: FAIL (no bound to audit)\n")
+		return nil
+	}
+	if au.BatchWaitBound < 0 {
+		p("starvation audit: batching active but Marking-Cap is uncapped; no finite bound to audit.\n")
+		p("starvation audit: FAIL (no bound to audit)\n")
+		return nil
+	}
+	p("starvation audit (Marking-Cap bound, paper §4.3):\n")
+	p("  batch-wait bound   ceil(%d/%d)-1 = %d batch formations\n", au.ReadBuf, au.MarkingCap, au.BatchWaitBound)
+	p("  observed worst     %d batch formations  [%s]\n", au.MaxBatchesWaited, okFail(au.BatchWaitOK))
+	if au.DelayBoundCycles >= 0 {
+		p("  delay envelope     (bound+2) x max batch span = %d cycles\n", au.DelayBoundCycles)
+		p("  observed worst     %d cycles (thread %d, request %d)  [%s]\n",
+			au.MaxDelayCycles, au.MaxDelayThread, au.MaxDelayReq, okFail(au.DelayOK))
+	}
+	if au.Holds {
+		p("starvation audit: PASS\n")
+	} else {
+		p("starvation audit: FAIL\n")
+	}
+	return nil
+}
+
+func okFail(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "VIOLATED"
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// TestAnalyzeWaitDecomposition builds a hand-sequenced log and checks the
+// three-phase split and batches-waited accounting against exact values.
+//
+// Timeline (MarkingCap 2, ReadBuf 4 → batch-wait bound ceil(4/2)-1 = 1):
+//
+//	req 1 (thread 0): arrives c0 before any batch, marked at batch 0
+//	                  (waited 0), first command c20, returns c50 (lat 50)
+//	req 2 (thread 1): arrives c60 after batch 0 (arrivalBatch 1), passed
+//	                  over by batch 1, marked at batch 2 (waited 1 = bound),
+//	                  first command c110, returns c200 (lat 140)
+//	req 3 (thread 0): a write — excluded from read forensics entirely
+func TestAnalyzeWaitDecomposition(t *testing.T) {
+	tr := NewTracer(Config{})
+	tr.Bind(Meta{Policy: "PAR-BS", Workload: "synthetic", Cores: 2, Banks: 1,
+		MarkingCap: 2, ReadBufEntries: 4})
+
+	tr.RequestArrived(1, 0, 0, 1, false, 0)
+	tr.RequestMarked(1, 0, 0, 10)
+	tr.BatchFormedDetail(0, 10, 1, []int{1, 0}, 0)
+	tr.CommandIssued(1, 0, dram.CmdActivate, 0, 1, 0, 20)
+	tr.RequestArrived(3, 0, 0, 2, true, 30)
+	tr.RequestCompleted(1, 0, 50, 50)
+	tr.BatchDrained(0, 50, 40)
+	tr.RequestCompleted(3, 0, 55, 25) // write retires, ignored
+
+	tr.RequestArrived(2, 1, 0, 9, false, 60)
+	tr.BatchFormedDetail(1, 70, 0, []int{0, 0}, 0) // passes req 2 over
+	tr.BatchDrained(1, 90, 20)
+	tr.RequestMarked(2, 1, 2, 100)
+	tr.BatchFormedDetail(2, 100, 1, []int{0, 1}, 1)
+	tr.CommandIssued(2, 1, dram.CmdActivate, 0, 9, 0, 110)
+	tr.RequestCompleted(2, 1, 200, 140)
+	tr.BatchDrained(2, 200, 100)
+
+	a := Analyze(tr.Log())
+	if a.Requests != 2 {
+		t.Fatalf("Requests = %d, want 2 (write must be excluded)", a.Requests)
+	}
+	if a.Batches != 3 || a.MaxBatchSpan != 100 {
+		t.Errorf("Batches=%d MaxBatchSpan=%d, want 3/100", a.Batches, a.MaxBatchSpan)
+	}
+	if len(a.Threads) != 2 {
+		t.Fatalf("threads = %d, want 2", len(a.Threads))
+	}
+	t0, t1 := a.Threads[0], a.Threads[1]
+	if t0.Reads != 1 || t0.UnmarkedWait != 10 || t0.MarkedWait != 10 || t0.Service != 30 ||
+		t0.MaxLatency != 50 || t0.MaxBatchesWaited != 0 {
+		t.Errorf("thread 0 decomposition wrong: %+v", t0)
+	}
+	if t1.Reads != 1 || t1.UnmarkedWait != 40 || t1.MarkedWait != 10 || t1.Service != 90 ||
+		t1.MaxLatency != 140 || t1.MaxBatchesWaited != 1 {
+		t.Errorf("thread 1 decomposition wrong: %+v", t1)
+	}
+
+	au := a.Audit
+	if !au.Batched || au.BatchWaitBound != 1 || au.MaxBatchesWaited != 1 || !au.BatchWaitOK {
+		t.Errorf("batch-wait audit wrong: %+v", au)
+	}
+	if au.DelayBoundCycles != 300 { // (1+2) * max span 100
+		t.Errorf("DelayBoundCycles = %d, want 300", au.DelayBoundCycles)
+	}
+	if au.MaxDelayCycles != 140 || au.MaxDelayThread != 1 || au.MaxDelayReq != 2 {
+		t.Errorf("worst delay wrong: %+v", au)
+	}
+	if !au.DelayOK || !au.Holds {
+		t.Errorf("audit should hold: %+v", au)
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "starvation audit: PASS") {
+		t.Errorf("text report lacks the PASS line:\n%s", buf.String())
+	}
+}
+
+// TestAnalyzeDetectsBoundViolation: a request passed over by more batch
+// formations than the Marking-Cap permits must flip the verdict to FAIL.
+func TestAnalyzeDetectsBoundViolation(t *testing.T) {
+	tr := NewTracer(Config{})
+	// ReadBuf 5, cap 5 → bound ceil(5/5)-1 = 0 batch formations.
+	tr.Bind(Meta{Policy: "PAR-BS", MarkingCap: 5, ReadBufEntries: 5})
+	tr.RequestArrived(1, 0, 0, 1, false, 0)
+	tr.BatchFormedDetail(0, 5, 0, []int{0}, 0) // passes req 1 over: waited 1 > 0
+	tr.BatchDrained(0, 10, 5)
+	tr.RequestMarked(1, 0, 1, 20)
+	tr.BatchFormedDetail(1, 20, 1, []int{1}, 0)
+	tr.CommandIssued(1, 0, dram.CmdActivate, 0, 1, 0, 25)
+	tr.RequestCompleted(1, 0, 40, 40)
+	tr.BatchDrained(1, 40, 20)
+
+	a := Analyze(tr.Log())
+	au := a.Audit
+	if au.BatchWaitBound != 0 || au.MaxBatchesWaited != 1 {
+		t.Fatalf("setup wrong: bound=%d waited=%d", au.BatchWaitBound, au.MaxBatchesWaited)
+	}
+	if au.BatchWaitOK || au.Holds {
+		t.Errorf("violation not detected: %+v", au)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "VIOLATED") || !strings.Contains(out, "starvation audit: FAIL") {
+		t.Errorf("text report does not flag the violation:\n%s", out)
+	}
+}
+
+// TestAnalyzeUnbatchedPolicy: a policy that never forms batches (FR-FCFS)
+// offers no bound; the audit reports that rather than vacuously passing.
+func TestAnalyzeUnbatchedPolicy(t *testing.T) {
+	tr := NewTracer(Config{})
+	tr.Bind(Meta{Policy: "FR-FCFS", ReadBufEntries: 64})
+	tr.RequestArrived(1, 0, 0, 1, false, 0)
+	tr.CommandIssued(1, 0, dram.CmdActivate, 0, 1, -1, 10)
+	tr.RequestCompleted(1, 0, 40, 40)
+
+	a := Analyze(tr.Log())
+	au := a.Audit
+	if au.Batched || au.BatchWaitBound != -1 || au.Holds {
+		t.Errorf("unbatched audit wrong: %+v", au)
+	}
+	// Never marked: the whole pre-command wait counts as unmarked-queued.
+	if th := a.Threads[0]; th.UnmarkedWait != 10 || th.MarkedWait != 0 || th.Service != 30 {
+		t.Errorf("unmarked decomposition wrong: %+v", th)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "starvation audit: FAIL (no bound to audit)") {
+		t.Errorf("text report lacks the no-bound FAIL line:\n%s", buf.String())
+	}
+}
+
+// TestAnalyzeMarkEndFallsBackToCompletion: a marked request with no traced
+// command charges its whole post-mark wait to marked-waiting, not service.
+func TestAnalyzeMarkEndFallsBackToCompletion(t *testing.T) {
+	tr := NewTracer(Config{})
+	tr.Bind(Meta{Policy: "PAR-BS", MarkingCap: 5, ReadBufEntries: 5})
+	tr.RequestArrived(1, 0, 0, 1, false, 0)
+	tr.RequestMarked(1, 0, 0, 10)
+	tr.BatchFormedDetail(0, 10, 1, []int{1}, 0)
+	tr.RequestCompleted(1, 0, 60, 60)
+
+	a := Analyze(tr.Log())
+	if th := a.Threads[0]; th.UnmarkedWait != 10 || th.MarkedWait != 50 || th.Service != 0 {
+		t.Errorf("fallback decomposition wrong: %+v", th)
+	}
+}

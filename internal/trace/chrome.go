@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dram"
+)
+
+// Chrome trace-event rendering: the JSON object format understood by
+// Perfetto and chrome://tracing. Each simulated thread becomes a track
+// (pid 0, tid = thread); every request is an "X" complete event spanning
+// arrival → data return, with the wait decomposition in args; individual
+// DRAM commands are "i" instant events on the issuing thread's track; and
+// batches are "b"/"e" async spans on a dedicated "scheduler" process
+// (pid 1). DRAM cycles map one-to-one onto the format's microsecond
+// timestamps — absolute wall time is meaningless for a simulator, and the
+// 1:1 mapping keeps cycle arithmetic readable in the UI.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int32          `json:"tid"`
+	TS    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	ID    *int64         `json:"id,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// reqSpan accumulates one request's lifecycle while scanning the event
+// stream, until its completion event folds it into an "X" span.
+type reqSpan struct {
+	arrival  int64
+	marked   int64 // cycle marked into a batch, -1 if never
+	batch    int64 // batch index, -1 if never marked
+	firstCmd int64 // first command issued on its behalf, -1 if none yet
+	bank     int32
+	row      int64
+	write    bool
+}
+
+// WriteChrome renders the log as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, log *Log) error {
+	bw := bufio.NewWriter(w)
+	out := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(log.Events)+2*log.Meta.Cores),
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"schema":      Schema,
+			"policy":      log.Meta.Policy,
+			"workload":    log.Meta.Workload,
+			"marking_cap": log.Meta.MarkingCap,
+			"read_buf":    log.Meta.ReadBufEntries,
+			"time_unit":   "1 ts = 1 DRAM cycle",
+			"dropped":     log.Dropped,
+		},
+	}
+	add := func(ev chromeEvent) { out.TraceEvents = append(out.TraceEvents, ev) }
+
+	add(chromeEvent{Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": "memory requests (" + log.Meta.Policy + ")"}})
+	add(chromeEvent{Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]any{"name": "scheduler batches"}})
+	for t := 0; t < log.Meta.Cores; t++ {
+		add(chromeEvent{Name: "thread_name", Phase: "M", PID: 0, TID: int32(t),
+			Args: map[string]any{"name": fmt.Sprintf("thread %d", t)}})
+	}
+
+	live := make(map[int64]*reqSpan)
+	for _, ev := range log.Events {
+		switch ev.Kind {
+		case KindArrive:
+			live[ev.Req] = &reqSpan{arrival: ev.Cycle, marked: -1, batch: -1,
+				firstCmd: -1, bank: ev.Bank, row: ev.Row, write: ev.Write}
+		case KindMark:
+			if r := live[ev.Req]; r != nil {
+				r.marked = ev.Cycle
+				r.batch = ev.Row
+			}
+		case KindCommand:
+			name := dram.Command(ev.Cmd).String()
+			if r := live[ev.Req]; r != nil && r.firstCmd < 0 {
+				r.firstCmd = ev.Cycle
+			}
+			tid := ev.Thread
+			if tid < 0 {
+				tid = int32(log.Meta.Cores) // controller/refresh track
+			}
+			add(chromeEvent{Name: name, Phase: "i", PID: 0, TID: tid,
+				TS: ev.Cycle, Cat: "cmd", Scope: "t",
+				Args: map[string]any{"id": ev.Req, "bank": ev.Bank,
+					"row": ev.Row, "rank": ev.Rank}})
+		case KindComplete:
+			r := live[ev.Req]
+			if r == nil {
+				continue // arrived before tracing started
+			}
+			delete(live, ev.Req)
+			dur := ev.Cycle - r.arrival
+			kind := "RD"
+			if r.write {
+				kind = "WR"
+			}
+			args := map[string]any{
+				"id": ev.Req, "bank": r.bank, "row": r.row,
+				"latency": ev.Row,
+			}
+			// Wait decomposition mirrors the analyzer: unmarked-queued,
+			// marked-waiting, service (see analyze.go).
+			markEnd := r.firstCmd
+			if markEnd < 0 {
+				markEnd = ev.Cycle
+			}
+			if r.marked >= 0 {
+				args["batch"] = r.batch
+				args["wait_unmarked"] = r.marked - r.arrival
+				args["wait_marked"] = markEnd - r.marked
+			} else {
+				args["wait_unmarked"] = markEnd - r.arrival
+				args["wait_marked"] = 0
+			}
+			args["service"] = ev.Cycle - markEnd
+			add(chromeEvent{Name: fmt.Sprintf("%s req %d", kind, ev.Req),
+				Phase: "X", PID: 0, TID: ev.Thread, TS: r.arrival, Dur: &dur,
+				Cat: "request", Args: args})
+		case KindBatch:
+			id := ev.Req
+			args := map[string]any{"size": ev.Row, "clipped": ev.Rank}
+			add(chromeEvent{Name: fmt.Sprintf("batch %d", ev.Req), Phase: "b",
+				PID: 1, TS: ev.Cycle, ID: &id, Cat: "batch", Args: args})
+		case KindBatchEnd:
+			id := ev.Req
+			add(chromeEvent{Name: fmt.Sprintf("batch %d", ev.Req), Phase: "e",
+				PID: 1, TS: ev.Cycle, ID: &id, Cat: "batch",
+				Args: map[string]any{"duration": ev.Row}})
+		}
+	}
+
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChrome renders the tracer's recorded run as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error { return WriteChrome(w, t.Log()) }

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dram"
+)
+
+// JSONL wire format: one JSON object per line. The first line is the run
+// header carrying Schema and the Meta fields; every following line is one
+// event, discriminated by "kind". Field order is fixed by the structs
+// below so a write → read → write cycle is byte-identical (the schema pin
+// test relies on this).
+
+type runLine struct {
+	Schema     string `json:"schema"`
+	Kind       string `json:"kind"`
+	Policy     string `json:"policy"`
+	Workload   string `json:"workload"`
+	Cores      int    `json:"cores"`
+	Banks      int    `json:"banks"`
+	CPUPerDRAM int64  `json:"cpu_per_dram"`
+	WarmupDRAM int64  `json:"warmup_dram"`
+	TotalDRAM  int64  `json:"total_dram"`
+	MarkingCap int    `json:"marking_cap"`
+	ReadBuf    int    `json:"read_buf"`
+	Events     int    `json:"events"`
+	Dropped    int64  `json:"dropped"`
+}
+
+type arriveLine struct {
+	Kind   string `json:"kind"`
+	Cycle  int64  `json:"cycle"`
+	ID     int64  `json:"id"`
+	Thread int32  `json:"thread"`
+	Bank   int32  `json:"bank"`
+	Row    int64  `json:"row"`
+	Write  bool   `json:"write"`
+}
+
+type markLine struct {
+	Kind   string `json:"kind"`
+	Cycle  int64  `json:"cycle"`
+	ID     int64  `json:"id"`
+	Thread int32  `json:"thread"`
+	Batch  int64  `json:"batch"`
+}
+
+type cmdLine struct {
+	Kind   string `json:"kind"`
+	Cycle  int64  `json:"cycle"`
+	ID     int64  `json:"id"`
+	Thread int32  `json:"thread"`
+	Cmd    string `json:"cmd"`
+	Bank   int32  `json:"bank"`
+	Row    int64  `json:"row"`
+	Rank   int32  `json:"rank"`
+}
+
+type doneLine struct {
+	Kind    string `json:"kind"`
+	Cycle   int64  `json:"cycle"`
+	ID      int64  `json:"id"`
+	Thread  int32  `json:"thread"`
+	Latency int64  `json:"latency"`
+}
+
+type batchLine struct {
+	Kind      string  `json:"kind"`
+	Cycle     int64   `json:"cycle"`
+	Batch     int64   `json:"batch"`
+	Size      int64   `json:"size"`
+	Clipped   int32   `json:"clipped"`
+	PerThread []int32 `json:"per_thread"`
+}
+
+type batchEndLine struct {
+	Kind     string `json:"kind"`
+	Cycle    int64  `json:"cycle"`
+	Batch    int64  `json:"batch"`
+	Duration int64  `json:"duration"`
+}
+
+// WriteJSONL renders the log as schema-versioned JSONL.
+func WriteJSONL(w io.Writer, log *Log) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(runLine{
+		Schema:     Schema,
+		Kind:       "run",
+		Policy:     log.Meta.Policy,
+		Workload:   log.Meta.Workload,
+		Cores:      log.Meta.Cores,
+		Banks:      log.Meta.Banks,
+		CPUPerDRAM: log.Meta.CPUPerDRAM,
+		WarmupDRAM: log.Meta.WarmupDRAM,
+		TotalDRAM:  log.Meta.TotalDRAM,
+		MarkingCap: log.Meta.MarkingCap,
+		ReadBuf:    log.Meta.ReadBufEntries,
+		Events:     len(log.Events),
+		Dropped:    log.Dropped,
+	}); err != nil {
+		return err
+	}
+	batch := 0
+	for _, ev := range log.Events {
+		var line any
+		switch ev.Kind {
+		case KindArrive:
+			line = arriveLine{Kind: "arrive", Cycle: ev.Cycle, ID: ev.Req,
+				Thread: ev.Thread, Bank: ev.Bank, Row: ev.Row, Write: ev.Write}
+		case KindMark:
+			line = markLine{Kind: "mark", Cycle: ev.Cycle, ID: ev.Req,
+				Thread: ev.Thread, Batch: ev.Row}
+		case KindCommand:
+			line = cmdLine{Kind: "cmd", Cycle: ev.Cycle, ID: ev.Req,
+				Thread: ev.Thread, Cmd: dram.Command(ev.Cmd).String(),
+				Bank: ev.Bank, Row: ev.Row, Rank: ev.Rank}
+		case KindComplete:
+			line = doneLine{Kind: "done", Cycle: ev.Cycle, ID: ev.Req,
+				Thread: ev.Thread, Latency: ev.Row}
+		case KindBatch:
+			var pt []int32
+			if batch < len(log.BatchPerThread) {
+				pt = log.BatchPerThread[batch]
+			}
+			batch++
+			line = batchLine{Kind: "batch", Cycle: ev.Cycle, Batch: ev.Req,
+				Size: ev.Row, Clipped: ev.Rank, PerThread: pt}
+		case KindBatchEnd:
+			line = batchEndLine{Kind: "batch_end", Cycle: ev.Cycle,
+				Batch: ev.Req, Duration: ev.Row}
+		default:
+			return fmt.Errorf("trace: unknown event kind %d", ev.Kind)
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL renders the tracer's recorded run as schema-versioned JSONL.
+func (t *Tracer) WriteJSONL(w io.Writer) error { return WriteJSONL(w, t.Log()) }
+
+// commandByName maps the wire mnemonics back to dram.Command ordinals.
+var commandByName = map[string]dram.Command{
+	dram.CmdNone.String():      dram.CmdNone,
+	dram.CmdActivate.String():  dram.CmdActivate,
+	dram.CmdPrecharge.String(): dram.CmdPrecharge,
+	dram.CmdRead.String():      dram.CmdRead,
+	dram.CmdWrite.String():     dram.CmdWrite,
+	dram.CmdRefresh.String():   dram.CmdRefresh,
+}
+
+// ReadLog parses a JSONL event log produced by WriteJSONL. It rejects
+// streams whose header schema is not Schema.
+func ReadLog(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty log")
+	}
+	var hdr runLine
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: bad header: %w", err)
+	}
+	if hdr.Schema != Schema {
+		return nil, fmt.Errorf("trace: schema %q, want %q", hdr.Schema, Schema)
+	}
+	log := &Log{
+		Meta: Meta{
+			Policy:         hdr.Policy,
+			Workload:       hdr.Workload,
+			Cores:          hdr.Cores,
+			Banks:          hdr.Banks,
+			CPUPerDRAM:     hdr.CPUPerDRAM,
+			WarmupDRAM:     hdr.WarmupDRAM,
+			TotalDRAM:      hdr.TotalDRAM,
+			MarkingCap:     hdr.MarkingCap,
+			ReadBufEntries: hdr.ReadBuf,
+		},
+		Dropped: hdr.Dropped,
+		Events:  make([]Event, 0, hdr.Events),
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch kind.Kind {
+		case "arrive":
+			var l arriveLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			log.Events = append(log.Events, Event{Kind: KindArrive, Cycle: l.Cycle,
+				Req: l.ID, Thread: l.Thread, Bank: l.Bank, Row: l.Row, Write: l.Write})
+		case "mark":
+			var l markLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			log.Events = append(log.Events, Event{Kind: KindMark, Cycle: l.Cycle,
+				Req: l.ID, Thread: l.Thread, Row: l.Batch})
+		case "cmd":
+			var l cmdLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			cmd, ok := commandByName[l.Cmd]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown command %q", lineNo, l.Cmd)
+			}
+			log.Events = append(log.Events, Event{Kind: KindCommand, Cycle: l.Cycle,
+				Req: l.ID, Thread: l.Thread, Bank: l.Bank, Row: l.Row,
+				Rank: l.Rank, Cmd: uint8(cmd)})
+		case "done":
+			var l doneLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			log.Events = append(log.Events, Event{Kind: KindComplete, Cycle: l.Cycle,
+				Req: l.ID, Thread: l.Thread, Row: l.Latency})
+		case "batch":
+			var l batchLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			log.Events = append(log.Events, Event{Kind: KindBatch, Cycle: l.Cycle,
+				Req: l.Batch, Row: l.Size, Rank: l.Clipped})
+			log.BatchPerThread = append(log.BatchPerThread, l.PerThread)
+		case "batch_end":
+			var l batchEndLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			log.Events = append(log.Events, Event{Kind: KindBatchEnd, Cycle: l.Cycle,
+				Req: l.Batch, Row: l.Duration})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}

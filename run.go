@@ -129,6 +129,7 @@ func WithAloneCache(c *AloneCache) RunOption {
 // runConfig collects the RunOption settings.
 type runConfig struct {
 	tel        *Telemetry
+	tracer     *Tracer
 	cmdLog     func(CommandEvent)
 	progress   func(Progress)
 	aloneCache *AloneCache
@@ -191,6 +192,13 @@ func RunContext(ctx context.Context, sys System, w Workload, s Scheduler, opts .
 		}
 		cfg.Probe = probe
 	}
+	if rc.tracer != nil {
+		tr, err := rc.tracer.bind()
+		if err != nil {
+			return Report{}, err
+		}
+		cfg.Tracer = tr
+	}
 	if rc.cmdLog != nil {
 		fn := rc.cmdLog
 		cfg.CommandLog = func(ev memctrl.CommandEvent) {
@@ -229,6 +237,9 @@ func RunContext(ctx context.Context, sys System, w Workload, s Scheduler, opts .
 	res, err := sim.Run(cfg, w.mix, s.policy)
 	if err != nil {
 		return Report{}, err
+	}
+	if rc.tracer != nil {
+		rc.tracer.finish()
 	}
 	// Alone baselines: probe and command log are shared-run-only (RunAlone
 	// strips them); context and progress carry through.

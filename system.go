@@ -152,4 +152,3 @@ func (r Report) String() string {
 	}
 	return s
 }
-

@@ -84,6 +84,16 @@ func (t *Telemetry) Epochs() int {
 	return t.probe.Epochs()
 }
 
+// Dropped returns how many sampled epochs were overwritten after the
+// buffer filled (the JSON report's dropped_epochs count). Zero before the
+// run starts; size MaxEpochs up if it is non-zero and the tail matters.
+func (t *Telemetry) Dropped() int {
+	if t.probe == nil {
+		return 0
+	}
+	return t.probe.DroppedEpochs()
+}
+
 // JSON renders the collected run report as indented, versioned JSON
 // (schema "parbs.telemetry/v1"). It errors if the run has not completed.
 func (t *Telemetry) JSON() ([]byte, error) {
