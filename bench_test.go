@@ -77,6 +77,29 @@ func BenchmarkSimulatedCyclesPerSecond(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "DRAMcycles/s")
 }
 
+// BenchmarkSimulatedCyclesPerSecondTicked measures the same run with the
+// next-event clock disabled (Config.ForceTicked): every DRAM cycle is
+// evaluated. The gap to BenchmarkSimulatedCyclesPerSecond isolates the
+// event clock's contribution from controller-level optimizations, which
+// benefit both modes equally.
+func BenchmarkSimulatedCyclesPerSecondTicked(b *testing.B) {
+	cfg := sim.DefaultConfig(4)
+	cfg.WarmupCPUCycles = 0
+	cfg.MeasureCPUCycles = 500_000
+	cfg.ForceTicked = true
+	mix := workload.CaseStudyI()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, mix, sched.NewPARBSDefault())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.DRAMCycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "DRAMcycles/s")
+}
+
 // BenchmarkSchedulers compares per-run cost of each policy.
 func BenchmarkSchedulers(b *testing.B) {
 	for _, name := range sched.Names() {

@@ -48,6 +48,7 @@ func main() {
 		eventFile = flag.String("trace-events", "", "write a JSONL lifecycle event log (schema "+trace.Schema+", for parbs-trace analyze) to this file")
 		maxEvents = flag.Int("trace-max-events", 0, "cap buffered trace events (default 2^20)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
+		ticked    = flag.Bool("ticked", false, "force the legacy one-cycle-per-iteration run loop (disables next-event cycle skipping)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 	cfg := sim.DefaultConfig(len(mix.Benchmarks))
 	cfg.MeasureCPUCycles = *cycles
 	cfg.Seed = *seed
+	cfg.ForceTicked = *ticked
 	if *timeout > 0 {
 		// The deadline is the RunContext-style cooperative one: the shared
 		// run and every alone baseline poll it at their epoch checkpoints.
@@ -133,6 +135,10 @@ func main() {
 	fmt.Printf("avg AST/req       %8.1f cycles\n", metrics.AvgASTPerReq(cs))
 	fmt.Printf("worst-case lat.   %8d cycles\n", metrics.WorstCaseLatency(cs, cfg.CPUCyclesPerDRAM))
 	fmt.Printf("bus utilization   %8.1f%%\n", 100*res.BusUtilization())
+	if total := res.EvaluatedCycles + res.SkippedCycles; total > 0 {
+		fmt.Printf("engine            %8d of %d DRAM cycles evaluated (%.1f%% skipped)\n",
+			res.EvaluatedCycles, total, 100*float64(res.SkippedCycles)/float64(total))
+	}
 	if tl != nil {
 		fmt.Printf("\n%s", tl.Render(0, *timeline))
 	}

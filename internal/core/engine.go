@@ -232,6 +232,26 @@ func (e *Engine) OnCycle(now int64) {
 	}
 }
 
+// NextPolicyEventAt implements memctrl.NextEventer. Under StaticBatching the
+// only self-driven event is the re-marking deadline; under the batch-driven
+// modes a formation can fire on any cycle while unmarked work is pending
+// (formBatch may mark nothing and retry — opportunistic-only threads), so the
+// bound collapses to now+1 in that state. Everything else the engine does is
+// triggered by enqueue/issue/complete events, which the next-event clock
+// already treats as skip barriers.
+func (e *Engine) NextPolicyEventAt(now int64) int64 {
+	if e.opts.Batch == StaticBatching {
+		if e.nextStaticMark <= now+1 {
+			return now + 1
+		}
+		return e.nextStaticMark
+	}
+	if e.totalMarked == 0 && e.ctrl.PendingReads() > 0 {
+		return now + 1
+	}
+	return math.MaxInt64
+}
+
 // currentCap returns the live marking cap: the adaptive value when
 // enabled, otherwise the configured Marking-Cap.
 func (e *Engine) currentCap() int {

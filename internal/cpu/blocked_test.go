@@ -1,0 +1,70 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBlockedUntilLoadStall exercises the stall bound the next-event clock
+// consumes: zero while the core progresses, MaxInt64 once it is wedged
+// behind a pending load with nothing scheduled, and lowered by a completion
+// queued after the core's tick (the controller runs later in the same DRAM
+// cycle).
+func TestBlockedUntilLoadStall(t *testing.T) {
+	c, port := newCore(t, []Item{
+		{NonMem: 1, Access: Access{Addr: 64}, HasAccess: true},
+		{NonMem: 1 << 20},
+	})
+	c.Tick(0, 10)
+	if got := c.BlockedUntil(); got != 0 {
+		t.Fatalf("still progressing at cycle 10: BlockedUntil = %d, want 0", got)
+	}
+	// Let the window fill behind the pending load; the core is then provably
+	// stalled with no completion scheduled.
+	for i := int64(1); i <= 20; i++ {
+		c.Tick(i*10, 10)
+	}
+	if got := c.BlockedUntil(); got != int64(math.MaxInt64) {
+		t.Fatalf("stalled with nothing scheduled: BlockedUntil = %d, want MaxInt64", got)
+	}
+	// A completion queued between ticks lowers the bound immediately.
+	c.Complete(port.issued[0], 777)
+	if got := c.BlockedUntil(); got != 777 {
+		t.Fatalf("BlockedUntil = %d after Complete at 777, want 777", got)
+	}
+	// Ticking across the wake cycle resumes commit.
+	before := c.Stats().Instructions
+	c.Tick(210, 600)
+	if c.Stats().Instructions == before {
+		t.Fatal("core did not resume after its completion was delivered")
+	}
+	if got := c.BlockedUntil(); got != 0 {
+		t.Fatalf("BlockedUntil = %d after resuming, want 0", got)
+	}
+}
+
+// TestBlockedUntilStoreStall pins the external-unblock case: a core wedged
+// on a full write buffer reports MaxInt64 (only a command issue can free a
+// slot), and resumes once the port accepts the store.
+func TestBlockedUntilStoreStall(t *testing.T) {
+	c, port := newCore(t, []Item{
+		{NonMem: 1, Access: Access{Addr: 64, IsWrite: true}, HasAccess: true},
+		{NonMem: 1 << 20},
+	})
+	port.rejectWrite = true
+	for i := int64(0); i <= 20; i++ {
+		c.Tick(i*10, 10)
+	}
+	if got := c.BlockedUntil(); got != int64(math.MaxInt64) {
+		t.Fatalf("store-stalled: BlockedUntil = %d, want MaxInt64", got)
+	}
+	if c.Stats().StoreStallCycles == 0 {
+		t.Fatal("no store stall cycles accounted; scenario is vacuous")
+	}
+	port.rejectWrite = false
+	before := c.Stats().Instructions
+	c.Tick(210, 10)
+	if c.Stats().Instructions == before {
+		t.Fatal("core did not resume once the write buffer accepted the store")
+	}
+}

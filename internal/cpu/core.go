@@ -13,6 +13,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/memctrl"
 )
@@ -211,6 +212,15 @@ type Core struct {
 	completions []completion
 	cHead, cLen int
 	stats       Stats
+	// blockedUntil is set when the last Tick call ended in a provable stall:
+	// the CPU cycle before which the core cannot make progress (MaxInt64 for
+	// "until something external happens"), or 0 when the core was still
+	// progressing. See BlockedUntil.
+	blockedUntil int64
+	// portStalled records that some cycle of the last Tick call had a memory
+	// port call rejected (read buffer or write buffer full). See
+	// BlockedOnPort.
+	portStalled bool
 }
 
 type completion struct {
@@ -320,6 +330,8 @@ func (c *Core) Complete(req *memctrl.Request, at int64) {
 // this state, and replaying it cycle by cycle dominated simulator cost.
 func (c *Core) Tick(start int64, n int) {
 	end := start + int64(n)
+	c.blockedUntil = 0
+	c.portStalled = false
 	for cyc := start; cyc < end; cyc++ {
 		wasMidItem := c.fetchPending
 		loadsCompleted := c.stats.LoadsCompleted
@@ -346,13 +358,22 @@ func (c *Core) Tick(start int64, n int) {
 			continue
 		}
 		// Pure stall cycle: nothing can unblock before the next completion.
-		next := end
+		wake := int64(math.MaxInt64)
 		if c.cLen > 0 {
-			if at := c.completions[c.cHead].at; at < next {
-				next = at
-			}
+			wake = c.completions[c.cHead].at
 		}
-		if skip := next - cyc - 1; skip > 0 {
+		if wake >= end {
+			// Blocked through the rest of this call: account the remaining
+			// cycles in closed form and publish the wake bound so the
+			// next-event clock can skip whole DRAM cycles (see BlockedUntil).
+			skip := end - cyc - 1
+			c.stats.Cycles += skip
+			c.stats.MemStallCycles += skip * (c.stats.MemStallCycles - memStall)
+			c.stats.StoreStallCycles += skip * (c.stats.StoreStallCycles - storeStall)
+			c.blockedUntil = wake
+			return
+		}
+		if skip := wake - cyc - 1; skip > 0 {
 			c.stats.Cycles += skip
 			c.stats.MemStallCycles += skip * (c.stats.MemStallCycles - memStall)
 			c.stats.StoreStallCycles += skip * (c.stats.StoreStallCycles - storeStall)
@@ -360,6 +381,38 @@ func (c *Core) Tick(start int64, n int) {
 		}
 	}
 }
+
+// BlockedUntil reports the core's stall bound after its last Tick call: 0
+// when the core was still making progress (it must be ticked every cycle),
+// otherwise a CPU cycle strictly before which the core is guaranteed to do
+// nothing — no commits, no fetches, and in particular no memory-port calls.
+// Completions queued by the controller after the Tick (via Complete) lower
+// the bound, so the returned value stays safe across the tick/controller
+// ordering within one DRAM cycle. math.MaxInt64 means the core can only be
+// unblocked by an external event (a buffer slot freeing on a command issue),
+// which the caller must treat as ending any skip span.
+func (c *Core) BlockedUntil() int64 {
+	b := c.blockedUntil
+	if b == 0 {
+		return 0
+	}
+	if c.cLen > 0 {
+		if at := c.completions[c.cHead].at; at < b {
+			b = at
+		}
+	}
+	return b
+}
+
+// BlockedOnPort reports whether any cycle of the last Tick call had a memory
+// port call rejected. A port-blocked core can be unblocked by a command
+// issuing at the controller (a CAS frees a read-buffer slot, a write issue
+// frees a write-buffer slot) — an event BlockedUntil cannot see — so its
+// stall bound is only valid over spans in which the whole system is
+// quiescent, never for gating this core alone while others keep the
+// controller busy. The flag is conservative: it latches on any rejected call
+// during the Tick even if the core later progressed past it.
+func (c *Core) BlockedOnPort() bool { return c.portStalled }
 
 // deliver marks loads whose data has arrived by cycle cyc.
 func (c *Core) deliver(cyc int64) {
@@ -442,6 +495,7 @@ func (c *Core) fetch() {
 			}
 			req, ok := c.port.IssueRead(c.id, it.Access.Addr)
 			if !ok {
+				c.portStalled = true
 				return // request buffer full: retry next cycle
 			}
 			slot := c.pushEntry(entry{kind: entryLoad, addr: it.Access.Addr, bank: it.Access.Bank, pending: true, issued: true, req: req})
@@ -504,6 +558,7 @@ func (c *Core) commit(cyc int64) {
 			budget--
 		case entryStore:
 			if !c.port.IssueWrite(c.id, head.addr) {
+				c.portStalled = true
 				if committed == 0 {
 					c.stats.StoreStallCycles++
 				}

@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // RowState classifies the row-buffer state a request finds in its bank.
 type RowState int
@@ -221,6 +224,131 @@ func (d *Device) BankReadyAt(bankID int) int64 {
 // CommandBusFree reports whether the shared command bus can carry a command
 // at cycle now (the bus carries at most one command per DRAM cycle).
 func (d *Device) CommandBusFree(now int64) bool { return now > d.lastCmdCycle }
+
+// ReadyAt returns the exact earliest DRAM cycle at which cmd may legally
+// issue to bankID, or math.MaxInt64 when the bank's row-buffer state
+// precludes the command entirely (an activate to an open bank, a precharge
+// or CAS to a closed one). For CAS commands the bound is for the bank's
+// currently open row; callers must separately check that the request's row
+// matches.
+//
+// Every timing gate is an absolute cycle value that changes only inside
+// Issue, so between commands ReadyAt is constant and satisfies, for every
+// cycle n:
+//
+//	CanIssue(n, cmd, bankID, openRow) == (n >= ReadyAt(cmd, bankID))
+//
+// (pinned by TestReadyAtMatchesCanIssue). This makes it an exact event
+// source for the next-event simulation clock: jumping the clock to the
+// minimum ReadyAt over demanded (bank, class) pairs can never step over a
+// cycle at which a command first becomes legal. CmdRefresh is not covered;
+// refresh sequencing has its own all-bank rule and the controller ticks
+// through it.
+func (d *Device) ReadyAt(cmd Command, bankID int) int64 {
+	// The explicit comparison chains (rather than variadic max64) matter:
+	// this is the scheduling fast path's innermost legality probe.
+	b := &d.banks[bankID]
+	t := d.lastCmdCycle + 1
+	switch cmd {
+	case CmdActivate:
+		if b.open {
+			return math.MaxInt64
+		}
+		return d.actReadyAt(b, t)
+	case CmdPrecharge:
+		if !b.open {
+			return math.MaxInt64
+		}
+		if b.preAllowed > t {
+			t = b.preAllowed
+		}
+		return t
+	case CmdRead:
+		if !b.open {
+			return math.MaxInt64
+		}
+		return d.readReadyAt(b, t)
+	case CmdWrite:
+		if !b.open {
+			return math.MaxInt64
+		}
+		return d.writeReadyAt(b, t)
+	default:
+		return math.MaxInt64
+	}
+}
+
+// actReadyAt folds the bank and channel activate gates over the floor t.
+func (d *Device) actReadyAt(b *bank, t int64) int64 {
+	if b.actAllowed > t {
+		t = b.actAllowed
+	}
+	if w := d.actWindow[d.actWindowIdx] + d.timing.TFAW; w > t {
+		t = w
+	}
+	return t
+}
+
+// readReadyAt folds the bank and channel read-CAS gates over the floor t.
+func (d *Device) readReadyAt(b *bank, t int64) int64 {
+	if b.rdAllowed > t {
+		t = b.rdAllowed
+	}
+	if d.nextCASAllowed > t {
+		t = d.nextCASAllowed
+	}
+	if d.wrToRdAllowed > t {
+		t = d.wrToRdAllowed
+	}
+	if v := d.dataBusFree - d.timing.TCL; v > t {
+		t = v
+	}
+	return t
+}
+
+// writeReadyAt folds the bank and channel write-CAS gates over the floor t.
+func (d *Device) writeReadyAt(b *bank, t int64) int64 {
+	if b.wrAllowed > t {
+		t = b.wrAllowed
+	}
+	if d.nextCASAllowed > t {
+		t = d.nextCASAllowed
+	}
+	if d.rdToWrAllowed > t {
+		t = d.rdToWrAllowed
+	}
+	if v := d.dataBusFree - d.timing.TCWL; v > t {
+		t = v
+	}
+	return t
+}
+
+// ScanBank returns, in one call, everything the controller's candidate scan
+// needs from one bank: the open row (-1 when the bank is closed) and the
+// exact ReadyAt bounds of the command classes the bank's state admits — the
+// activate bound when closed, the CAS (read or write, per isWrite) and
+// precharge bounds when open. Unused bounds are math.MaxInt64, matching
+// ReadyAt's convention for state-precluded commands; the values are exactly
+// ReadyAt's (pinned by TestScanBankMatchesReadyAt). Folding the probes into
+// one call removes three repeated bank-struct walks per scanned bank from
+// the scheduler's inner loop.
+func (d *Device) ScanBank(bankID int, isWrite bool) (openRow, tAct, tCAS, tPre int64) {
+	b := &d.banks[bankID]
+	bus := d.lastCmdCycle + 1
+	if !b.open {
+		return -1, d.actReadyAt(b, bus), math.MaxInt64, math.MaxInt64
+	}
+	if isWrite {
+		tCAS = d.writeReadyAt(b, bus)
+	} else {
+		tCAS = d.readReadyAt(b, bus)
+	}
+	tPre = bus
+	if b.preAllowed > tPre {
+		tPre = b.preAllowed
+	}
+	return b.row, math.MaxInt64, tCAS, tPre
+}
 
 // refreshEarliest recomputes the bank's cached readiness lower bound from
 // its timing gates and the device's tFAW window.

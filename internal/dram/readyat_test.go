@@ -1,0 +1,87 @@
+package dram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestReadyAtMatchesCanIssue drives a device with a randomized legal command
+// sequence and, after every issue, cross-checks ReadyAt against brute-force
+// CanIssue probing for every bank and command class: below the bound the
+// command must be illegal, at and above it legal (or, when ReadyAt reports
+// MaxInt64, illegal over the whole probe horizon). This is the exactness
+// contract the next-event clock relies on — an overshoot here would make the
+// engine step over the first legal cycle of a command.
+func TestReadyAtMatchesCanIssue(t *testing.T) {
+	d, err := NewDevice(DDR2_800(), DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	cmds := []Command{CmdActivate, CmdPrecharge, CmdRead, CmdWrite}
+	banks := d.Geometry().Banks
+	now := int64(0)
+
+	check := func() {
+		for b := 0; b < banks; b++ {
+			row := d.OpenRow(b)
+			for _, cmd := range cmds {
+				at := d.ReadyAt(cmd, b)
+				if at == math.MaxInt64 {
+					for n := now + 1; n < now+64; n++ {
+						if d.CanIssue(n, cmd, b, row) {
+							t.Fatalf("bank %d %s: ReadyAt=MaxInt64 but CanIssue true at %d", b, cmd, n)
+						}
+					}
+					continue
+				}
+				lo := at - 8
+				if lo < 0 {
+					lo = 0
+				}
+				for n := lo; n < at+8; n++ {
+					if got, want := d.CanIssue(n, cmd, b, row), n >= at; got != want {
+						t.Fatalf("bank %d %s: CanIssue(%d)=%v, ReadyAt=%d implies %v",
+							b, cmd, n, got, at, want)
+					}
+				}
+			}
+		}
+	}
+
+	check()
+	for i := 0; i < 400; i++ {
+		// Collect the currently applicable (command, bank) pairs and issue a
+		// random one at a cycle at or shortly after its bound.
+		type choice struct {
+			cmd  Command
+			bank int
+			at   int64
+		}
+		var choices []choice
+		for b := 0; b < banks; b++ {
+			for _, cmd := range cmds {
+				if at := d.ReadyAt(cmd, b); at != math.MaxInt64 {
+					choices = append(choices, choice{cmd, b, at})
+				}
+			}
+		}
+		if len(choices) == 0 {
+			t.Fatal("no command applicable; device wedged")
+		}
+		c := choices[rng.Intn(len(choices))]
+		issueAt := c.at + rng.Int63n(3)
+		row := d.OpenRow(c.bank)
+		if c.cmd == CmdActivate {
+			row = rng.Int63n(8)
+		}
+		if !d.CanIssue(issueAt, c.cmd, c.bank, row) {
+			t.Fatalf("step %d: %s bank %d at %d (ReadyAt %d) unexpectedly illegal",
+				i, c.cmd, c.bank, issueAt, c.at)
+		}
+		d.Issue(issueAt, c.cmd, c.bank, row)
+		now = issueAt
+		check()
+	}
+}

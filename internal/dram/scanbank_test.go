@@ -1,0 +1,89 @@
+package dram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestScanBankMatchesReadyAt drives a device with a randomized legal command
+// sequence and, after every issue, cross-checks ScanBank against the
+// individual OpenRow/ReadyAt calls it batches: the snapshot must agree field
+// for field with the scattered queries for both CAS classes on every bank.
+// ScanBank exists purely so the controller's scheduling scan pays one call
+// per bank instead of three; any divergence here would silently change
+// scheduling decisions.
+func TestScanBankMatchesReadyAt(t *testing.T) {
+	d, err := NewDevice(DDR2_800(), DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	cmds := []Command{CmdActivate, CmdPrecharge, CmdRead, CmdWrite}
+	banks := d.Geometry().Banks
+
+	check := func(step int) {
+		for b := 0; b < banks; b++ {
+			for _, isWrite := range []bool{false, true} {
+				openRow, tAct, tCAS, tPre := d.ScanBank(b, isWrite)
+				if want := d.OpenRow(b); openRow != want {
+					t.Fatalf("step %d bank %d: ScanBank openRow=%d, OpenRow=%d", step, b, openRow, want)
+				}
+				if openRow < 0 {
+					if want := d.ReadyAt(CmdActivate, b); tAct != want {
+						t.Fatalf("step %d bank %d closed: ScanBank tAct=%d, ReadyAt(ACT)=%d", step, b, tAct, want)
+					}
+					if tCAS != math.MaxInt64 || tPre != math.MaxInt64 {
+						t.Fatalf("step %d bank %d closed: tCAS=%d tPre=%d, want MaxInt64", step, b, tCAS, tPre)
+					}
+					continue
+				}
+				if tAct != math.MaxInt64 {
+					t.Fatalf("step %d bank %d open: tAct=%d, want MaxInt64", step, b, tAct)
+				}
+				cas := CmdRead
+				if isWrite {
+					cas = CmdWrite
+				}
+				if want := d.ReadyAt(cas, b); tCAS != want {
+					t.Fatalf("step %d bank %d open: ScanBank tCAS=%d, ReadyAt(%s)=%d", step, b, tCAS, cas, want)
+				}
+				if want := d.ReadyAt(CmdPrecharge, b); tPre != want {
+					t.Fatalf("step %d bank %d open: ScanBank tPre=%d, ReadyAt(PRE)=%d", step, b, tPre, want)
+				}
+			}
+		}
+	}
+
+	check(-1)
+	for i := 0; i < 400; i++ {
+		type choice struct {
+			cmd  Command
+			bank int
+			at   int64
+		}
+		var choices []choice
+		for b := 0; b < banks; b++ {
+			for _, cmd := range cmds {
+				if at := d.ReadyAt(cmd, b); at != math.MaxInt64 {
+					choices = append(choices, choice{cmd, b, at})
+				}
+			}
+		}
+		if len(choices) == 0 {
+			t.Fatal("no command applicable; device wedged")
+		}
+		c := choices[rng.Intn(len(choices))]
+		issueAt := c.at + rng.Int63n(3)
+		row := d.OpenRow(c.bank)
+		if c.cmd == CmdActivate {
+			row = rng.Int63n(8)
+		}
+		if !d.CanIssue(issueAt, c.cmd, c.bank, row) {
+			t.Fatalf("step %d: %s bank %d at %d (ReadyAt %d) unexpectedly illegal",
+				i, c.cmd, c.bank, issueAt, c.at)
+		}
+		d.Issue(issueAt, c.cmd, c.bank, row)
+		check(i)
+	}
+}

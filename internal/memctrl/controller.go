@@ -2,6 +2,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dram"
 	"repro/internal/telemetry"
@@ -151,9 +152,6 @@ type Controller struct {
 	// sync with reads/writes on enqueue and CAS issue.
 	bankReads  [][]*Request
 	bankWrites [][]*Request
-	// rowDemand counts buffered requests (reads and writes) per (bank, row),
-	// making the closed-page rowWanted check O(1) instead of O(buffer).
-	rowDemand []map[int64]int
 	// inflight holds CAS-issued requests ordered by completion time (data
 	// bus bursts complete in issue order, so a FIFO ring suffices).
 	inflight inflightRing
@@ -188,6 +186,20 @@ type Controller struct {
 
 	threadStats []ThreadStats
 	cmdsIssued  int64
+
+	// enqueues counts accepted requests; see Enqueues.
+	enqueues int64
+	// idleUntil caches the earliest cycle at which any command could become
+	// issuable, set after a scan cycle found nothing to issue. Until then the
+	// Tick fast path skips candidate enumeration entirely. It is a pure
+	// device-legality bound (nextIssueAt) and therefore ignores policy
+	// eligibility — conservative, since eligibility can only remove
+	// candidates, never make an illegal command legal. Invalidated (zeroed)
+	// by anything that can create a new candidate or change device state:
+	// enqueues and command issues (including refresh). Disabled under
+	// Config.ReferenceScan so the reference path stays a true per-cycle
+	// oracle for the equivalence tests.
+	idleUntil int64
 }
 
 // NewController builds a controller over dev with the given policy.
@@ -202,16 +214,12 @@ func NewController(dev *dram.Device, policy Policy, cfg Config) (*Controller, er
 		policy:           policy,
 		bankReads:        make([][]*Request, banks),
 		bankWrites:       make([][]*Request, banks),
-		rowDemand:        make([]map[int64]int, banks),
 		inflight:         newInflightRing(cfg.ReadBufEntries + cfg.WriteBufEntries),
 		perThreadPerBank: make([][]int, cfg.Threads),
 		perThread:        make([]int, cfg.Threads),
 		inServiceBank:    make([][]int, cfg.Threads),
 		banksBusy:        make([]int, cfg.Threads),
 		threadStats:      make([]ThreadStats, cfg.Threads),
-	}
-	for b := range c.rowDemand {
-		c.rowDemand[b] = make(map[int64]int)
 	}
 	for i := range c.perThreadPerBank {
 		c.perThreadPerBank[i] = make([]int, banks)
@@ -304,6 +312,12 @@ func (c *Controller) ResetStats() {
 // CommandsIssued returns the total DRAM commands issued.
 func (c *Controller) CommandsIssued() int64 { return c.cmdsIssued }
 
+// Enqueues returns the number of requests accepted into the read and write
+// buffers since construction (never reset). The next-event run loop compares
+// it across cycles to detect that an enqueue invalidated a previously
+// computed NextEventAt bound.
+func (c *Controller) Enqueues() int64 { return c.enqueues }
+
 // EnqueueRead inserts a read request. It returns the request and true, or
 // nil and false when the request buffer is full (the core must retry).
 func (c *Controller) EnqueueRead(thread int, addr int64, now int64) (*Request, bool) {
@@ -311,9 +325,10 @@ func (c *Controller) EnqueueRead(thread int, addr int64, now int64) (*Request, b
 		return nil, false
 	}
 	r := c.newRequest(thread, addr, now, false)
+	c.idleUntil = 0
+	c.enqueues++
 	c.reads = append(c.reads, r)
 	c.bankReads[r.Loc.Bank] = append(c.bankReads[r.Loc.Bank], r)
-	c.rowDemand[r.Loc.Bank][r.Loc.Row]++
 	c.perThread[thread]++
 	c.perThreadPerBank[thread][r.Loc.Bank]++
 	// Arrival is traced before the policy sees the request: empty-slot
@@ -333,9 +348,10 @@ func (c *Controller) EnqueueWrite(thread int, addr int64, now int64) bool {
 		return false
 	}
 	r := c.newRequest(thread, addr, now, true)
+	c.idleUntil = 0
+	c.enqueues++
 	c.writes = append(c.writes, r)
 	c.bankWrites[r.Loc.Bank] = append(c.bankWrites[r.Loc.Bank], r)
-	c.rowDemand[r.Loc.Bank][r.Loc.Row]++
 	if c.tracer != nil {
 		c.tracer.RequestArrived(r.ID, thread, r.Loc.Bank, r.Loc.Row, true, now)
 	}
@@ -382,6 +398,15 @@ func (c *Controller) Tick(now int64) {
 		}
 	}
 
+	// Idle fast path: an earlier scan proved no command can become legal
+	// before idleUntil, and nothing has invalidated that bound since, so the
+	// candidate enumeration below cannot succeed. Buffer occupancy is
+	// unchanged over the window (enqueues invalidate), so the drain
+	// hysteresis below would not flip either.
+	if !c.cfg.ReferenceScan && now < c.idleUntil {
+		return
+	}
+
 	// Write-drain hysteresis.
 	if len(c.writes) >= c.cfg.WriteDrainHigh {
 		c.draining = true
@@ -389,19 +414,31 @@ func (c *Controller) Tick(now int64) {
 		c.draining = false
 	}
 
+	// Both scans failing arms the idle cache with the min of their bounds,
+	// computed as a byproduct of the failed scans themselves — no extra pass.
+	var b1, b2 int64
+	var ok bool
 	if c.draining {
-		if c.issueWrite(now) {
+		if ok, b1 = c.issueWrite(now); ok {
 			return
 		}
-		if c.issueRead(now) {
+		if ok, b2 = c.issueRead(now); ok {
 			return
 		}
-		return
+	} else {
+		if ok, b1 = c.issueRead(now); ok {
+			return
+		}
+		if ok, b2 = c.issueWrite(now); ok {
+			return
+		}
 	}
-	if c.issueRead(now) {
-		return
+	if !c.cfg.ReferenceScan {
+		if b2 < b1 {
+			b1 = b2
+		}
+		c.idleUntil = b1
 	}
-	c.issueWrite(now)
 }
 
 // refreshStep advances an in-progress refresh sequence: it issues a
@@ -409,6 +446,7 @@ func (c *Controller) Tick(now int64) {
 // closed. It reports whether the command slot was consumed (the caller
 // must then skip request scheduling this cycle).
 func (c *Controller) refreshStep(now, trefi int64) bool {
+	c.idleUntil = 0
 	if c.dev.CanIssue(now, dram.CmdRefresh, 0, 0) {
 		c.dev.Issue(now, dram.CmdRefresh, 0, 0)
 		c.cmdsIssued++
@@ -482,21 +520,26 @@ func (c *Controller) accountBLP() {
 }
 
 // issueRead picks the policy's best ready read candidate and issues its
-// command. It reports whether a command was issued.
-func (c *Controller) issueRead(now int64) bool {
-	best, ok := c.bestReadCandidate(now)
+// command. It reports whether a command was issued and, when it did not, a
+// lower bound on the next cycle at which a read-side command could become
+// legal (see bestCandidate).
+func (c *Controller) issueRead(now int64) (bool, int64) {
+	best, ok, bound := c.bestReadCandidate(now)
 	if !ok {
-		return false
+		return false, bound
 	}
 	c.issue(best, now)
-	return true
+	return true, 0
 }
 
 // bestReadCandidate enumerates ready commands for buffered reads and returns
 // the policy's most-preferred one.
-func (c *Controller) bestReadCandidate(now int64) (Candidate, bool) {
+func (c *Controller) bestReadCandidate(now int64) (Candidate, bool, int64) {
 	if c.cfg.ReferenceScan {
-		return c.bestReadCandidateScan(now)
+		best, ok := c.bestReadCandidateScan(now)
+		// The reference path never feeds the idle cache: it stays a pure
+		// per-cycle oracle for the equivalence tests.
+		return best, ok, now
 	}
 	return c.bestCandidate(c.bankReads, now, false)
 }
@@ -510,9 +553,21 @@ func (c *Controller) bestReadCandidate(now int64) (Candidate, bool) {
 // the unique request ID), so the winner is independent of enumeration order
 // and the fast path selects exactly what the flat scan would — pinned by the
 // command-stream equivalence tests in internal/sim.
-func (c *Controller) bestCandidate(queues [][]*Request, now int64, isWrite bool) (Candidate, bool) {
+//
+// The third result is a byproduct of the failure paths: a lower bound on the
+// next cycle at which any command for this queue set could become legal.
+// Before that cycle a re-scan is guaranteed to find nothing, provided no
+// request is enqueued and no command issues in between (both invalidate the
+// idle cache). The bound is conservative: whenever a bank's failure reason
+// cannot be bounded from timing alone (e.g. every legal-class request was
+// skipped by an eligibility filter), the bank contributes `now`, disabling
+// skipping. Eligibility is otherwise ignored, which is safe because
+// eligibility can only remove candidates — it never makes an illegal command
+// legal earlier.
+func (c *Controller) bestCandidate(queues [][]*Request, now int64, isWrite bool) (Candidate, bool, int64) {
 	var best Candidate
 	found := false
+	bound := int64(math.MaxInt64)
 	var elig EligibilityPolicy
 	hasElig := false
 	if !isWrite {
@@ -524,56 +579,103 @@ func (c *Controller) bestCandidate(queues [][]*Request, now int64, isWrite bool)
 	}
 	for b := range queues {
 		queue := queues[b]
-		if len(queue) == 0 || now < c.dev.BankReadyAt(b) {
+		if len(queue) == 0 {
 			continue
 		}
-		openRow := c.dev.OpenRow(b)
+		if br := c.dev.BankReadyAt(b); now < br {
+			if br < bound {
+				bound = br
+			}
+			continue
+		}
+		openRow, tAct, tCAS, tPre := c.dev.ScanBank(b, isWrite)
 		if openRow < 0 {
 			// Closed bank: every request needs an activate, whose legality
 			// is row-independent — one check covers the whole queue.
-			if !c.dev.CanIssue(now, dram.CmdActivate, b, 0) {
+			if now < tAct {
+				if tAct < bound {
+					bound = tAct
+				}
 				continue
 			}
+			had := false
 			for _, r := range queue {
 				if hasElig && !elig.Eligible(r) {
 					continue
 				}
+				had = true
 				cand := Candidate{Req: r, Cmd: dram.CmdActivate, RowState: dram.RowClosed}
 				if !found || c.better(cand, best, isWrite) {
 					best, found = cand, true
 				}
 			}
+			if !had {
+				bound = now // all eligibility-filtered; no timing bound
+			}
 			continue
 		}
 		// Open bank: requests to the open row need a CAS, the rest need a
 		// precharge; each class's legality is again a single check.
-		canCAS := c.dev.CanIssue(now, cas, b, openRow)
-		canPre := c.dev.CanIssue(now, dram.CmdPrecharge, b, 0)
+		canCAS := now >= tCAS
+		canPre := now >= tPre
 		if !canCAS && !canPre {
+			t := tCAS
+			if tPre < t {
+				t = tPre
+			}
+			if t < bound {
+				bound = t
+			}
 			continue
 		}
+		had := false
+		filtered := false
+		sawHit, sawConflict := false, false
 		for _, r := range queue {
 			if hasElig && !elig.Eligible(r) {
+				filtered = true
 				continue
 			}
 			var cand Candidate
 			if r.Loc.Row == openRow {
 				if !canCAS {
+					sawHit = true
 					continue
 				}
 				cand = Candidate{Req: r, Cmd: cas, RowState: dram.RowHit}
 			} else {
 				if !canPre {
+					sawConflict = true
 					continue
 				}
 				cand = Candidate{Req: r, Cmd: dram.CmdPrecharge, RowState: dram.RowConflict}
 			}
+			had = true
 			if !found || c.better(cand, best, isWrite) {
 				best, found = cand, true
 			}
 		}
+		if !had {
+			// No candidate despite a legal class: the blocked class's own
+			// readiness bounds the bank. Any eligibility-filtered request
+			// bounds to now — it may become eligible while its class is
+			// already legal.
+			t := now
+			if !filtered && (sawHit || sawConflict) {
+				t = int64(math.MaxInt64)
+				if sawHit && tCAS < t {
+					t = tCAS
+				}
+				if sawConflict && tPre < t {
+					t = tPre
+				}
+			}
+			if t < bound {
+				bound = t
+			}
+		}
 	}
-	return best, found
+	return best, found, bound
 }
 
 // better orders candidates: the attached policy for reads, FR-FCFS for
@@ -616,20 +718,27 @@ func (c *Controller) candidateFor(r *Request, now int64) (Candidate, bool) {
 	return Candidate{Req: r, Cmd: cmd, RowState: state}, true
 }
 
-// issueWrite drains the write buffer with a fixed FR-FCFS order.
-func (c *Controller) issueWrite(now int64) bool {
+// issueWrite drains the write buffer with a fixed FR-FCFS order. Like
+// issueRead it reports whether a command issued and, on failure, a lower
+// bound on the next cycle a write-side command could become legal (an empty
+// buffer bounds to "never" — enqueues invalidate the idle cache).
+func (c *Controller) issueWrite(now int64) (bool, int64) {
+	if len(c.writes) == 0 {
+		return false, int64(math.MaxInt64)
+	}
 	var best Candidate
 	var found bool
+	bound := now
 	if c.cfg.ReferenceScan {
 		best, found = c.issueWriteScan(now)
 	} else {
-		best, found = c.bestCandidate(c.bankWrites, now, true)
+		best, found, bound = c.bestCandidate(c.bankWrites, now, true)
 	}
 	if !found {
-		return false
+		return false, bound
 	}
 	c.issue(best, now)
-	return true
+	return true, 0
 }
 
 // issueWriteScan is the pre-index reference scan over the write buffer.
@@ -661,6 +770,7 @@ func writeBetter(a, b Candidate) bool {
 // controller state.
 func (c *Controller) issue(cand Candidate, now int64) {
 	r := cand.Req
+	c.idleUntil = 0
 	var end int64
 	if cand.Cmd == dram.CmdRead || cand.Cmd == dram.CmdWrite {
 		end = c.issueCAS(cand, now)
@@ -708,13 +818,25 @@ func (c *Controller) issueCAS(cand Candidate, now int64) int64 {
 }
 
 // rowWanted reports whether any other buffered request targets req's row.
-// The demand counter still includes req itself (it is removed from the
-// buffer only after its CAS is chosen), hence the > 1 threshold.
+// req itself is still buffered (it is removed only after its CAS is chosen),
+// hence the self-exclusion. The fast path walks only req's bank queues; it
+// runs once per CAS under the closed-page policy and never on the default
+// open-page path, so it does not merit an index of its own.
 func (c *Controller) rowWanted(req *Request) bool {
 	if c.cfg.ReferenceScan {
 		return c.rowWantedScan(req)
 	}
-	return c.rowDemand[req.Loc.Bank][req.Loc.Row] > 1
+	for _, r := range c.bankReads[req.Loc.Bank] {
+		if r != req && r.Loc.Row == req.Loc.Row {
+			return true
+		}
+	}
+	for _, r := range c.bankWrites[req.Loc.Bank] {
+		if r != req && r.Loc.Row == req.Loc.Row {
+			return true
+		}
+	}
+	return false
 }
 
 // rowWantedScan is the pre-index O(buffer) reference implementation.
@@ -733,11 +855,6 @@ func (c *Controller) rowWantedScan(req *Request) bool {
 }
 
 func (c *Controller) removeBuffered(r *Request) {
-	if n := c.rowDemand[r.Loc.Bank][r.Loc.Row] - 1; n > 0 {
-		c.rowDemand[r.Loc.Bank][r.Loc.Row] = n
-	} else {
-		delete(c.rowDemand[r.Loc.Bank], r.Loc.Row)
-	}
 	if r.IsWrite {
 		c.writes = removeReq(c.writes, r)
 		c.bankWrites[r.Loc.Bank] = removeReq(c.bankWrites[r.Loc.Bank], r)

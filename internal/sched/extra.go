@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math"
+
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 )
@@ -81,6 +83,10 @@ func (p *FRFCFSCap) OnComplete(*memctrl.Request, int64) {}
 // OnCycle implements memctrl.Policy.
 func (p *FRFCFSCap) OnCycle(int64) {}
 
+// NextPolicyEventAt implements memctrl.NextEventer: the bypass counters
+// change only on issue events, never with bare time.
+func (p *FRFCFSCap) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }
+
 // capped reports whether the candidate's row-hit preference is suspended.
 func (p *FRFCFSCap) capped(c memctrl.Candidate) bool {
 	return c.IsRowHit() && p.bypass[c.Req.Loc.Bank] >= p.Cap
@@ -150,6 +156,14 @@ func (p *TDM) OnComplete(*memctrl.Request, int64) {}
 
 // OnCycle tracks time for slot ownership.
 func (p *TDM) OnCycle(now int64) { p.now = now }
+
+// NextPolicyEventAt implements memctrl.NextEventer. Slot ownership is a pure
+// function of the clock: the work-conserving variant reads it only when
+// ordering live candidates (an evaluated cycle), and the strict variant's
+// eligibility can at worst refuse service, which leaves the controller
+// re-evaluating cycle by cycle via the NextEventAt clamp — slot boundaries
+// are therefore never stepped over.
+func (p *TDM) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }
 
 // Owner returns the thread owning the current slot.
 func (p *TDM) Owner() int {

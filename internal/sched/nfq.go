@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math"
+
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 )
@@ -135,6 +137,13 @@ func (n *NFQ) OnComplete(*memctrl.Request, int64) {}
 
 // OnCycle records the current cycle for the tRAS window test.
 func (n *NFQ) OnCycle(now int64) { n.now = now }
+
+// NextPolicyEventAt implements memctrl.NextEventer. OnCycle only caches the
+// clock, and Better (which reads the cache) runs solely on evaluated cycles
+// right after OnCycle, so NFQ has no self-driven events: virtual finish
+// times update on enqueue, and the tRAS inversion window is re-read with a
+// fresh clock whenever candidates exist.
+func (n *NFQ) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }
 
 // Better implements earliest-virtual-finish-time-first with the tRAS
 // priority-inversion prevention window.

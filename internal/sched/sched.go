@@ -17,6 +17,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/memctrl"
@@ -68,6 +69,12 @@ func (noopHooks) OnEnqueue(*memctrl.Request, int64)  {}
 func (noopHooks) OnIssue(memctrl.Candidate, int64)   {}
 func (noopHooks) OnComplete(*memctrl.Request, int64) {}
 func (noopHooks) OnCycle(int64)                      {}
+
+// NextPolicyEventAt implements memctrl.NextEventer: policies embedding
+// noopHooks carry no time-driven state, so they never schedule a
+// self-driven event and the simulation clock may skip freely between
+// controller events.
+func (noopHooks) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }
 
 // equalWeights returns a slice of n 1.0 weights.
 func equalWeights(n int) []float64 {

@@ -1,6 +1,10 @@
 package sim
 
-import "repro/internal/memctrl"
+import (
+	"math"
+
+	"repro/internal/memctrl"
+)
 
 // aloneFRFCFS is the single-thread FR-FCFS used for alone-run baselines.
 // It lives here (rather than importing internal/sched) to keep the sim
@@ -25,3 +29,7 @@ func (aloneFRFCFS) OnEnqueue(*memctrl.Request, int64)  {}
 func (aloneFRFCFS) OnIssue(memctrl.Candidate, int64)   {}
 func (aloneFRFCFS) OnComplete(*memctrl.Request, int64) {}
 func (aloneFRFCFS) OnCycle(int64)                      {}
+
+// NextPolicyEventAt implements memctrl.NextEventer: stateless, no
+// self-driven events — alone runs benefit most from cycle skipping.
+func (aloneFRFCFS) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }

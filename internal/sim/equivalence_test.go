@@ -1,13 +1,16 @@
 package sim
 
 import (
+	"bytes"
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"testing"
 
 	"repro/internal/memctrl"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -87,6 +90,107 @@ func TestCommandStreamEquivalence(t *testing.T) {
 			}
 		})
 	}
+}
+
+// differentialRun executes one fully-instrumented run — command-stream
+// digest, telemetry report and trace log all captured — under the chosen
+// scheduling path (referenceScan) and run loop (forceTicked). The report's
+// loop section is stripped before marshaling: it records evaluated/skipped
+// cycle counts and so differs between the two loop modes by construction.
+func differentialRun(t *testing.T, polName string, mix workload.Mix, seed int64, referenceScan, forceTicked bool) (streamDigest, []byte, []byte) {
+	t.Helper()
+	cfg := DefaultConfig(4)
+	cfg.Seed = seed
+	cfg.WarmupCPUCycles = 10_000
+	cfg.MeasureCPUCycles = 150_000
+	cfg.Ctrl.ReferenceScan = referenceScan
+	cfg.ForceTicked = forceTicked
+	probe := telemetry.NewProbe(telemetry.Config{EpochDRAMCycles: 2048})
+	cfg.Probe = probe
+	tr := trace.NewTracer(trace.Config{})
+	cfg.Tracer = tr
+	h := fnv.New64a()
+	var buf [8]byte
+	var count int64
+	cfg.CommandLog = func(ev memctrl.CommandEvent) {
+		count++
+		for _, v := range []int64{ev.Now, int64(ev.Cmd), int64(ev.Bank), ev.Row, int64(ev.Thread), ev.ReqID} {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+	}
+	pol, err := sched.ByName(polName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg, mix, pol); err != nil {
+		t.Fatalf("%s %s (reference=%v ticked=%v): %v", polName, mix.Name, referenceScan, forceTicked, err)
+	}
+	rep := probe.Report(telemetry.ReportMeta{Policy: polName, Workload: mix.Name})
+	rep.Loop = nil
+	telJSON, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf bytes.Buffer
+	if err := tr.WriteJSONL(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	return streamDigest{hash: h.Sum64(), count: count}, telJSON, traceBuf.Bytes()
+}
+
+// expectIdenticalRuns asserts the full observable output of a ticked and a
+// skipping run match byte for byte.
+func expectIdenticalRuns(t *testing.T, polName string, mix workload.Mix, seed int64, referenceScan bool) {
+	t.Helper()
+	tick, tickTel, tickTr := differentialRun(t, polName, mix, seed, referenceScan, true)
+	skip, skipTel, skipTr := differentialRun(t, polName, mix, seed, referenceScan, false)
+	if tick.count == 0 {
+		t.Fatalf("ticked run issued no commands (vacuous)")
+	}
+	if tick != skip {
+		t.Errorf("command streams diverge: ticked {hash %#x, %d cmds} vs skipping {hash %#x, %d cmds}",
+			tick.hash, tick.count, skip.hash, skip.count)
+	}
+	if !bytes.Equal(tickTel, skipTel) {
+		t.Errorf("telemetry reports differ between ticked and skipping runs (%d vs %d bytes)",
+			len(tickTel), len(skipTel))
+	}
+	if !bytes.Equal(tickTr, skipTr) {
+		t.Errorf("trace logs differ between ticked and skipping runs (%d vs %d bytes)",
+			len(tickTr), len(skipTr))
+	}
+}
+
+// TestTickedSkippedEquivalence is the differential fuzz harness for the
+// next-event run loop: randomized small mixes crossed with every registered
+// policy, run once with the legacy ticked loop and once with cycle skipping.
+// Command stream, telemetry report and trace log must all be byte-identical
+// (the loop accounting section aside). The reference-scan scheduling path is
+// exercised separately below so both controller paths are pinned.
+func TestTickedSkippedEquivalence(t *testing.T) {
+	mixes := workload.RandomMixes(2, 4, 20260808)
+	if testing.Short() {
+		mixes = mixes[:1]
+	}
+	policies := append(sched.Names(), sched.ExtraNames()...)
+	for _, name := range policies {
+		for mi := range mixes {
+			name, mix, seed := name, mixes[mi], int64(11+mi)
+			t.Run(fmt.Sprintf("%s/%s", name, mix.Name), func(t *testing.T) {
+				t.Parallel()
+				expectIdenticalRuns(t, name, mix, seed, false)
+			})
+		}
+	}
+	t.Run("PAR-BS/reference-scan", func(t *testing.T) {
+		t.Parallel()
+		expectIdenticalRuns(t, "PAR-BS", workload.CaseStudyI(), 7, true)
+	})
+	t.Run("FR-FCFS/reference-scan", func(t *testing.T) {
+		t.Parallel()
+		expectIdenticalRuns(t, "FR-FCFS", workload.CaseStudyI(), 7, true)
+	})
 }
 
 // perturbedFRFCFS is FR-FCFS with the final tie-break inverted

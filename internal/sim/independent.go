@@ -81,8 +81,30 @@ func RunIndependent(cfg Config, mix workload.Mix, factory func() memctrl.Policy)
 	ratio := cfg.CPUCyclesPerDRAM
 	warmupDRAM := cfg.WarmupCPUCycles / ratio
 	totalDRAM := warmupDRAM + cfg.MeasureCPUCycles/ratio
-	for dc := int64(0); dc < totalDRAM; dc++ {
+	// Same next-event clock as Run, minus the telemetry/checkpoint edges this
+	// mode does not support: a cycle where no controller issued and every core
+	// is provably blocked jumps to the earliest wake across all channels.
+	skipping := !cfg.ForceTicked
+	issued := func() int64 {
+		var s int64
+		for _, ctrl := range ctrls {
+			s += ctrl.CommandsIssued()
+		}
+		return s
+	}
+	evaluated := int64(0)
+	coreCPU := int64(0)
+	for dc := int64(0); dc < totalDRAM; {
 		if dc == warmupDRAM && dc > 0 {
+			// As in Run: finish the cores' pre-warmup span before the reset so
+			// a boundary-straddling jump cannot leak warmup stalls into the
+			// measured window.
+			if gap := dc*ratio - coreCPU; gap > 0 {
+				for _, core := range cores {
+					core.Tick(coreCPU, int(gap))
+				}
+				coreCPU = dc * ratio
+			}
 			for _, core := range cores {
 				core.ResetStats()
 			}
@@ -90,19 +112,60 @@ func RunIndependent(cfg Config, mix workload.Mix, factory func() memctrl.Policy)
 				ctrl.ResetStats()
 			}
 		}
+		evaluated++
 		port.now = dc
-		start := dc * ratio
+		tickEnd := (dc + 1) * ratio
 		for _, core := range cores {
-			core.Tick(start, int(ratio))
+			core.Tick(coreCPU, int(tickEnd-coreCPU))
 		}
+		coreCPU = tickEnd
+		issuedBefore := issued()
 		for _, ctrl := range ctrls {
 			ctrl.Tick(dc)
+		}
+		next := dc + 1
+		if skipping && issued() == issuedBefore {
+			target := totalDRAM
+			for _, core := range cores {
+				b := core.BlockedUntil()
+				if b == 0 {
+					target = next
+					break
+				}
+				if d := b / ratio; d < target {
+					target = d
+				}
+			}
+			if target > next {
+				for _, ctrl := range ctrls {
+					if t := ctrl.NextEventAt(dc); t < target {
+						target = t
+					}
+				}
+				if dc < warmupDRAM && warmupDRAM < target {
+					target = warmupDRAM
+				}
+			}
+			if target > next {
+				next = target
+				for _, ctrl := range ctrls {
+					ctrl.AccountIdleSpan(next - dc - 1)
+				}
+			}
+		}
+		dc = next
+	}
+	if tail := totalDRAM*ratio - coreCPU; tail > 0 {
+		for _, core := range cores {
+			core.Tick(coreCPU, int(tail))
 		}
 	}
 
 	res := Result{
-		Policy:     policyName + fmt.Sprintf(" x%d-independent", n),
-		DRAMCycles: totalDRAM - warmupDRAM,
+		Policy:          policyName + fmt.Sprintf(" x%d-independent", n),
+		DRAMCycles:      totalDRAM - warmupDRAM,
+		EvaluatedCycles: evaluated,
+		SkippedCycles:   totalDRAM - evaluated,
 	}
 	for _, dev := range devs {
 		st := dev.Stats()

@@ -66,6 +66,12 @@ type Config struct {
 	// Context, when non-nil, is polled at every epoch checkpoint;
 	// cancellation aborts the run with the context's error.
 	Context context.Context
+	// ForceTicked forces the legacy one-cycle-per-iteration run loop,
+	// disabling next-event cycle skipping. The command stream, telemetry
+	// report and trace log are byte-identical either way — pinned by the
+	// differential equivalence tests — so the flag exists for differential
+	// testing and as an escape hatch, not for correctness.
+	ForceTicked bool
 }
 
 // Progress is a heartbeat snapshot delivered to Config.Progress.
@@ -135,6 +141,12 @@ type Result struct {
 	DRAM dram.Stats
 	// DRAMCycles is the measured window length in DRAM cycles.
 	DRAMCycles int64
+	// EvaluatedCycles counts the DRAM cycles the run loop actually
+	// simulated and SkippedCycles those the next-event clock jumped over
+	// (warmup included in both; they sum to the run's total span). Under
+	// Config.ForceTicked SkippedCycles is 0.
+	EvaluatedCycles int64
+	SkippedCycles   int64
 }
 
 // BusUtilization returns the measured data-bus utilization.
@@ -144,6 +156,13 @@ func (r Result) BusUtilization() float64 {
 	}
 	return float64(r.DRAM.BusyCycles) / float64(r.DRAMCycles)
 }
+
+// livenessWindowDRAM is the scheduling-deadlock deadline in elapsed DRAM
+// cycles: a run aborts when reads stay buffered with no command issued for
+// longer than this. The next-event clock caps its jumps at this deadline
+// whenever reads are pending, so the guard fires on the same cycle whether
+// cycles are skipped or ticked.
+const livenessWindowDRAM = 100_000
 
 // Run simulates the mix on cfg under the given scheduling policy. The
 // policy instance must be fresh (policies are stateful and single-use).
@@ -244,32 +263,116 @@ func Run(cfg Config, mix workload.Mix, policy memctrl.Policy) (Result, error) {
 		nextCheck = checkEvery
 	}
 
+	// The run loop is a next-event clock: each iteration evaluates one DRAM
+	// cycle (cores first over the CPU span they have not yet simulated, then
+	// the controller), and when the evaluated cycle was provably inert —
+	// the controller issued nothing and every core reported a stall bound —
+	// the clock jumps straight to the earliest cycle at which anything can
+	// happen. Jump targets are lower bounds that never overshoot an event
+	// (DESIGN.md §13), and every externally-timed edge (warmup reset,
+	// telemetry epoch, checkpoint, liveness deadline) caps the jump so it is
+	// evaluated on exactly the cycle the ticked loop would have, making the
+	// command stream, telemetry and traces byte-identical in both modes
+	// (pinned by the differential equivalence tests).
+	skipping := !cfg.ForceTicked
+	// Per-core tick gating: a core whose last Tick ended in a provable
+	// non-port stall is left unticked — its stall span accrues later in one
+	// closed-form catch-up Tick — while other cores and the controller keep
+	// running. The gate is re-evaluated every evaluated cycle through the
+	// core's live BlockedUntil (which sees completions the controller queued
+	// in between), and port-stalled cores are exempt: a command issue frees
+	// the buffer slot they wait on, an event their stall bound cannot see.
+	// Gating requires CompletionOverheadCPU >= ratio so a completion queued
+	// by this cycle's controller tick (at dc*ratio+overhead) can never fall
+	// inside the current core span — otherwise a catch-up tick would deliver
+	// it one evaluated cycle earlier than per-cycle ticking does.
+	gating := skipping && cfg.CompletionOverheadCPU >= ratio
 	lastIssued, lastIssuedAt := int64(0), int64(0)
-	for dc := int64(0); dc < totalDRAM; dc++ {
+	evaluated := int64(0)
+	// coreDone[i] is the CPU cycle core i has simulated up to.
+	coreDone := make([]int64, cfg.Cores)
+	// Controller-tick elision: ctrlNext is the bound NextEventAt returned
+	// after the last unproductive controller tick. Until that cycle — and as
+	// long as no core enqueues a request, which invalidates the bound — the
+	// controller tick is skipped even while cores stay busy: nothing can
+	// retire (the bound caps at the oldest in-flight burst's end), nothing
+	// can issue, and the policy's OnCycle is inert between events (the
+	// NextEventer contract; non-NextEventer policies pin the bound to now+1).
+	// The per-cycle BLP accounting those ticks would have done accrues in
+	// ctrlIdle and is applied in closed form before the next real tick or
+	// any stats read.
+	ctrlNext := int64(0)
+	ctrlIdle := int64(0)
+	ctrlEnq := int64(0)
+	flushIdle := func() {
+		if ctrlIdle > 0 {
+			ctrl.AccountIdleSpan(ctrlIdle)
+			ctrlIdle = 0
+		}
+	}
+	for dc := int64(0); dc < totalDRAM; {
 		if dc == warmupDRAM && dc > 0 {
+			// A jump may land here with the cores' CPU time still inside the
+			// warmup window; tick the (provably stalled) remainder first so
+			// the discarded span accrues before the reset, exactly as in the
+			// ticked loop.
+			for i, core := range cores {
+				if gap := dc*ratio - coreDone[i]; gap > 0 {
+					core.Tick(coreDone[i], int(gap))
+					coreDone[i] = dc * ratio
+				}
+			}
 			for _, core := range cores {
 				core.ResetStats()
 			}
+			flushIdle()
 			ctrl.ResetStats()
 			if tel != nil {
 				tel.probe.Rebase()
 			}
 		}
+		evaluated++
 		port.now = dc
-		start := dc * ratio
-		for _, core := range cores {
-			core.Tick(start, int(ratio))
+		tickEnd := (dc + 1) * ratio
+		// The telemetry sampler reads core state after this cycle, so sample
+		// cycles tick every core (as the per-cycle loop would) instead of
+		// deferring.
+		gate := gating && !(tel != nil && dc+1 == tel.nextSample)
+		for i, core := range cores {
+			if gate {
+				if b := core.BlockedUntil(); b != 0 && tickEnd <= b && !core.BlockedOnPort() {
+					continue // provably inert through tickEnd; defer the tick
+				}
+			}
+			core.Tick(coreDone[i], int(tickEnd-coreDone[i]))
+			coreDone[i] = tickEnd
 		}
-		ctrl.Tick(dc)
+		issuedBefore := ctrl.CommandsIssued()
+		if e := ctrl.Enqueues(); skipping && dc < ctrlNext && e == ctrlEnq {
+			ctrlIdle++ // controller provably inert this cycle; tick elided
+		} else {
+			ctrlEnq = e
+			flushIdle()
+			ctrl.Tick(dc)
+			if ctrl.CommandsIssued() == issuedBefore {
+				ctrlNext = ctrl.NextEventAt(dc)
+			} else {
+				ctrlNext = dc + 1
+			}
+		}
 		// Liveness check: buffered work with no command progress for a long
-		// stretch indicates a scheduling deadlock (a policy bug).
+		// stretch of simulated time indicates a scheduling deadlock (a policy
+		// bug). The window counts elapsed DRAM cycles, not loop iterations,
+		// and jumps are capped at the deadline below, so the guard fires on
+		// the same cycle with skipping on or off.
 		if n := ctrl.CommandsIssued(); n != lastIssued {
 			lastIssued, lastIssuedAt = n, dc
-		} else if ctrl.PendingReads() > 0 && dc-lastIssuedAt > 100_000 {
+		} else if ctrl.PendingReads() > 0 && dc-lastIssuedAt > livenessWindowDRAM {
 			return Result{}, fmt.Errorf("sim: no DRAM progress for %d cycles with %d reads pending (policy %s)",
 				dc-lastIssuedAt, ctrl.PendingReads(), policy.Name())
 		}
 		if tel != nil && dc+1 == tel.nextSample {
+			flushIdle()
 			tel.sample(dc + 1)
 		}
 		if dc+1 == nextCheck {
@@ -291,12 +394,76 @@ func Run(cfg Config, mix workload.Mix, policy memctrl.Policy) (Result, error) {
 				})
 			}
 		}
+		next := dc + 1
+		if skipping && ctrl.CommandsIssued() == issuedBefore {
+			// The cycle was idle on the controller side. If every core is
+			// provably blocked too, nothing observable can happen until the
+			// earliest of the cores' wake cycles and the controller's next
+			// event. A command issue this cycle would have freed a request-
+			// or write-buffer slot (unblocking a fetch- or store-stalled
+			// core), hence the issuedBefore guard.
+			target := totalDRAM
+			for _, core := range cores {
+				b := core.BlockedUntil()
+				if b == 0 {
+					target = next
+					break
+				}
+				if d := b / ratio; d < target {
+					target = d
+				}
+			}
+			if target > next {
+				// ctrlNext is the same NextEventAt bound the ticked path
+				// would recompute here: it was produced by the last
+				// unproductive tick and stays valid (no enqueue, no issue
+				// since — both force a re-tick above).
+				if ctrlNext < target {
+					target = ctrlNext
+				}
+				if dc < warmupDRAM && warmupDRAM < target {
+					target = warmupDRAM
+				}
+				if tel != nil && tel.nextSample-1 < target {
+					target = tel.nextSample - 1
+				}
+				if nextCheck-1 < target {
+					target = nextCheck - 1
+				}
+				if ctrl.PendingReads() > 0 {
+					if deadline := lastIssuedAt + livenessWindowDRAM + 1; deadline < target {
+						target = deadline
+					}
+				}
+			}
+			if target > next {
+				next = target
+				ctrl.AccountIdleSpan(next - dc - 1)
+			}
+		}
+		dc = next
+	}
+	// The final jump (or a still-armed per-core gate) may leave a core's CPU
+	// time short of the horizon; it is provably stalled over the remainder
+	// (jump targets and gates honored its wake bound), so this tick only
+	// accrues stall cycles and delivers completions at the cycles per-cycle
+	// ticking would have.
+	for i, core := range cores {
+		if tail := totalDRAM*ratio - coreDone[i]; tail > 0 {
+			core.Tick(coreDone[i], int(tail))
+		}
+	}
+	flushIdle()
+	if tel != nil {
+		tel.probe.RecordLoopStats(totalDRAM, evaluated, totalDRAM-evaluated)
 	}
 
 	res := Result{
-		Policy:     policy.Name(),
-		DRAM:       dev.Stats(),
-		DRAMCycles: totalDRAM - warmupDRAM,
+		Policy:          policy.Name(),
+		DRAM:            dev.Stats(),
+		DRAMCycles:      totalDRAM - warmupDRAM,
+		EvaluatedCycles: evaluated,
+		SkippedCycles:   totalDRAM - evaluated,
 	}
 	for i, core := range cores {
 		res.Threads = append(res.Threads, metrics.ThreadOutcome{

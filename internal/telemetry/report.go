@@ -48,6 +48,18 @@ type BatchSeries struct {
 	TotalFormed  int64     `json:"total_formed"`
 }
 
+// LoopStats describes the run loop that produced the report: how many DRAM
+// cycles the simulated span covered, how many of those the next-event engine
+// actually evaluated, and how many it jumped over. SkipRatio is
+// SkippedCycles/TotalCycles. Purely observational — two runs differing only
+// in loop mode carry identical telemetry apart from this section.
+type LoopStats struct {
+	TotalCycles     int64   `json:"total_cycles"`
+	EvaluatedCycles int64   `json:"evaluated_cycles"`
+	SkippedCycles   int64   `json:"skipped_cycles"`
+	SkipRatio       float64 `json:"skip_ratio"`
+}
+
 // RunReport is the versioned, machine-readable result of one probed run.
 // Every series is indexed by epoch, aligned with EpochEndCycles.
 type RunReport struct {
@@ -64,6 +76,9 @@ type RunReport struct {
 	Banks           []BankSeries   `json:"banks"`
 	Batches         *BatchSeries   `json:"batches,omitempty"`
 	ReadLatency     Histogram      `json:"read_latency"`
+	// Loop is present when the run recorded its loop accounting (additive
+	// field; schema version unchanged).
+	Loop *LoopStats `json:"loop,omitempty"`
 }
 
 // ReportMeta labels a report and optionally joins per-thread alone-run MCPI
@@ -164,6 +179,17 @@ func (p *Probe) Report(meta ReportMeta) *RunReport {
 			MeanDuration: unrollF(p.batchDur),
 			TotalFormed:  p.totalBatches,
 		}
+	}
+	if p.loopSet {
+		ls := &LoopStats{
+			TotalCycles:     p.loopTotal,
+			EvaluatedCycles: p.loopEvaluated,
+			SkippedCycles:   p.loopSkipped,
+		}
+		if p.loopTotal > 0 {
+			ls.SkipRatio = float64(p.loopSkipped) / float64(p.loopTotal)
+		}
+		r.Loop = ls
 	}
 	return r
 }

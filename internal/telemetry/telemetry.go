@@ -115,6 +115,12 @@ type Probe struct {
 	epSizeSum  int64
 	epDurSum   int64
 	epDurCount int64
+
+	// Run-loop accounting (next-event clock), recorded once at run end.
+	loopTotal     int64
+	loopEvaluated int64
+	loopSkipped   int64
+	loopSet       bool
 }
 
 // NewProbe returns an unbound probe with the given configuration.
@@ -189,6 +195,7 @@ func (p *Probe) Bind(threads, banks int, burstCycles, expectEpochs int64) {
 	p.prevDev = DeviceSample{}
 	p.totalBatches = 0
 	p.epBatches, p.epSizeSum, p.epDurSum, p.epDurCount = 0, 0, 0, 0
+	p.loopTotal, p.loopEvaluated, p.loopSkipped, p.loopSet = 0, 0, 0, false
 }
 
 // Rebase clears event-driven state accumulated during warmup (latency
@@ -324,4 +331,14 @@ func (p *Probe) BatchFormed(now int64, size int) {
 func (p *Probe) BatchCompleted(now int64, durationDRAM int64) {
 	p.epDurSum += durationDRAM
 	p.epDurCount++
+}
+
+// RecordLoopStats stores the run loop's cycle accounting — the total DRAM
+// cycles the run spanned, how many the next-event engine evaluated, and how
+// many it skipped — for the report's "loop" section. The sim layer calls it
+// once at run end; a report generated from a probe that never saw it omits
+// the section.
+func (p *Probe) RecordLoopStats(total, evaluated, skipped int64) {
+	p.loopTotal, p.loopEvaluated, p.loopSkipped = total, evaluated, skipped
+	p.loopSet = true
 }

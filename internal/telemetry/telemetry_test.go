@@ -215,6 +215,7 @@ func TestReportSchemaStability(t *testing.T) {
 	p := boundProbe(Config{EpochDRAMCycles: 100})
 	p.BatchFormed(10, 3)
 	p.Sample(100, make([]ThreadSample, 2), make([]int64, 2), DeviceSample{})
+	p.RecordLoopStats(100, 60, 40)
 	data, err := p.Report(ReportMeta{Policy: "x", Workload: "y"}).JSON()
 	if err != nil {
 		t.Fatal(err)
@@ -227,6 +228,7 @@ func TestReportSchemaStability(t *testing.T) {
 		"schema", "policy", "workload", "epoch_dram_cycles", "epochs",
 		"dropped_epochs", "epoch_end_cycles", "row_hit_rate",
 		"bus_utilization", "threads", "banks", "batches", "read_latency",
+		"loop",
 	}
 	for _, k := range want {
 		if _, ok := m[k]; !ok {

@@ -1,7 +1,10 @@
 #!/bin/sh
-# Measures the two gated scheduling-path benchmarks and records them in
-# BENCH_1.json next to the frozen pre-rewrite baseline (the flat O(buffer)
-# scan + per-decision allocations, measured on the same machine class).
+# Measures the gated scheduling-path benchmarks and records them in
+# BENCH_2.json. The "before" numbers are frozen from BENCH_1.json's "after"
+# column (the bank-indexed per-cycle loop, measured on the same machine
+# class); BENCH_1.json itself is a frozen artifact and is no longer
+# rewritten. The ticked variant is recorded alongside to separate the
+# next-event clock's contribution from controller-level optimizations.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s)
 set -eu
@@ -13,32 +16,45 @@ out="$(go test -run '^$' -bench 'SimulatedCyclesPerSecond|PolicyDecision' \
 	-benchtime "$benchtime" .)"
 printf '%s\n' "$out"
 
-cycles="$(printf '%s\n' "$out" | awk '/BenchmarkSimulatedCyclesPerSecond/ {for (i=1;i<NF;i++) if ($(i+1)=="DRAMcycles/s") print $i}')"
+cycles="$(printf '%s\n' "$out" | awk '/BenchmarkSimulatedCyclesPerSecond / {for (i=1;i<NF;i++) if ($(i+1)=="DRAMcycles/s") print $i}')"
+ticked="$(printf '%s\n' "$out" | awk '/BenchmarkSimulatedCyclesPerSecondTicked/ {for (i=1;i<NF;i++) if ($(i+1)=="DRAMcycles/s") print $i}')"
 dec128="$(printf '%s\n' "$out" | awk '/BenchmarkPolicyDecision\/occupancy-128/ {for (i=1;i<NF;i++) if ($(i+1)=="ns/op") print $i}')"
-[ -n "$cycles" ] && [ -n "$dec128" ] || { echo "bench.sh: could not parse benchmark output" >&2; exit 1; }
+[ -n "$cycles" ] && [ -n "$ticked" ] && [ -n "$dec128" ] || {
+	echo "bench.sh: could not parse benchmark output" >&2
+	exit 1
+}
 
-cat > BENCH_1.json <<EOF
+cat > BENCH_2.json <<EOF
 {
   "benchmarks": [
     {
       "name": "BenchmarkSimulatedCyclesPerSecond",
       "workload": "4-core Case Study I mix under PAR-BS",
       "unit": "DRAMcycles/s",
-      "before": 669216,
+      "before": 1538826,
       "after": $cycles,
+      "higher_is_better": true
+    },
+    {
+      "name": "BenchmarkSimulatedCyclesPerSecondTicked",
+      "workload": "same run with Config.ForceTicked (event clock off)",
+      "unit": "DRAMcycles/s",
+      "before": 1538826,
+      "after": $ticked,
       "higher_is_better": true
     },
     {
       "name": "BenchmarkPolicyDecision/occupancy-128",
       "workload": "one scheduling decision, 128-entry read buffer + 16 writes",
       "unit": "ns/op",
-      "before": 2046,
+      "before": 484.7,
       "after": $dec128,
       "higher_is_better": false
     }
   ],
-  "baseline": "flat O(buffer) candidate scan (retained behind memctrl.Config.ReferenceScan)",
+  "baseline": "bank-indexed per-cycle loop (BENCH_1.json after column)",
+  "note": "4-core Case Study I saturates the command bus (a command issues on ~54% of DRAM cycles), so pure cycle-skipping is bounded well below its idle-workload ceiling on this mix; the skip rate here is ~11% with the remaining gain from scan-byproduct idle caching, per-core tick gating and controller-tick elision.",
   "benchtime": "$benchtime"
 }
 EOF
-echo "wrote BENCH_1.json"
+echo "wrote BENCH_2.json"
