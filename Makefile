@@ -17,12 +17,14 @@ race:
 	$(GO) test -race ./...
 
 # Short re-measurement of the engine benchmark, failing on a >20%
-# DRAMcycles/s regression vs the floor checked in via BENCH_2.json, plus a
-# one-iteration breakage check of the PolicyDecision benchmarks.
+# DRAMcycles/s regression vs the floor checked in via BENCH_2.json, plus
+# one-iteration breakage checks of the PolicyDecision benchmarks and the
+# sequential/parallel Independent-channel engine.
 bench-smoke:
 	scripts/bench_smoke.sh
 
-# Full measurement; rewrites BENCH_2.json with fresh "after" numbers
+# Full measurement; rewrites BENCH_2.json (lock-step engine) and
+# BENCH_3.json (sequential vs parallel sharded channels) with fresh numbers
 # (BENCH_1.json is a frozen artifact of the bank-index rewrite).
 bench:
 	scripts/bench.sh

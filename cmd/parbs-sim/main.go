@@ -49,6 +49,9 @@ func main() {
 		maxEvents = flag.Int("trace-max-events", 0, "cap buffered trace events (default 2^20)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
 		ticked    = flag.Bool("ticked", false, "force the legacy one-cycle-per-iteration run loop (disables next-event cycle skipping)")
+		channels  = flag.Int("channels", 0, "DRAM channels (0 scales with cores as in the paper: 1/2/4 for 4/8/16)")
+		chanMode  = flag.String("channel-mode", "", "channel organization: "+strings.Join(parbs.ChannelModeNames(), ", ")+" (default lockstep, the paper's ganged organization)")
+		par       = flag.Int("parallelism", 0, "worker goroutines for -channel-mode independent (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
 
@@ -86,6 +89,26 @@ func main() {
 		cfg.Timing = dram.DDR3_1333()
 		cfg.CPUCyclesPerDRAM = 6 // 4 GHz over a 667 MHz command clock
 	}
+	mode, err := parbs.ParseChannelMode(*chanMode)
+	if err != nil {
+		fatal(err)
+	}
+	// Validate the flag shape through the public API so the CLI rejects
+	// exactly what RunContext would.
+	sys := parbs.DefaultSystem(len(mix.Benchmarks))
+	sys.Channels = *channels
+	sys.ChannelMode = mode
+	sys.Device = dev
+	if err := sys.Validate(); err != nil {
+		fatal(err)
+	}
+	if *par < 0 {
+		fatal(fmt.Errorf("-parallelism needs a non-negative worker count, got %d", *par))
+	}
+	if *channels > 0 {
+		cfg.Geometry.Channels = *channels
+	}
+	cfg.Parallelism = *par
 	var tl *memctrl.Timeline
 	if *timeline > 0 {
 		tl = memctrl.NewTimeline(cfg.Geometry.Banks)
@@ -107,18 +130,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(cfg, mix, policy)
+	var res sim.Result
+	runAlone := sim.RunAlone
+	if mode == parbs.Independent {
+		name := *schedName
+		res, err = sim.RunIndependent(cfg, mix, func() memctrl.Policy {
+			p, ferr := sched.ByName(name)
+			if ferr != nil {
+				panic(ferr) // unreachable: ByName succeeded above
+			}
+			return p
+		})
+		runAlone = sim.RunAloneIndependent
+	} else {
+		res, err = sim.Run(cfg, mix, policy)
+	}
 	if err != nil {
 		fatal(err)
 	}
+	chanOrg := "lock-step"
+	if mode == parbs.Independent {
+		chanOrg = "independent"
+	}
 	var cs []metrics.Comparison
 	aloneMCPI := make([]float64, len(res.Threads))
-	fmt.Printf("mix %s under %s (%d cores, %d lock-step channels)\n",
-		mix.Name, res.Policy, cfg.Cores, cfg.Geometry.Channels)
+	fmt.Printf("mix %s under %s (%d cores, %d %s channels)\n",
+		mix.Name, res.Policy, cfg.Cores, cfg.Geometry.Channels, chanOrg)
 	fmt.Printf("%-12s %10s %8s %8s %8s %8s %10s\n",
 		"thread", "slowdown", "IPC", "MCPI", "BLP", "RBhit", "AST/req")
 	for i, th := range res.Threads {
-		alone, err := sim.RunAlone(cfg, mix.Benchmarks[i])
+		alone, err := runAlone(cfg, mix.Benchmarks[i])
 		if err != nil {
 			fatal(err)
 		}
@@ -143,7 +184,9 @@ func main() {
 		fmt.Printf("\n%s", tl.Render(0, *timeline))
 	}
 	if *batchInfo {
-		if eng, ok := policy.(*core.Engine); ok {
+		if mode == parbs.Independent {
+			fmt.Println("\n-batchstats is per-controller state; unavailable with -channel-mode independent")
+		} else if eng, ok := policy.(*core.Engine); ok {
 			fmt.Printf("\n%s", eng.BatchStats())
 			fmt.Printf("max batches any request waited unmarked: %d\n", eng.MaxBatchWait())
 		} else {

@@ -43,6 +43,15 @@ type CustomPolicy struct {
 
 // NewCustomScheduler wraps a CustomPolicy as a Scheduler usable with Run.
 // It returns an error if the policy is missing its name or ordering.
+//
+// On an Independent-channel system each channel wraps the same CustomPolicy
+// in its own adapter, so the Less/OnEnqueue/OnComplete functions see
+// requests from every channel. With WithParallelism above 1 those calls
+// arrive concurrently from worker goroutines: a policy whose functions
+// close over shared mutable state must either synchronize it or be run
+// with WithParallelism(1) — and any cross-channel state makes the schedule
+// depend on channel interleaving, forfeiting the library's determinism
+// guarantee. Pure functions of their arguments are always safe.
 func NewCustomScheduler(p CustomPolicy) (Scheduler, error) {
 	if p.Name == "" {
 		return Scheduler{}, fmt.Errorf("parbs: custom policy needs a name")
@@ -50,7 +59,7 @@ func NewCustomScheduler(p CustomPolicy) (Scheduler, error) {
 	if p.Less == nil {
 		return Scheduler{}, fmt.Errorf("parbs: custom policy needs a Less function")
 	}
-	return newScheduler(&customAdapter{p: p}), nil
+	return newScheduler(func() memctrl.Policy { return &customAdapter{p: p} }), nil
 }
 
 // customAdapter lowers a CustomPolicy onto the internal policy interface.

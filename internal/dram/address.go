@@ -105,6 +105,42 @@ func (g Geometry) Map(addr int64) Location {
 	return Location{Bank: bank, Row: row, Col: col}
 }
 
+// ChannelRoute splits a physical byte address across n independent
+// channels at cache-line granularity and returns the target channel plus
+// the compacted per-channel address the channel's own controller sees.
+//
+// For power-of-two channel counts the channel index is the XOR fold of the
+// line index's successive log2(n)-bit fields — the same permutation-based
+// hashing idea the bank mapping uses (Frailong et al., Zhang et al.) —
+// which decorrelates power-of-two strides that a plain modulo interleave
+// would pin to one channel. Non-power-of-two counts fall back to modulo.
+//
+// The mapping is injective together with the compacted address: two lines
+// sharing a compacted address (line/n) differ only in the line index's low
+// log2(n) bits, which the fold XORs in last, so their channels differ.
+func ChannelRoute(addr, lineBytes int64, channels int) (int, int64) {
+	if addr < 0 {
+		addr = -addr
+	}
+	line := addr / lineBytes
+	if channels <= 1 {
+		return 0, line * lineBytes
+	}
+	inner := (line / int64(channels)) * lineBytes
+	if channels&(channels-1) != 0 {
+		return int(line % int64(channels)), inner
+	}
+	bits := 0
+	for 1<<bits < channels {
+		bits++
+	}
+	var fold int64
+	for v := line; v != 0; v >>= bits {
+		fold ^= v
+	}
+	return int(fold) & (channels - 1), inner
+}
+
 // Unmap is the inverse of Map; it reconstructs a canonical physical address
 // (the lowest address that maps to the location). Map(Unmap(loc)) == loc for
 // every in-range location, which the property tests verify.

@@ -167,3 +167,59 @@ func TestLineInterleavedMapping(t *testing.T) {
 		}
 	}
 }
+
+// TestChannelRouteSingle: one channel is the identity route.
+func TestChannelRouteSingle(t *testing.T) {
+	for _, addr := range []int64{0, 64, 4096, 1 << 30} {
+		ch, inner := ChannelRoute(addr, 64, 1)
+		if ch != 0 || inner != addr {
+			t.Errorf("ChannelRoute(%d, 64, 1) = (%d, %d); want (0, %d)", addr, ch, inner, addr)
+		}
+	}
+}
+
+// TestChannelRouteInjective: no two lines may collide on the same
+// (channel, compacted address) pair — a collision would silently merge
+// distinct cache lines into one controller-side row. Checked exhaustively
+// over a dense prefix for pow2 and non-pow2 channel counts.
+func TestChannelRouteInjective(t *testing.T) {
+	const lineBytes = 64
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		seen := map[[2]int64]int64{}
+		for line := int64(0); line < 1<<14; line++ {
+			ch, inner := ChannelRoute(line*lineBytes, lineBytes, n)
+			if ch < 0 || ch >= n {
+				t.Fatalf("n=%d line=%d: channel %d out of range", n, line, ch)
+			}
+			if inner%lineBytes != 0 {
+				t.Fatalf("n=%d line=%d: inner %d not line aligned", n, line, inner)
+			}
+			key := [2]int64{int64(ch), inner}
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("n=%d: lines %d and %d both route to (ch %d, inner %d)", n, prev, line, ch, inner)
+			}
+			seen[key] = line
+		}
+	}
+}
+
+// TestChannelRouteBalance: the XOR fold must spread both sequential and
+// large-stride streams near-uniformly — the stride case is the reason the
+// fold exists (plain modulo pins a 2-channel-stride stream to one channel).
+func TestChannelRouteBalance(t *testing.T) {
+	const lineBytes, n = 64, 4
+	for _, stride := range []int64{1, int64(n), 64 * int64(n)} {
+		counts := make([]int64, n)
+		const lines = 1 << 12
+		for i := int64(0); i < lines; i++ {
+			ch, _ := ChannelRoute(i*stride*lineBytes, lineBytes, n)
+			counts[ch]++
+		}
+		for ch, c := range counts {
+			if c < lines/(2*int64(n)) {
+				t.Errorf("stride %d: channel %d got %d of %d lines — badly imbalanced %v",
+					stride, ch, c, int64(lines), counts)
+			}
+		}
+	}
+}

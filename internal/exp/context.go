@@ -25,6 +25,10 @@ type Context struct {
 	// their next epoch checkpoint. Nil means no cancellation (and keeps
 	// the simulator's zero-overhead no-checkpoint fast path).
 	Ctx context.Context
+	// Parallelism bounds the worker goroutines of Independent-channel runs
+	// (the X8 channel-organization experiment): 0 = GOMAXPROCS, 1 =
+	// sequential. Results are byte-identical either way.
+	Parallelism int
 
 	mu    sync.Mutex
 	alone map[aloneKey]metrics.ThreadOutcome
@@ -46,6 +50,7 @@ func (x *Context) Config(cores int) sim.Config {
 	cfg := sim.DefaultConfig(cores)
 	cfg.Seed = x.Seed
 	cfg.Context = x.Ctx
+	cfg.Parallelism = x.Parallelism
 	if x.Quick {
 		cfg.WarmupCPUCycles = 50_000
 		cfg.MeasureCPUCycles = 500_000

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"repro/internal/dram"
-	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -33,6 +32,18 @@ type Config struct {
 	// The two paths must produce byte-identical command streams; the
 	// equivalence tests in internal/sim pin that. Reference only — slow.
 	ReferenceScan bool
+	// Channel identifies this controller's channel in a sharded
+	// multi-channel system; it is stamped onto CommandEvents and trace
+	// events so merged per-channel streams stay attributable. 0 for
+	// single-controller systems.
+	Channel int
+	// IDBase and IDStride shard the request-ID space across independent
+	// controllers: controller ch of n assigns IDs ch, ch+n, ch+2n, ...
+	// (IDBase=ch, IDStride=n), keeping IDs globally unique so merged trace
+	// and command streams never collide. The zero values mean base 0,
+	// stride 1 — the single-controller numbering.
+	IDBase   int64
+	IDStride int64
 }
 
 // DefaultConfig returns the paper's baseline controller configuration for
@@ -57,6 +68,11 @@ func (c Config) Validate() error {
 	case c.WriteDrainHigh > c.WriteBufEntries || c.WriteDrainLow < 0 || c.WriteDrainLow >= c.WriteDrainHigh:
 		return fmt.Errorf("memctrl: config: need 0 <= low < high <= capacity, got low=%d high=%d cap=%d",
 			c.WriteDrainLow, c.WriteDrainHigh, c.WriteBufEntries)
+	case c.Channel < 0:
+		return fmt.Errorf("memctrl: config: channel must be non-negative, got %d", c.Channel)
+	case c.IDBase < 0 || c.IDStride < 0:
+		return fmt.Errorf("memctrl: config: ID base/stride must be non-negative, got base=%d stride=%d",
+			c.IDBase, c.IDStride)
 	}
 	return nil
 }
@@ -162,7 +178,7 @@ type Controller struct {
 	cmdLog     func(CommandEvent)
 	// probe, when non-nil, receives per-read latency observations from the
 	// retire path. It never influences scheduling.
-	probe *telemetry.Probe
+	probe LatencyObserver
 	// tracer, when non-nil, receives request lifecycle events (arrival,
 	// command issue, completion). Like the probe it is strictly passive.
 	tracer *trace.Tracer
@@ -225,6 +241,10 @@ func NewController(dev *dram.Device, policy Policy, cfg Config) (*Controller, er
 		c.perThreadPerBank[i] = make([]int, banks)
 		c.inServiceBank[i] = make([]int, banks)
 	}
+	if c.cfg.IDStride == 0 {
+		c.cfg.IDStride = 1
+	}
+	c.nextID = c.cfg.IDBase
 	c.nextRefresh = dev.Timing().TREFI
 	policy.OnAttach(c)
 	return c, nil
@@ -251,15 +271,27 @@ type CommandEvent struct {
 	Thread int
 	// ReqID is the request's arrival sequence number, or -1.
 	ReqID int64
+	// Channel is the issuing controller's channel index (Config.Channel);
+	// 0 in single-controller systems.
+	Channel int
 }
 
 // SetCommandLog registers a hook receiving every issued DRAM command; nil
 // disables logging. Intended for timelines and debugging, not hot paths.
 func (c *Controller) SetCommandLog(fn func(CommandEvent)) { c.cmdLog = fn }
 
-// SetProbe attaches a telemetry probe (nil detaches). The probe must be
-// bound by the caller; the controller only feeds it read latencies.
-func (c *Controller) SetProbe(p *telemetry.Probe) { c.probe = p }
+// LatencyObserver receives per-read service latencies from the retire
+// path. *telemetry.Probe and *telemetry.Collector both satisfy it; the
+// interface keeps the controller agnostic of which one a run attaches
+// (sharded runs give every channel its own collector).
+type LatencyObserver interface {
+	ObserveReadLatency(thread int, lat int64)
+}
+
+// SetProbe attaches a telemetry latency observer (nil detaches). The
+// observer must be bound/sized by the caller; the controller only feeds it
+// read latencies.
+func (c *Controller) SetProbe(p LatencyObserver) { c.probe = p }
 
 // RankedPolicy is the optional ranking view of a scheduling policy: the
 // thread's current rank position, 0 highest. *core.Engine satisfies it.
@@ -371,7 +403,7 @@ func (c *Controller) newRequest(thread int, addr, now int64, isWrite bool) *Requ
 		Arrival:  now,
 		firstCmd: -1,
 	}
-	c.nextID++
+	c.nextID += c.cfg.IDStride
 	return r
 }
 
@@ -880,7 +912,7 @@ func (c *Controller) logCmd(now int64, cmd dram.Command, bank int, row int64, r 
 	if c.cmdLog == nil {
 		return
 	}
-	ev := CommandEvent{Now: now, Cmd: cmd, Bank: bank, Row: row, Thread: -1, ReqID: -1}
+	ev := CommandEvent{Now: now, Cmd: cmd, Bank: bank, Row: row, Thread: -1, ReqID: -1, Channel: c.cfg.Channel}
 	if r != nil {
 		ev.Thread = r.Thread
 		ev.ReqID = r.ID

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	parbs "repro"
 )
 
 // waitBuckets is the number of power-of-two wait histogram buckets:
@@ -76,6 +78,11 @@ type Metrics struct {
 	runs map[string]*waitHist
 	// batchDur summarizes admission batch lifetimes (formation to drain).
 	batchDur durSummary
+	// pending is the most recent heartbeat's per-channel request-buffer
+	// occupancy (index = channel). Lockstep runs report one ganged stream
+	// as channel 0; Independent runs report every channel. Last-writer-wins
+	// across concurrent jobs — it is a liveness gauge, not an accumulator.
+	pending []int64
 }
 
 // NewMetrics returns an empty counter set.
@@ -125,6 +132,25 @@ func (m *Metrics) observeBatch(d time.Duration) {
 	m.mu.Lock()
 	m.batchDur.observe(d)
 	m.mu.Unlock()
+}
+
+// observeOccupancy records a progress heartbeat's request-buffer occupancy
+// for the pending-reads gauge. Alone-baseline phases are skipped: their
+// single-thread occupancy would make the shared-run gauge sawtooth.
+func (m *Metrics) observeOccupancy(p parbs.Progress) {
+	if p.Phase != "measure" && p.Phase != "warmup" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(p.PendingPerChannel) == 0 {
+		m.pending = append(m.pending[:0], int64(p.PendingReads))
+		return
+	}
+	m.pending = m.pending[:0]
+	for _, n := range p.PendingPerChannel {
+		m.pending = append(m.pending, int64(n))
+	}
 }
 
 func (m *Metrics) add(c *int64) {
@@ -178,6 +204,12 @@ func (m *Metrics) render(w io.Writer, queueDepth int, batchesFormed int64) {
 	counter("cache_hits_total", "Submissions served instantly from the content-hash result cache.", m.cacheHits)
 	counter("batches_formed_total", "Admission batches formed by the PAR-BS scheduler.", batchesFormed)
 	fmt.Fprintf(w, "# HELP parbs_serve_queue_depth Jobs waiting for a worker.\n# TYPE parbs_serve_queue_depth gauge\nparbs_serve_queue_depth %d\n", queueDepth)
+	if len(m.pending) > 0 {
+		fmt.Fprintf(w, "# HELP parbs_serve_pending_reads Request-buffer occupancy per DRAM channel at the latest shared-run heartbeat.\n# TYPE parbs_serve_pending_reads gauge\n")
+		for ch, n := range m.pending {
+			fmt.Fprintf(w, "parbs_serve_pending_reads{channel=\"%d\"} %d\n", ch, n)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP parbs_build_info Build metadata; the value is always 1.\n# TYPE parbs_build_info gauge\n")
 	fmt.Fprintf(w, "parbs_build_info{version=%q,go=%q} 1\n", buildVersion(), runtime.Version())

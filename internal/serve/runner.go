@@ -69,7 +69,7 @@ func SimulationRunner(cache *parbs.AloneCache) Runner {
 		if err != nil {
 			return nil, err
 		}
-		opts := []parbs.RunOption{}
+		opts := []parbs.RunOption{parbs.WithParallelism(spec.System.Parallelism)}
 		if cache != nil {
 			opts = append(opts, parbs.WithAloneCache(cache))
 		}

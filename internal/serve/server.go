@@ -171,7 +171,11 @@ func (s *Server) safeRun(ctx context.Context, j *Job) (res *Result, err error) {
 			res, err = nil, fmt.Errorf("job panicked: %v", p)
 		}
 	}()
-	return s.opts.Runner(ctx, j.Spec, j.subs.publish)
+	progress := func(p parbs.Progress) {
+		s.metrics.observeOccupancy(p)
+		j.subs.publish(p)
+	}
+	return s.opts.Runner(ctx, j.Spec, progress)
 }
 
 // httpError writes a JSON error payload.
@@ -299,6 +303,20 @@ type progressView struct {
 	TotalCPUCycles int64  `json:"total_cpu_cycles"`
 	CommandsIssued int64  `json:"commands_issued"`
 	PendingReads   int    `json:"pending_reads"`
+	// PendingPerChannel is the per-channel request-buffer occupancy on
+	// Independent-channel systems; omitted under Lockstep.
+	PendingPerChannel []int `json:"pending_per_channel,omitempty"`
+}
+
+func progressViewOf(p parbs.Progress) progressView {
+	return progressView{
+		Phase:             p.Phase,
+		CPUCycles:         p.CPUCycles,
+		TotalCPUCycles:    p.TotalCPUCycles,
+		CommandsIssued:    p.CommandsIssued,
+		PendingReads:      p.PendingReads,
+		PendingPerChannel: p.PendingPerChannel,
+	}
 }
 
 // handleEvents streams a job's progress as Server-Sent Events: "progress"
@@ -336,13 +354,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				sendDone()
 				return
 			}
-			data, _ := json.Marshal(progressView{
-				Phase:          p.Phase,
-				CPUCycles:      p.CPUCycles,
-				TotalCPUCycles: p.TotalCPUCycles,
-				CommandsIssued: p.CommandsIssued,
-				PendingReads:   p.PendingReads,
-			})
+			data, _ := json.Marshal(progressViewOf(p))
 			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
 			flusher.Flush()
 		case <-j.done:
@@ -350,13 +362,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			select {
 			case p, open := <-ch:
 				if open {
-					data, _ := json.Marshal(progressView{
-						Phase:          p.Phase,
-						CPUCycles:      p.CPUCycles,
-						TotalCPUCycles: p.TotalCPUCycles,
-						CommandsIssued: p.CommandsIssued,
-						PendingReads:   p.PendingReads,
-					})
+					data, _ := json.Marshal(progressViewOf(p))
 					fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
 				}
 			default:

@@ -42,8 +42,16 @@ type Spec struct {
 
 // SystemSpec mirrors parbs.System. Zero fields select the paper's baseline.
 type SystemSpec struct {
-	Cores         int    `json:"cores"`
-	Channels      int    `json:"channels,omitempty"`
+	Cores    int `json:"cores"`
+	Channels int `json:"channels,omitempty"`
+	// ChannelMode organizes the channels: "lockstep" (default) or
+	// "independent" (one scheduler per channel; see parbs.ChannelMode).
+	ChannelMode string `json:"channel_mode,omitempty"`
+	// Parallelism bounds the worker goroutines of an independent-channel
+	// run: 0 = GOMAXPROCS, 1 = sequential. Execution speed only; results
+	// are byte-identical at every level, so it is excluded from the result
+	// cache key.
+	Parallelism   int    `json:"parallelism,omitempty"`
 	Banks         int    `json:"banks,omitempty"`
 	MeasureCycles int64  `json:"measure_cycles,omitempty"`
 	WarmupCycles  int64  `json:"warmup_cycles,omitempty"`
@@ -99,7 +107,10 @@ func (sp *Spec) normalize() error {
 	if sp.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be non-negative, got %d", sp.TimeoutMS)
 	}
-	if _, err := parbs.ParseDevice(sp.System.Device); err != nil {
+	if sp.System.Parallelism < 0 {
+		return fmt.Errorf("system.parallelism must be non-negative, got %d", sp.System.Parallelism)
+	}
+	if err := sp.system().Validate(); err != nil {
 		return err
 	}
 	w, err := sp.workload()
@@ -119,6 +130,7 @@ func (sp *Spec) normalize() error {
 func (sp Spec) system() parbs.System {
 	sys := parbs.DefaultSystem(sp.System.Cores)
 	sys.Channels = sp.System.Channels
+	sys.ChannelMode = parbs.ChannelMode(sp.System.ChannelMode)
 	sys.Banks = sp.System.Banks
 	sys.MeasureCycles = sp.System.MeasureCycles
 	sys.WarmupCycles = sp.System.WarmupCycles
@@ -192,15 +204,18 @@ func (sp Spec) cost() int64 {
 }
 
 // hash is the job's content hash: identical simulations (regardless of the
-// submitting client or its timeout) hash equal, keying the result cache.
+// submitting client, its timeout, or the worker parallelism — which cannot
+// change results) hash equal, keying the result cache.
 func (sp Spec) hash() string {
+	canonSys := sp.System
+	canonSys.Parallelism = 0
 	canonical := struct {
 		System    SystemSpec     `json:"system"`
 		Workload  WorkloadSpec   `json:"workload"`
 		Scheduler SchedulerSpec  `json:"scheduler"`
 		Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
 		Trace     *TraceSpec     `json:"trace,omitempty"`
-	}{sp.System, sp.Workload, sp.Scheduler, sp.Telemetry, sp.Trace}
+	}{canonSys, sp.Workload, sp.Scheduler, sp.Telemetry, sp.Trace}
 	data, err := json.Marshal(canonical)
 	if err != nil {
 		// Spec is plain data; Marshal cannot fail. Keep a distinct key

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -54,28 +55,26 @@ func TestRunIndependentValidation(t *testing.T) {
 	}
 }
 
-// TestInterleavedPortRouting checks line-granularity channel interleaving
-// and address compaction: adjacent lines land on different controllers and
-// per-controller addresses are contiguous.
-func TestInterleavedPortRouting(t *testing.T) {
-	p := &interleavedPort{line: 64}
-	p.ctrls = make([]*memctrl.Controller, 2)
+// TestChannelPortRouting checks line-granularity channel spreading and
+// address compaction through the XOR-fold route: line 0 stays on channel 0,
+// lines 1 and 2 fold to channel 1 for n=2, and per-controller addresses
+// are contiguous.
+func TestChannelPortRouting(t *testing.T) {
+	p := &channelPort{line: 64, chans: 2}
 	c0, a0 := p.routeIndex(0)
 	c1, a1 := p.routeIndex(64)
 	c2, a2 := p.routeIndex(128)
-	if c0 != 0 || c1 != 1 || c2 != 0 {
-		t.Errorf("channel routing = %d,%d,%d; want 0,1,0", c0, c1, c2)
+	if c0 != 0 || c1 != 1 || c2 != 1 {
+		t.Errorf("channel routing = %d,%d,%d; want 0,1,1", c0, c1, c2)
 	}
 	if a0 != 0 || a1 != 0 || a2 != 64 {
 		t.Errorf("compacted addrs = %d,%d,%d; want 0,0,64", a0, a1, a2)
 	}
 }
 
-// routeIndex mirrors route but returns the controller index for testing.
-func (p *interleavedPort) routeIndex(addr int64) (int, int64) {
-	n := int64(len(p.ctrls))
-	l := addr / p.line
-	return int(l % n), (l / n) * p.line
+// routeIndex mirrors the port's routing for testing.
+func (p *channelPort) routeIndex(addr int64) (int, int64) {
+	return dram.ChannelRoute(addr, p.line, p.chans)
 }
 
 // TestIndependentVsGangedComparable: with the same aggregate bandwidth the

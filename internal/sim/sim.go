@@ -66,6 +66,14 @@ type Config struct {
 	// Context, when non-nil, is polled at every epoch checkpoint;
 	// cancellation aborts the run with the context's error.
 	Context context.Context
+	// Parallelism bounds the worker goroutines RunIndependent spreads its
+	// channel shards across: 0 uses GOMAXPROCS, 1 runs shards inline on the
+	// calling goroutine, higher values are clamped to the channel count.
+	// Results are byte-identical at every setting — the parallel
+	// equivalence tests pin command stream, telemetry and traces against
+	// the sequential path. Run (lock-step channels) has a single command
+	// stream and ignores the field.
+	Parallelism int
 	// ForceTicked forces the legacy one-cycle-per-iteration run loop,
 	// disabling next-event cycle skipping. The command stream, telemetry
 	// report and trace log are byte-identical either way — pinned by the
@@ -86,8 +94,13 @@ type Progress struct {
 	Warmup bool
 	// CommandsIssued is the cumulative DRAM command count.
 	CommandsIssued int64
-	// PendingReads is the request-buffer occupancy at the checkpoint.
+	// PendingReads is the request-buffer occupancy at the checkpoint,
+	// summed over channels in independent-channel runs.
 	PendingReads int
+	// PendingPerChannel is the per-channel request-buffer occupancy of an
+	// independent-channel run (RunIndependent), indexed by channel; nil for
+	// single-stream runs.
+	PendingPerChannel []int
 }
 
 // DefaultConfig returns the paper's baseline system for the given core
@@ -124,6 +137,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: measurement window must be positive")
 	case c.WarmupCPUCycles < 0 || c.CompletionOverheadCPU < 0:
 		return fmt.Errorf("sim: warmup and overhead must be non-negative")
+	case c.Parallelism < 0:
+		return fmt.Errorf("sim: parallelism must be non-negative, got %d", c.Parallelism)
 	}
 	if err := c.Core.Validate(); err != nil {
 		return err

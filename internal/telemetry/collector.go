@@ -1,0 +1,101 @@
+package telemetry
+
+// Collector accumulates the probe's event-driven observations — read
+// latencies and batch lifecycle counts — for one execution shard of a
+// sharded multi-channel run. Every channel's controller and scheduler feed
+// their own collector (so shards never contend on shared probe state, and
+// parallel shard execution stays race-free); the run loop absorbs the
+// collectors into the shared Probe at epoch boundaries, in channel order.
+//
+// Every absorbed quantity is a commutative integer aggregate (sums, counts
+// and maxima), so the probe's reported series are identical whether events
+// flow through collectors or straight into the probe — and identical
+// between sequential and parallel shard execution, which the differential
+// equivalence tests in internal/sim pin byte for byte.
+type Collector struct {
+	latHist  [][LatencyBuckets]int64
+	latCount []int64
+	latSum   []int64
+	latMax   []int64
+
+	epBatches  int64
+	epSizeSum  int64
+	epDurSum   int64
+	epDurCount int64
+}
+
+// NewCollector returns a collector sized for the given thread count.
+func NewCollector(threads int) *Collector {
+	if threads <= 0 {
+		panic("telemetry: NewCollector needs a positive thread count")
+	}
+	return &Collector{
+		latHist:  make([][LatencyBuckets]int64, threads),
+		latCount: make([]int64, threads),
+		latSum:   make([]int64, threads),
+		latMax:   make([]int64, threads),
+	}
+}
+
+// ObserveReadLatency records one completed read's service latency in DRAM
+// cycles (memctrl.LatencyObserver). Allocation free.
+func (c *Collector) ObserveReadLatency(thread int, lat int64) {
+	c.latHist[thread][latBucket(lat)]++
+	c.latCount[thread]++
+	c.latSum[thread] += lat
+	if lat > c.latMax[thread] {
+		c.latMax[thread] = lat
+	}
+}
+
+// BatchFormed implements the scheduler batch observer
+// (core.BatchObserver) for the collector's shard.
+func (c *Collector) BatchFormed(now int64, size int) {
+	c.epBatches++
+	c.epSizeSum += int64(size)
+}
+
+// BatchCompleted implements the scheduler batch observer for the
+// collector's shard.
+func (c *Collector) BatchCompleted(now int64, durationDRAM int64) {
+	c.epDurSum += durationDRAM
+	c.epDurCount++
+}
+
+// Reset discards everything accumulated so far, e.g. at the warmup
+// boundary (mirroring Probe.Rebase for the shard-local state).
+func (c *Collector) Reset() {
+	for t := range c.latHist {
+		c.latHist[t] = [LatencyBuckets]int64{}
+		c.latCount[t], c.latSum[t], c.latMax[t] = 0, 0, 0
+	}
+	c.epBatches, c.epSizeSum, c.epDurSum, c.epDurCount = 0, 0, 0, 0
+}
+
+// Absorb folds the collector's accumulated observations into the probe and
+// resets the collector. The run loop calls it for every shard, in channel
+// order, before each epoch Sample and once at run end.
+func (p *Probe) Absorb(c *Collector) {
+	if !p.bound {
+		panic("telemetry: Absorb before Bind")
+	}
+	if len(c.latHist) != p.threads {
+		panic("telemetry: Absorb shape mismatch with Bind")
+	}
+	for t := range c.latHist {
+		for b, n := range c.latHist[t] {
+			p.latHist[t][b] += n
+		}
+		p.latCount[t] += c.latCount[t]
+		p.latSum[t] += c.latSum[t]
+		if c.latMax[t] > p.latMax[t] {
+			p.latMax[t] = c.latMax[t]
+		}
+	}
+	p.epBatches += c.epBatches
+	p.epSizeSum += c.epSizeSum
+	p.epDurSum += c.epDurSum
+	p.epDurCount += c.epDurCount
+	p.totalBatches += c.epBatches
+	c.Reset()
+}

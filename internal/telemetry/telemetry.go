@@ -305,16 +305,21 @@ func ratio(num, den float64) float64 {
 // cycles. The controller calls it from its retire path; it is allocation
 // free.
 func (p *Probe) ObserveReadLatency(thread int, lat int64) {
-	b := 0
-	for v := lat; v >= 2 && b < LatencyBuckets-1; v >>= 1 {
-		b++
-	}
-	p.latHist[thread][b]++
+	p.latHist[thread][latBucket(lat)]++
 	p.latCount[thread]++
 	p.latSum[thread] += lat
 	if lat > p.latMax[thread] {
 		p.latMax[thread] = lat
 	}
+}
+
+// latBucket maps a latency to its power-of-two histogram bucket.
+func latBucket(lat int64) int {
+	b := 0
+	for v := lat; v >= 2 && b < LatencyBuckets-1; v >>= 1 {
+		b++
+	}
+	return b
 }
 
 // BatchFormed implements the scheduler batch observer (see

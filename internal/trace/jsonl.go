@@ -22,6 +22,7 @@ type runLine struct {
 	Workload   string `json:"workload"`
 	Cores      int    `json:"cores"`
 	Banks      int    `json:"banks"`
+	Channels   int    `json:"channels,omitempty"`
 	CPUPerDRAM int64  `json:"cpu_per_dram"`
 	WarmupDRAM int64  `json:"warmup_dram"`
 	TotalDRAM  int64  `json:"total_dram"`
@@ -32,32 +33,35 @@ type runLine struct {
 }
 
 type arriveLine struct {
-	Kind   string `json:"kind"`
-	Cycle  int64  `json:"cycle"`
-	ID     int64  `json:"id"`
-	Thread int32  `json:"thread"`
-	Bank   int32  `json:"bank"`
-	Row    int64  `json:"row"`
-	Write  bool   `json:"write"`
+	Kind    string `json:"kind"`
+	Cycle   int64  `json:"cycle"`
+	ID      int64  `json:"id"`
+	Thread  int32  `json:"thread"`
+	Bank    int32  `json:"bank"`
+	Row     int64  `json:"row"`
+	Write   bool   `json:"write"`
+	Channel int32  `json:"channel,omitempty"`
 }
 
 type markLine struct {
-	Kind   string `json:"kind"`
-	Cycle  int64  `json:"cycle"`
-	ID     int64  `json:"id"`
-	Thread int32  `json:"thread"`
-	Batch  int64  `json:"batch"`
+	Kind    string `json:"kind"`
+	Cycle   int64  `json:"cycle"`
+	ID      int64  `json:"id"`
+	Thread  int32  `json:"thread"`
+	Batch   int64  `json:"batch"`
+	Channel int32  `json:"channel,omitempty"`
 }
 
 type cmdLine struct {
-	Kind   string `json:"kind"`
-	Cycle  int64  `json:"cycle"`
-	ID     int64  `json:"id"`
-	Thread int32  `json:"thread"`
-	Cmd    string `json:"cmd"`
-	Bank   int32  `json:"bank"`
-	Row    int64  `json:"row"`
-	Rank   int32  `json:"rank"`
+	Kind    string `json:"kind"`
+	Cycle   int64  `json:"cycle"`
+	ID      int64  `json:"id"`
+	Thread  int32  `json:"thread"`
+	Cmd     string `json:"cmd"`
+	Bank    int32  `json:"bank"`
+	Row     int64  `json:"row"`
+	Rank    int32  `json:"rank"`
+	Channel int32  `json:"channel,omitempty"`
 }
 
 type doneLine struct {
@@ -66,6 +70,7 @@ type doneLine struct {
 	ID      int64  `json:"id"`
 	Thread  int32  `json:"thread"`
 	Latency int64  `json:"latency"`
+	Channel int32  `json:"channel,omitempty"`
 }
 
 type batchLine struct {
@@ -75,6 +80,7 @@ type batchLine struct {
 	Size      int64   `json:"size"`
 	Clipped   int32   `json:"clipped"`
 	PerThread []int32 `json:"per_thread"`
+	Channel   int32   `json:"channel,omitempty"`
 }
 
 type batchEndLine struct {
@@ -82,6 +88,7 @@ type batchEndLine struct {
 	Cycle    int64  `json:"cycle"`
 	Batch    int64  `json:"batch"`
 	Duration int64  `json:"duration"`
+	Channel  int32  `json:"channel,omitempty"`
 }
 
 // WriteJSONL renders the log as schema-versioned JSONL.
@@ -111,17 +118,18 @@ func WriteJSONL(w io.Writer, log *Log) error {
 		switch ev.Kind {
 		case KindArrive:
 			line = arriveLine{Kind: "arrive", Cycle: ev.Cycle, ID: ev.Req,
-				Thread: ev.Thread, Bank: ev.Bank, Row: ev.Row, Write: ev.Write}
+				Thread: ev.Thread, Bank: ev.Bank, Row: ev.Row, Write: ev.Write,
+				Channel: ev.Channel}
 		case KindMark:
 			line = markLine{Kind: "mark", Cycle: ev.Cycle, ID: ev.Req,
-				Thread: ev.Thread, Batch: ev.Row}
+				Thread: ev.Thread, Batch: ev.Row, Channel: ev.Channel}
 		case KindCommand:
 			line = cmdLine{Kind: "cmd", Cycle: ev.Cycle, ID: ev.Req,
 				Thread: ev.Thread, Cmd: dram.Command(ev.Cmd).String(),
-				Bank: ev.Bank, Row: ev.Row, Rank: ev.Rank}
+				Bank: ev.Bank, Row: ev.Row, Rank: ev.Rank, Channel: ev.Channel}
 		case KindComplete:
 			line = doneLine{Kind: "done", Cycle: ev.Cycle, ID: ev.Req,
-				Thread: ev.Thread, Latency: ev.Row}
+				Thread: ev.Thread, Latency: ev.Row, Channel: ev.Channel}
 		case KindBatch:
 			var pt []int32
 			if batch < len(log.BatchPerThread) {
@@ -129,10 +137,10 @@ func WriteJSONL(w io.Writer, log *Log) error {
 			}
 			batch++
 			line = batchLine{Kind: "batch", Cycle: ev.Cycle, Batch: ev.Req,
-				Size: ev.Row, Clipped: ev.Rank, PerThread: pt}
+				Size: ev.Row, Clipped: ev.Rank, PerThread: pt, Channel: ev.Channel}
 		case KindBatchEnd:
 			line = batchEndLine{Kind: "batch_end", Cycle: ev.Cycle,
-				Batch: ev.Req, Duration: ev.Row}
+				Batch: ev.Req, Duration: ev.Row, Channel: ev.Channel}
 		default:
 			return fmt.Errorf("trace: unknown event kind %d", ev.Kind)
 		}
@@ -180,6 +188,7 @@ func ReadLog(r io.Reader) (*Log, error) {
 			Workload:       hdr.Workload,
 			Cores:          hdr.Cores,
 			Banks:          hdr.Banks,
+			Channels:       hdr.Channels,
 			CPUPerDRAM:     hdr.CPUPerDRAM,
 			WarmupDRAM:     hdr.WarmupDRAM,
 			TotalDRAM:      hdr.TotalDRAM,
@@ -206,14 +215,15 @@ func ReadLog(r io.Reader) (*Log, error) {
 				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
 			log.Events = append(log.Events, Event{Kind: KindArrive, Cycle: l.Cycle,
-				Req: l.ID, Thread: l.Thread, Bank: l.Bank, Row: l.Row, Write: l.Write})
+				Req: l.ID, Thread: l.Thread, Bank: l.Bank, Row: l.Row, Write: l.Write,
+				Channel: l.Channel})
 		case "mark":
 			var l markLine
 			if err := json.Unmarshal(raw, &l); err != nil {
 				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
 			log.Events = append(log.Events, Event{Kind: KindMark, Cycle: l.Cycle,
-				Req: l.ID, Thread: l.Thread, Row: l.Batch})
+				Req: l.ID, Thread: l.Thread, Row: l.Batch, Channel: l.Channel})
 		case "cmd":
 			var l cmdLine
 			if err := json.Unmarshal(raw, &l); err != nil {
@@ -225,21 +235,21 @@ func ReadLog(r io.Reader) (*Log, error) {
 			}
 			log.Events = append(log.Events, Event{Kind: KindCommand, Cycle: l.Cycle,
 				Req: l.ID, Thread: l.Thread, Bank: l.Bank, Row: l.Row,
-				Rank: l.Rank, Cmd: uint8(cmd)})
+				Rank: l.Rank, Cmd: uint8(cmd), Channel: l.Channel})
 		case "done":
 			var l doneLine
 			if err := json.Unmarshal(raw, &l); err != nil {
 				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
 			log.Events = append(log.Events, Event{Kind: KindComplete, Cycle: l.Cycle,
-				Req: l.ID, Thread: l.Thread, Row: l.Latency})
+				Req: l.ID, Thread: l.Thread, Row: l.Latency, Channel: l.Channel})
 		case "batch":
 			var l batchLine
 			if err := json.Unmarshal(raw, &l); err != nil {
 				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
 			log.Events = append(log.Events, Event{Kind: KindBatch, Cycle: l.Cycle,
-				Req: l.Batch, Row: l.Size, Rank: l.Clipped})
+				Req: l.Batch, Row: l.Size, Rank: l.Clipped, Channel: l.Channel})
 			log.BatchPerThread = append(log.BatchPerThread, l.PerThread)
 		case "batch_end":
 			var l batchEndLine
@@ -247,7 +257,7 @@ func ReadLog(r io.Reader) (*Log, error) {
 				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
 			log.Events = append(log.Events, Event{Kind: KindBatchEnd, Cycle: l.Cycle,
-				Req: l.Batch, Row: l.Duration})
+				Req: l.Batch, Row: l.Duration, Channel: l.Channel})
 		default:
 			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kind.Kind)
 		}

@@ -71,9 +71,13 @@ type Event struct {
 	Thread int32
 	Bank   int32
 	Rank   int32
-	Kind   Kind
-	Cmd    uint8 // dram.Command ordinal, KindCommand only
-	Write  bool
+	// Channel is the recording controller's channel index; 0 in
+	// single-channel runs (and omitted from their JSONL, keeping them
+	// byte-identical to the pre-multi-channel format).
+	Channel int32
+	Kind    Kind
+	Cmd     uint8 // dram.Command ordinal, KindCommand only
+	Write   bool
 }
 
 // Meta describes the traced run; the sim layer fills it at Bind time and
@@ -82,9 +86,12 @@ type Meta struct {
 	// Policy and Workload name the scheduler and mix.
 	Policy   string
 	Workload string
-	// Cores and Banks give the system shape.
+	// Cores and Banks give the system shape. Banks is per channel.
 	Cores int
 	Banks int
+	// Channels is the independent-channel count of a sharded run; 0 or 1
+	// means a single command stream (lock-step channels included).
+	Channels int
 	// CPUPerDRAM is the clock ratio (cycles here are DRAM cycles).
 	CPUPerDRAM int64
 	// WarmupDRAM and TotalDRAM delimit the run in DRAM cycles; the
@@ -119,6 +126,9 @@ type Tracer struct {
 	// batchPT holds each batch's per-thread marked counts, in
 	// batch-formation event order (parallel to the KindBatch events).
 	batchPT [][]int32
+	// channel is stamped onto every recorded event; non-zero only for
+	// shard tracers (NewShard).
+	channel int32
 }
 
 // NewTracer returns an unbound tracer with the given configuration.
@@ -154,7 +164,17 @@ func (t *Tracer) record(ev Event) {
 		t.dropped++
 		return
 	}
+	ev.Channel = t.channel
 	t.events = append(t.events, ev)
+}
+
+// NewShard derives a tracer for one channel of a sharded run: same buffer
+// cap, every recorded event stamped with the channel index. Shard tracers
+// are fed by their own channel's controller and scheduler only (so
+// parallel shard execution never contends on one event buffer) and are
+// folded back into the parent with MergeShards after the run.
+func (t *Tracer) NewShard(channel int) *Tracer {
+	return &Tracer{cfg: t.cfg, bound: true, channel: int32(channel)}
 }
 
 // RequestArrived records a request entering the controller's buffer.
@@ -201,7 +221,7 @@ func (t *Tracer) BatchFormedDetail(batch int64, now int64, size int, perThread [
 	}
 	t.batchPT = append(t.batchPT, pt)
 	t.events = append(t.events, Event{Kind: KindBatch, Cycle: now, Req: batch,
-		Row: int64(size), Rank: int32(clipped)})
+		Row: int64(size), Rank: int32(clipped), Channel: t.channel})
 }
 
 // BatchDrained records a batch completing: every marked request serviced,

@@ -32,16 +32,25 @@ import (
 // Scheduler is a DRAM scheduling policy instance. Instances are stateful
 // and single-use: construct a fresh one per Run. Reusing one is detected
 // and Run returns an error instead of silently corrupting results.
+//
+// A Scheduler also carries its own construction recipe: on an Independent-
+// channel system (System.ChannelMode) every channel gets its own fresh
+// policy instance minted from the same recipe, so per-channel scheduler
+// state (virtual clocks, batches, ranks) never leaks across channels.
 type Scheduler struct {
 	policy memctrl.Policy
+	// factory re-creates the policy with identical configuration; one call
+	// per channel in Independent mode.
+	factory func() memctrl.Policy
 	// used flips on the first Run. A pointer so the flag is shared across
 	// copies of this value type.
 	used *atomic.Bool
 }
 
-// newScheduler wraps an internal policy with fresh single-use tracking.
-func newScheduler(p memctrl.Policy) Scheduler {
-	return Scheduler{policy: p, used: new(atomic.Bool)}
+// newScheduler mints one policy from the factory and wraps it with fresh
+// single-use tracking, keeping the factory for per-channel instantiation.
+func newScheduler(factory func() memctrl.Policy) Scheduler {
+	return Scheduler{policy: factory(), factory: factory, used: new(atomic.Bool)}
 }
 
 // acquire claims the scheduler for a run, failing on zero values and reuse.
@@ -59,20 +68,25 @@ func (s Scheduler) acquire() error {
 func (s Scheduler) Name() string { return s.policy.Name() }
 
 // NewFCFS returns the first-come-first-serve baseline.
-func NewFCFS() Scheduler { return newScheduler(sched.NewFCFS()) }
+func NewFCFS() Scheduler {
+	return newScheduler(func() memctrl.Policy { return sched.NewFCFS() })
+}
 
 // NewFRFCFS returns the throughput-oriented first-ready FCFS baseline,
 // the common policy of Rixner et al. that PAR-BS is compared against.
-func NewFRFCFS() Scheduler { return newScheduler(sched.NewFRFCFS()) }
+func NewFRFCFS() Scheduler {
+	return newScheduler(func() memctrl.Policy { return sched.NewFRFCFS() })
+}
 
 // NewNFQ returns the network-fair-queueing scheduler of Nesbit et al.
 // (MICRO 2006). weights, if given, assigns per-thread bandwidth shares;
 // omit for equal shares.
 func NewNFQ(weights ...float64) Scheduler {
 	if len(weights) == 0 {
-		return newScheduler(sched.NewNFQ())
+		return newScheduler(func() memctrl.Policy { return sched.NewNFQ() })
 	}
-	return newScheduler(sched.NewNFQWeighted(weights))
+	w := append([]float64(nil), weights...)
+	return newScheduler(func() memctrl.Policy { return sched.NewNFQWeighted(w) })
 }
 
 // NewSTFM returns the stall-time fair memory scheduler of Mutlu &
@@ -80,9 +94,10 @@ func NewNFQ(weights ...float64) Scheduler {
 // targets; omit for equal treatment.
 func NewSTFM(weights ...float64) Scheduler {
 	if len(weights) == 0 {
-		return newScheduler(sched.NewSTFM())
+		return newScheduler(func() memctrl.Policy { return sched.NewSTFM() })
 	}
-	return newScheduler(sched.NewSTFMWeighted(weights))
+	w := append([]float64(nil), weights...)
+	return newScheduler(func() memctrl.Policy { return sched.NewSTFMWeighted(w) })
 }
 
 // Batching selects the PAR-BS batch formation mode.
@@ -161,7 +176,13 @@ func NewPARBSWithOptions(opts PARBSOptions) (Scheduler, error) {
 	if err != nil {
 		return Scheduler{}, err
 	}
-	return newScheduler(sched.NewPARBS(coreOpts)), nil
+	return newScheduler(func() memctrl.Policy {
+		// Each instance copies the mutable option slices so per-channel
+		// engines never share state.
+		o := coreOpts
+		o.Priorities = append([]int(nil), coreOpts.Priorities...)
+		return sched.NewPARBS(o)
+	}), nil
 }
 
 // Validate reports whether the options are well-formed for numThreads
@@ -221,11 +242,13 @@ func (o PARBSOptions) toCore() (core.Options, error) {
 // SchedulerByName constructs a scheduler from its paper name
 // ("FCFS", "FR-FCFS", "NFQ", "STFM", "PAR-BS").
 func SchedulerByName(name string) (Scheduler, error) {
-	p, err := sched.ByName(name)
-	if err != nil {
+	if _, err := sched.ByName(name); err != nil {
 		return Scheduler{}, err
 	}
-	return newScheduler(p), nil
+	return newScheduler(func() memctrl.Policy {
+		p, _ := sched.ByName(name) // validated above; ByName is deterministic
+		return p
+	}), nil
 }
 
 // SchedulerNames lists the five evaluated schedulers in paper order.

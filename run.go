@@ -29,6 +29,9 @@ type CommandEvent struct {
 	Thread int
 	// RequestID is the serviced request's arrival sequence number, or -1.
 	RequestID int64
+	// Channel is the issuing controller's channel on an Independent-channel
+	// system; always 0 under Lockstep (one ganged command stream).
+	Channel int
 }
 
 // Progress is a heartbeat snapshot delivered to the WithProgress hook at
@@ -43,8 +46,13 @@ type Progress struct {
 	TotalCPUCycles int64
 	// CommandsIssued is the run's cumulative DRAM command count.
 	CommandsIssued int64
-	// PendingReads is the request-buffer occupancy at the checkpoint.
+	// PendingReads is the request-buffer occupancy at the checkpoint,
+	// summed over channels on an Independent-channel system.
 	PendingReads int
+	// PendingPerChannel is the per-channel request-buffer occupancy,
+	// indexed by channel, on an Independent-channel system; nil under
+	// Lockstep.
+	PendingPerChannel []int
 }
 
 // AloneCache memoizes alone-run baselines across RunContext calls. A run's
@@ -66,15 +74,18 @@ type AloneCache struct {
 // entries.
 type aloneCacheKey struct {
 	benchmark string
-	timing    dram.Timing
-	geometry  dram.Geometry
-	ctrl      memctrl.Config
-	core      cpu.Config
-	ratio     int64
-	warmup    int64
-	measure   int64
-	overhead  int64
-	seed      int64
+	// independent distinguishes Independent-channel baselines (sharded
+	// engine, per-channel FR-FCFS) from Lockstep ones.
+	independent bool
+	timing      dram.Timing
+	geometry    dram.Geometry
+	ctrl        memctrl.Config
+	core        cpu.Config
+	ratio       int64
+	warmup      int64
+	measure     int64
+	overhead    int64
+	seed        int64
 }
 
 // NewAloneCache returns an empty baseline cache.
@@ -89,34 +100,35 @@ func (c *AloneCache) Len() int {
 	return len(c.m)
 }
 
-func aloneKeyFor(cfg sim.Config, benchmark string) aloneCacheKey {
+func aloneKeyFor(cfg sim.Config, benchmark string, independent bool) aloneCacheKey {
 	ctrl := cfg.Ctrl
 	ctrl.Threads = 1
 	return aloneCacheKey{
-		benchmark: benchmark,
-		timing:    cfg.Timing,
-		geometry:  cfg.Geometry,
-		ctrl:      ctrl,
-		core:      cfg.Core,
-		ratio:     cfg.CPUCyclesPerDRAM,
-		warmup:    cfg.WarmupCPUCycles,
-		measure:   cfg.MeasureCPUCycles,
-		overhead:  cfg.CompletionOverheadCPU,
-		seed:      cfg.Seed,
+		benchmark:   benchmark,
+		independent: independent,
+		timing:      cfg.Timing,
+		geometry:    cfg.Geometry,
+		ctrl:        ctrl,
+		core:        cfg.Core,
+		ratio:       cfg.CPUCyclesPerDRAM,
+		warmup:      cfg.WarmupCPUCycles,
+		measure:     cfg.MeasureCPUCycles,
+		overhead:    cfg.CompletionOverheadCPU,
+		seed:        cfg.Seed,
 	}
 }
 
-func (c *AloneCache) get(cfg sim.Config, benchmark string) (metrics.ThreadOutcome, bool) {
+func (c *AloneCache) get(cfg sim.Config, benchmark string, independent bool) (metrics.ThreadOutcome, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out, ok := c.m[aloneKeyFor(cfg, benchmark)]
+	out, ok := c.m[aloneKeyFor(cfg, benchmark, independent)]
 	return out, ok
 }
 
-func (c *AloneCache) put(cfg sim.Config, benchmark string, out metrics.ThreadOutcome) {
+func (c *AloneCache) put(cfg sim.Config, benchmark string, independent bool, out metrics.ThreadOutcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m[aloneKeyFor(cfg, benchmark)] = out
+	c.m[aloneKeyFor(cfg, benchmark, independent)] = out
 }
 
 // WithAloneCache shares alone-run baselines across runs through c. Runs
@@ -128,11 +140,12 @@ func WithAloneCache(c *AloneCache) RunOption {
 
 // runConfig collects the RunOption settings.
 type runConfig struct {
-	tel        *Telemetry
-	tracer     *Tracer
-	cmdLog     func(CommandEvent)
-	progress   func(Progress)
-	aloneCache *AloneCache
+	tel         *Telemetry
+	tracer      *Tracer
+	cmdLog      func(CommandEvent)
+	progress    func(Progress)
+	aloneCache  *AloneCache
+	parallelism int
 }
 
 // RunOption customizes a RunContext call.
@@ -159,6 +172,19 @@ func WithProgress(fn func(Progress)) RunOption {
 	return func(rc *runConfig) { rc.progress = fn }
 }
 
+// WithParallelism bounds the worker goroutines an Independent-channel run
+// (System.ChannelMode) spreads its per-channel shards across: 0 (the
+// default) uses GOMAXPROCS, 1 runs every channel inline on the calling
+// goroutine, and values above the channel count are clamped to it. The
+// setting changes wall-clock speed only — the simulated schedule,
+// telemetry and traces are byte-identical at every level (pinned by the
+// parallel equivalence tests). Lockstep systems have a single command
+// stream and ignore it. Negative values are reported as an error by
+// RunContext.
+func WithParallelism(n int) RunOption {
+	return func(rc *runConfig) { rc.parallelism = n }
+}
+
 // Run simulates the workload on the system under the scheduler, including
 // the per-benchmark alone runs needed for slowdown metrics. It is
 // RunContext with a background context and no options.
@@ -180,6 +206,11 @@ func RunContext(ctx context.Context, sys System, w Workload, s Scheduler, opts .
 	if err != nil {
 		return Report{}, err
 	}
+	if rc.parallelism < 0 {
+		return Report{}, fmt.Errorf("parbs: WithParallelism needs a non-negative worker count, got %d", rc.parallelism)
+	}
+	independent := sys.ChannelMode == Independent
+	cfg.Parallelism = rc.parallelism
 	if len(w.mix.Benchmarks) != cfg.Cores {
 		return Report{}, fmt.Errorf("parbs: workload %q has %d benchmarks for %d cores",
 			w.mix.Name, len(w.mix.Benchmarks), cfg.Cores)
@@ -209,6 +240,7 @@ func RunContext(ctx context.Context, sys System, w Workload, s Scheduler, opts .
 				Row:       ev.Row,
 				Thread:    ev.Thread,
 				RequestID: ev.ReqID,
+				Channel:   ev.Channel,
 			})
 		}
 	}
@@ -223,18 +255,24 @@ func RunContext(ctx context.Context, sys System, w Workload, s Scheduler, opts .
 				ph = "warmup"
 			}
 			fn(Progress{
-				Phase:          ph,
-				CPUCycles:      p.CPUCycle,
-				TotalCPUCycles: p.TotalDRAMCycles * cfg.CPUCyclesPerDRAM,
-				CommandsIssued: p.CommandsIssued,
-				PendingReads:   p.PendingReads,
+				Phase:             ph,
+				CPUCycles:         p.CPUCycle,
+				TotalCPUCycles:    p.TotalDRAMCycles * cfg.CPUCyclesPerDRAM,
+				CommandsIssued:    p.CommandsIssued,
+				PendingReads:      p.PendingReads,
+				PendingPerChannel: p.PendingPerChannel,
 			})
 		}
 	}
 	if err := s.acquire(); err != nil {
 		return Report{}, err
 	}
-	res, err := sim.Run(cfg, w.mix, s.policy)
+	var res sim.Result
+	if independent {
+		res, err = sim.RunIndependent(cfg, w.mix, s.factory)
+	} else {
+		res, err = sim.Run(cfg, w.mix, s.policy)
+	}
 	if err != nil {
 		return Report{}, err
 	}
@@ -250,19 +288,23 @@ func RunContext(ctx context.Context, sys System, w Workload, s Scheduler, opts .
 	for i, th := range res.Threads {
 		base, ok := alone[th.Benchmark]
 		if !ok && rc.aloneCache != nil {
-			if base, ok = rc.aloneCache.get(cfg, th.Benchmark); ok {
+			if base, ok = rc.aloneCache.get(cfg, th.Benchmark, independent); ok {
 				alone[th.Benchmark] = base
 			}
 		}
 		if !ok {
 			phase = "alone:" + th.Benchmark
-			base, err = sim.RunAlone(cfg, w.mix.Benchmarks[i])
+			if independent {
+				base, err = sim.RunAloneIndependent(cfg, w.mix.Benchmarks[i])
+			} else {
+				base, err = sim.RunAlone(cfg, w.mix.Benchmarks[i])
+			}
 			if err != nil {
 				return Report{}, err
 			}
 			alone[th.Benchmark] = base
 			if rc.aloneCache != nil {
-				rc.aloneCache.put(cfg, th.Benchmark, base)
+				rc.aloneCache.put(cfg, th.Benchmark, independent, base)
 			}
 		}
 		aloneMCPI[i] = base.CPU.MCPI()

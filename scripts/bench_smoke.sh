@@ -23,6 +23,13 @@ measured="$(printf '%s\n' "$out" | awk '/BenchmarkSimulatedCyclesPerSecond / {fo
 
 go test -run '^$' -bench 'PolicyDecision' -benchtime 1x . > /dev/null
 
+# Breakage (not regression) check of the sharded Independent-channel engine:
+# one iteration each of the sequential and parallel variants. The relative
+# speed of the two is machine-dependent (parallel needs >1 core to win), so
+# only completion is gated here; the measured ratio lives in BENCH_3.json.
+go test -run '^$' -bench 'IndependentChannels' -benchtime 1x . > /dev/null
+echo "bench-smoke: independent-channel engine (sequential and parallel-4) OK"
+
 awk -v m="$measured" -v f="$floor" 'BEGIN {
 	limit = f * 0.8
 	printf "bench-smoke: measured %.0f DRAMcycles/s, floor %.0f, limit %.0f\n", m, f, limit

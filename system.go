@@ -8,15 +8,56 @@ import (
 	"repro/internal/workload"
 )
 
+// ChannelMode selects how a multi-channel memory system is organized.
+// Use ParseChannelMode for flag strings.
+type ChannelMode string
+
+// Channel organizations.
+const (
+	// Lockstep gangs all channels into one wide command stream under a
+	// single scheduler — the paper's organization (Section 6), and the
+	// default (the zero value "" selects it).
+	Lockstep ChannelMode = "lockstep"
+	// Independent gives every channel its own controller and its own fresh
+	// scheduler instance, with cache lines spread across channels — the
+	// organization of most contemporary multi-channel controllers. In this
+	// mode the channels are execution shards and the run can execute them
+	// on parallel worker goroutines (WithParallelism) with byte-identical
+	// results.
+	Independent ChannelMode = "independent"
+)
+
+// ChannelModeNames lists the valid channel modes.
+func ChannelModeNames() []string { return []string{string(Lockstep), string(Independent)} }
+
+// ParseChannelMode maps a flag string to a ChannelMode. The empty string
+// selects Lockstep.
+func ParseChannelMode(s string) (ChannelMode, error) {
+	switch ChannelMode(s) {
+	case "", Lockstep:
+		return Lockstep, nil
+	case Independent:
+		return Independent, nil
+	default:
+		return "", fmt.Errorf("parbs: unknown channel mode %q (want one of %v)", s, ChannelModeNames())
+	}
+}
+
 // System describes the simulated CMP and memory system. Construct with
 // DefaultSystem and adjust fields as needed.
 type System struct {
 	// Cores is the number of cores (one thread per core).
 	Cores int
-	// Channels is the number of lock-step DRAM channels; 0 scales with
-	// cores as in the paper (1, 2, 4 for 4, 8, 16 cores).
+	// Channels is the number of DRAM channels; 0 scales with cores as in
+	// the paper (1, 2, 4 for 4, 8, 16 cores). Positive values may not
+	// exceed Cores — the paper scales channels strictly slower than cores,
+	// and more channels than cores cannot be kept busy.
 	Channels int
-	// Banks is the number of DRAM banks (default 8).
+	// ChannelMode organizes the channels: Lockstep (default) gangs them
+	// under one scheduler as in the paper; Independent runs one scheduler
+	// per channel (see ChannelMode).
+	ChannelMode ChannelMode
+	// Banks is the number of DRAM banks per channel (default 8).
 	Banks int
 	// MeasureCycles is the measured CPU-cycle budget (default 2M).
 	MeasureCycles int64
@@ -34,10 +75,41 @@ func DefaultSystem(cores int) System {
 	return System{Cores: cores, Seed: 1}
 }
 
+// Validate reports whether the system description is usable, with a
+// descriptive error naming the offending field. Zero values mean "use the
+// default" and are always valid; negative values are rejected rather than
+// silently ignored. RunContext (via toSim) and the CLIs call it before
+// simulating.
+func (s System) Validate() error {
+	switch {
+	case s.Cores <= 0:
+		return fmt.Errorf("parbs: system needs a positive core count, got %d", s.Cores)
+	case s.Channels < 0:
+		return fmt.Errorf("parbs: Channels must be >= 0 (0 scales with cores), got %d", s.Channels)
+	case s.Channels > s.Cores:
+		return fmt.Errorf("parbs: %d channels exceed %d cores; the paper scales channels 1/2/4 for 4/8/16 cores", s.Channels, s.Cores)
+	case s.Banks < 0:
+		return fmt.Errorf("parbs: Banks must be >= 0 (0 selects the default), got %d", s.Banks)
+	case s.MeasureCycles < 0:
+		return fmt.Errorf("parbs: MeasureCycles must be >= 0 (0 selects the default), got %d", s.MeasureCycles)
+	case s.WarmupCycles < 0:
+		return fmt.Errorf("parbs: WarmupCycles must be >= 0 (0 selects the default), got %d", s.WarmupCycles)
+	}
+	if _, err := ParseChannelMode(string(s.ChannelMode)); err != nil {
+		return err
+	}
+	switch s.Device {
+	case "", DDR2_800, DDR3_1333:
+	default:
+		return fmt.Errorf("parbs: unknown device %q (want one of %v)", s.Device, DeviceNames())
+	}
+	return nil
+}
+
 // toSim lowers the public System onto the internal configuration.
 func (s System) toSim() (sim.Config, error) {
-	if s.Cores <= 0 {
-		return sim.Config{}, fmt.Errorf("parbs: system needs a positive core count, got %d", s.Cores)
+	if err := s.Validate(); err != nil {
+		return sim.Config{}, err
 	}
 	cfg := sim.DefaultConfig(s.Cores)
 	if s.Channels > 0 {
@@ -61,8 +133,6 @@ func (s System) toSim() (sim.Config, error) {
 	case DDR3_1333:
 		cfg.Timing = dram.DDR3_1333()
 		cfg.CPUCyclesPerDRAM = 6 // 4 GHz over a 667 MHz command clock
-	default:
-		return sim.Config{}, fmt.Errorf("parbs: unknown device %q (want one of %v)", s.Device, DeviceNames())
 	}
 	return cfg, nil
 }
