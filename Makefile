@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench serve serve-smoke trace-smoke check ci
+.PHONY: all build vet test race bench-smoke bench serve serve-smoke trace-smoke analyze-smoke check ci
 
 all: check
 
@@ -41,6 +41,12 @@ serve-smoke:
 # passes. Set TRACE_OUT=<dir> to keep the artifacts.
 trace-smoke:
 	scripts/trace_smoke.sh
+
+# Record the memory-attack mix, run the windowed analytics pipeline over
+# its event log, assert the bottleneck attribution names thread 0 (the
+# stream attacker). Set ANALYZE_OUT=<dir> to keep the artifacts.
+analyze-smoke:
+	scripts/analyze_smoke.sh
 
 check: build vet race bench-smoke
 

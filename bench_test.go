@@ -100,6 +100,51 @@ func BenchmarkSimulatedCyclesPerSecondTicked(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "DRAMcycles/s")
 }
 
+// BenchmarkIdleSingleCore measures the next-event clock on two single-core
+// extremes, each against a ForceTicked companion that evaluates every
+// DRAM cycle. The clock may only jump when every core is memory-blocked
+// (a compute-busy core needs evaluation each cycle), so the two workloads
+// bound its range:
+//
+//   - povray (0.03 MPKI): DRAM is idle for thousands of cycles between
+//     requests, but the core is compute-bound and almost never blocks —
+//     skip rate is under 1% and the residual win is controller-tick
+//     elision, not cycle jumping.
+//   - matlab (78 MPKI stream): the core is memory-stalled most of the
+//     time, so the clock jumps across the known DRAM-latency intervals —
+//     the skip-rate win the event clock was built for.
+//
+// BENCH_4.json records both ratios; the saturated 4-core numbers are in
+// BENCH_2.json.
+func BenchmarkIdleSingleCore(b *testing.B) {
+	for _, wl := range []string{"povray", "matlab"} {
+		for _, bc := range []struct {
+			name   string
+			ticked bool
+		}{{"event-clock", false}, {"ticked", true}} {
+			b.Run(wl+"/"+bc.name, func(b *testing.B) {
+				cfg := sim.DefaultConfig(1)
+				cfg.WarmupCPUCycles = 0
+				cfg.MeasureCPUCycles = 2_000_000
+				cfg.ForceTicked = bc.ticked
+				mix := workload.Mix{Name: "idle", Benchmarks: []workload.Profile{workload.MustByName(wl)}}
+				b.ResetTimer()
+				var cycles, skipped int64
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(cfg, mix, sched.NewPARBSDefault())
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += res.DRAMCycles
+					skipped += res.SkippedCycles
+				}
+				b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "DRAMcycles/s")
+				b.ReportMetric(100*float64(skipped)/float64(cycles), "skipped%")
+			})
+		}
+	}
+}
+
 // BenchmarkIndependentChannels measures the sharded Independent-channel
 // engine on the paper's largest configuration (16 cores, 4 channels),
 // sequential (Parallelism 1) vs parallel (Parallelism 4). The simulated

@@ -5,11 +5,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/runs             submit a job (202 queued, 200 cached replay)
-//	GET  /v1/runs/{id}        job status + report/telemetry when done
-//	GET  /v1/runs/{id}/events live progress via Server-Sent Events
-//	GET  /healthz             liveness (503 while draining)
-//	GET  /metrics             Prometheus text exposition
+//	POST /v1/runs                        submit a job (202 queued, 200 cached replay)
+//	GET  /v1/runs/{id}                   job status + report/telemetry when done
+//	GET  /v1/runs/{id}/events            live progress via Server-Sent Events
+//	GET  /v1/runs/{id}/trace             raw parbs.trace/v1 JSONL (trace.events jobs)
+//	POST /v1/analysis                    analyze a trace: {"run": id} or raw JSONL body
+//	GET  /v1/analysis/{id}               windowed bottleneck report (JSON)
+//	GET  /v1/analysis/{id}/report        the same report as text tables
+//	GET  /v1/analysis/{id}/dashboard     embedded HTML dashboard (inline SVG)
+//	GET  /v1/analysis/{id}/snapshot      parbs.analysis/v1 binary snapshot
+//	GET  /healthz                        liveness (503 while draining)
+//	GET  /metrics                        Prometheus text exposition
 //
 // SIGINT/SIGTERM triggers a graceful drain: admissions stop, every accepted
 // job runs to completion (bounded by -drain-timeout), then the listener
@@ -39,6 +45,8 @@ func main() {
 	admission := flag.String("admission", "parbs", "admission discipline: parbs | fifo")
 	markingCap := flag.Int("marking-cap", 5, "jobs marked per client per admission batch")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline when timeout_ms is unset (0 = none)")
+	maxJobs := flag.Int("max-jobs", 0, "job records retained before oldest terminal ones are evicted (0 = default, negative = unbounded)")
+	maxAnalyses := flag.Int("max-analyses", 0, "trace analyses retained before oldest are evicted (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "graceful-shutdown drain budget before in-flight jobs are aborted")
 	flag.Parse()
 
@@ -59,6 +67,8 @@ func main() {
 		Admission:      adm,
 		MarkingCap:     *markingCap,
 		DefaultTimeout: *jobTimeout,
+		MaxJobs:        *maxJobs,
+		MaxAnalyses:    *maxAnalyses,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: sv.Handler()}
 

@@ -1,13 +1,17 @@
 // Command parbs-trace records synthetic benchmark traces to text files,
 // replays trace files through the simulator, and analyzes lifecycle event
 // logs (parbs-sim -trace-events) into per-request wait forensics and the
-// paper's starvation audit.
+// paper's starvation audit. The report subcommand runs the windowed
+// trace-analytics pipeline (internal/analysis): per-bank/per-thread
+// bottleneck attribution, wait decomposition over time windows, and batch
+// timelines, with an optional parbs.analysis/v1 binary snapshot.
 //
 // Usage:
 //
 //	parbs-trace record -bench lbm -n 50000 -out lbm.trace
 //	parbs-trace replay -sched PAR-BS -traces lbm.trace,mcf.trace
 //	parbs-trace analyze run.jsonl [-json]
+//	parbs-trace report run.jsonl [-json] [-windows N] [-top K] [-snapshot out.bin]
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/dram"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -35,13 +40,15 @@ func main() {
 		replay(os.Args[2:])
 	case "analyze":
 		analyze(os.Args[2:])
+	case "report":
+		report(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: parbs-trace record|replay|analyze [flags]")
+	fmt.Fprintln(os.Stderr, "usage: parbs-trace record|replay|analyze|report [flags]")
 	os.Exit(2)
 }
 
@@ -154,6 +161,56 @@ func analyze(args []string) {
 		return
 	}
 	if err := a.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// report runs the windowed trace-analytics pipeline over a JSONL event
+// log: streaming ingest (tolerant of truncated logs), windowed
+// aggregation, and bottleneck attribution. Output is text tables by
+// default, the full analysis.Report as JSON with -json.
+func report(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text tables")
+	windowCycles := fs.Int64("windows", 0, "window width in DRAM cycles (0 = span/32)")
+	topK := fs.Int("top", 0, "bottleneck ranking depth (0 = default 5)")
+	snapshotOut := fs.String("snapshot", "", "also write a parbs.analysis/v1 binary snapshot to this file")
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("report needs one event-log file (from parbs-sim -trace-events), schema %s", trace.Schema))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	store, err := analysis.Ingest(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+	if *snapshotOut != "" {
+		out, err := os.Create(*snapshotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.WriteSnapshot(out); err != nil {
+			out.Close()
+			fatal(fmt.Errorf("write snapshot: %w", err))
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	r := store.Analyze(analysis.Options{WindowCycles: *windowCycles, TopK: *topK})
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := r.WriteText(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

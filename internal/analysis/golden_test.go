@@ -1,0 +1,151 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The §4.3 memory-attack scenario, end to end: a matlab-like stream
+// attacker (93.7% row hits, 78 MPKI) co-scheduled with three victims, run
+// with tracing, rendered to JSONL, ingested through the streaming path,
+// and analyzed into the windowed bottleneck report. The simulator is
+// deterministic for a fixed seed, so the report's aggregates are pinned
+// to exact values — any drift in the tracer, the JSONL codec, the ingest
+// path, or the window/attribution math trips this test.
+//
+// The pinned picture is the paper's §4.3 story told by attribution: under
+// PAR-BS the attacker (thread 0) carries the queued wait — batching and
+// Marking-Cap shift the cost of its flood onto it — while the victims'
+// completed-read counts stay high. The FR-FCFS companion run shows the
+// victims completing far fewer reads (the denial of service), which the
+// cross-policy assertions at the bottom pin relatively.
+
+// attackReport runs the scenario under the named policy and analyzes it
+// through the full JSONL → Ingest pipeline.
+func attackReport(t *testing.T, policy string, windowCycles int64) *analysis.Report {
+	t.Helper()
+	cfg := sim.DefaultConfig(4)
+	cfg.WarmupCPUCycles = 0
+	cfg.MeasureCPUCycles = 400_000
+	cfg.Tracer = trace.NewTracer(trace.Config{})
+	mix, err := workload.MixOf("attack", "matlab", "omnetpp", "hmmer", "sjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := sched.ByName(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(cfg, mix, pol); err != nil {
+		t.Fatal(err)
+	}
+	var jsonl bytes.Buffer
+	if err := trace.WriteJSONL(&jsonl, cfg.Tracer.Log()); err != nil {
+		t.Fatal(err)
+	}
+	store, err := analysis.Ingest(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Truncated() {
+		t.Fatal("attack trace unexpectedly truncated")
+	}
+	return store.Analyze(analysis.Options{WindowCycles: windowCycles, TopK: 3})
+}
+
+func TestGoldenMemoryAttackPARBS(t *testing.T) {
+	r := attackReport(t, "PAR-BS", 5000)
+
+	if r.Events != 28455 || r.SpanEnd != 40000 || len(r.Windows) != 8 {
+		t.Fatalf("shape drifted: events=%d span=%d windows=%d, want 28455/40000/8",
+			r.Events, r.SpanEnd, len(r.Windows))
+	}
+	if r.Requests != 4626 || r.InFlight != 20 || len(r.Batches) != 312 {
+		t.Fatalf("requests=%d inflight=%d batches=%d, want 4626/20/312",
+			r.Requests, r.InFlight, len(r.Batches))
+	}
+
+	// Whole-span bottleneck attribution: bank 1 tops the bank ranking, and
+	// the attacker thread 0 carries the queued wait.
+	if len(r.TopBanks) == 0 || r.TopBanks[0].ID != 1 || r.TopBanks[0].Cycles != 98392 {
+		t.Errorf("top bank = %+v, want b1/98392", r.TopBanks)
+	}
+	if len(r.TopThreads) == 0 || r.TopThreads[0].ID != 0 || r.TopThreads[0].Cycles != 431139 {
+		t.Errorf("top thread = %+v, want t0/431139", r.TopThreads)
+	}
+
+	// Per-thread wait decomposition over the span, exact.
+	want := []analysis.ThreadTotals{
+		{Thread: 0, Reads: 1533, InFlight: 5, Unmarked: 334532, Marked: 96607, Service: 25917, Wait: 431139},
+		{Thread: 1, Reads: 1773, InFlight: 6, Unmarked: 37155, Marked: 12246, Service: 54956, Wait: 49401},
+		{Thread: 2, Reads: 976, InFlight: 1, Unmarked: 22870, Marked: 9174, Service: 26579, Wait: 32044},
+		{Thread: 3, Reads: 344, InFlight: 2, Unmarked: 5504, Marked: 2323, Service: 10734, Wait: 7827},
+	}
+	for i, w := range want {
+		if r.Threads[i] != w {
+			t.Errorf("thread %d = %+v, want %+v", i, r.Threads[i], w)
+		}
+	}
+
+	// Per-window decomposition, spot-pinned at both ends of the run.
+	w0 := r.Windows[0]
+	if w0.Commands != 1718 || w0.BusyCycles != 1718 || w0.Arrivals != 763 ||
+		w0.Completions != 592 || w0.BatchesFormed != 40 || w0.BatchesDrained != 39 {
+		t.Errorf("window 0 counters drifted: %+v", w0)
+	}
+	if (w0.Threads[0] != analysis.ThreadWindow{Unmarked: 54081, Marked: 13148, Service: 3316, Completions: 206}) {
+		t.Errorf("window 0 thread 0 = %+v", w0.Threads[0])
+	}
+	if len(w0.TopBanks) == 0 || w0.TopBanks[0].ID != 0 || w0.TopBanks[0].Cycles != 30995 {
+		t.Errorf("window 0 top bank = %+v, want b0/30995", w0.TopBanks)
+	}
+	w7 := r.Windows[7]
+	if (w7.Threads[0] != analysis.ThreadWindow{Unmarked: 28252, Marked: 10810, Service: 3619, Completions: 218}) {
+		t.Errorf("window 7 thread 0 = %+v", w7.Threads[0])
+	}
+	if len(w7.TopBanks) == 0 || w7.TopBanks[0].ID != 6 || w7.TopBanks[0].Cycles != 12446 {
+		t.Errorf("window 7 top bank = %+v, want b6/12446", w7.TopBanks)
+	}
+
+	// The range query the dashboard asks ("what stalled cycles 10k–30k").
+	rb := r.RangeTopBanks(10000, 30000, 3)
+	if len(rb) != 3 || rb[0].ID != 1 || rb[0].Cycles != 69949 {
+		t.Errorf("RangeTopBanks(10k,30k) = %+v, want b1/69949 first", rb)
+	}
+	rt := r.RangeTopThreads(10000, 30000, 3)
+	if len(rt) != 3 || rt[0].ID != 0 || rt[0].Cycles != 210939 {
+		t.Errorf("RangeTopThreads(10k,30k) = %+v, want t0/210939 first", rt)
+	}
+}
+
+func TestGoldenMemoryAttackComparative(t *testing.T) {
+	parbs := attackReport(t, "PAR-BS", 5000)
+	frfcfs := attackReport(t, "FR-FCFS", 5000)
+
+	// FR-FCFS forms no batches and leaves every wait cycle unmarked.
+	if len(frfcfs.Batches) != 0 {
+		t.Errorf("FR-FCFS formed %d batches, want 0", len(frfcfs.Batches))
+	}
+	for _, th := range frfcfs.Threads {
+		if th.Marked != 0 {
+			t.Errorf("FR-FCFS thread %d has marked wait %d, want 0", th.Thread, th.Marked)
+		}
+	}
+	// The §4.3 denial of service, seen through completions: every victim
+	// completes substantially more reads under PAR-BS (pinned loosely so
+	// this survives unrelated calibration changes; the exact PAR-BS values
+	// are pinned above).
+	for _, i := range []int{1, 2, 3} {
+		p, f := parbs.Threads[i].Reads, frfcfs.Threads[i].Reads
+		if float64(p) < 1.1*float64(f) {
+			t.Errorf("victim thread %d: %d reads under PAR-BS vs %d under FR-FCFS — batching should lift it",
+				i, p, f)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// parbs.analysis/v1 snapshot: the columnar store serialized for reuse
+// across processes (ingest once, query many times; ship a snapshot instead
+// of re-parsing a multi-hundred-MB JSONL). Layout, all integers little
+// endian:
+//
+//	magic    "parbs.analysis/v1\n"
+//	u32      header JSON length, then that many bytes of snapHeader JSON
+//	columns  cycle,req,row int64; thread,bank,rank,channel int32;
+//	         kind,cmd,write u8 — each a packed array of Events() entries
+//	batches  per KindBatch event: u32 count + that many int32 per-thread
+//	         marked counts
+//	u64      FNV-1a 64 of every byte after the header JSON (the columns and
+//	         batch shapes) — snapshot files travel between machines, and a
+//	         silently corrupt column would poison every query downstream
+//
+// The magic carries the version: any incompatible change bumps Schema and
+// old readers fail loudly on the first 18 bytes.
+
+// snapHeader is the snapshot's JSON header.
+type snapHeader struct {
+	Meta      trace.Meta `json:"meta"`
+	Truncated bool       `json:"truncated"`
+	Dropped   int64      `json:"dropped"`
+	Events    int        `json:"events"`
+	Batches   int        `json:"batches"`
+}
+
+// WriteSnapshot serializes the store in parbs.analysis/v1 form.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Schema + "\n"); err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(snapHeader{
+		Meta: s.meta, Truncated: s.truncated, Dropped: s.dropped,
+		Events: len(s.kind), Batches: len(s.batchPT),
+	})
+	if err != nil {
+		return err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(hdr)))
+	if _, err := bw.Write(u32[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+
+	sum := fnv.New64a()
+	body := io.MultiWriter(bw, sum)
+	if err := writeI64s(body, s.cycle); err != nil {
+		return err
+	}
+	if err := writeI64s(body, s.req); err != nil {
+		return err
+	}
+	if err := writeI64s(body, s.row); err != nil {
+		return err
+	}
+	if err := writeI32s(body, s.thread); err != nil {
+		return err
+	}
+	if err := writeI32s(body, s.bank); err != nil {
+		return err
+	}
+	if err := writeI32s(body, s.rank); err != nil {
+		return err
+	}
+	if err := writeI32s(body, s.channel); err != nil {
+		return err
+	}
+	if _, err := body.Write(s.kind); err != nil {
+		return err
+	}
+	if _, err := body.Write(s.cmd); err != nil {
+		return err
+	}
+	if err := writeBools(body, s.write); err != nil {
+		return err
+	}
+	for _, pt := range s.batchPT {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(pt)))
+		if _, err := body.Write(u32[:]); err != nil {
+			return err
+		}
+		if err := writeI32s(body, pt); err != nil {
+			return err
+		}
+	}
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], sum.Sum64())
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a parbs.analysis/v1 snapshot, verifying the
+// magic, the declared lengths, and the body checksum.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(Schema)+1)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("analysis: snapshot magic: %w", err)
+	}
+	if string(magic) != Schema+"\n" {
+		return nil, fmt.Errorf("analysis: not a %s snapshot", Schema)
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, err
+	}
+	hdrLen := binary.LittleEndian.Uint32(u32[:])
+	if hdrLen > 1<<20 {
+		return nil, fmt.Errorf("analysis: implausible snapshot header length %d", hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdrBytes); err != nil {
+		return nil, err
+	}
+	var hdr snapHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("analysis: snapshot header: %w", err)
+	}
+	if hdr.Events < 0 || hdr.Batches < 0 || hdr.Batches > hdr.Events {
+		return nil, fmt.Errorf("analysis: implausible snapshot counts: events=%d batches=%d", hdr.Events, hdr.Batches)
+	}
+
+	sum := fnv.New64a()
+	body := io.TeeReader(br, sum)
+	n := hdr.Events
+	s := &Store{meta: hdr.Meta, truncated: hdr.Truncated, dropped: hdr.Dropped}
+	var err error
+	if s.cycle, err = readI64s(body, n); err != nil {
+		return nil, err
+	}
+	if s.req, err = readI64s(body, n); err != nil {
+		return nil, err
+	}
+	if s.row, err = readI64s(body, n); err != nil {
+		return nil, err
+	}
+	if s.thread, err = readI32s(body, n); err != nil {
+		return nil, err
+	}
+	if s.bank, err = readI32s(body, n); err != nil {
+		return nil, err
+	}
+	if s.rank, err = readI32s(body, n); err != nil {
+		return nil, err
+	}
+	if s.channel, err = readI32s(body, n); err != nil {
+		return nil, err
+	}
+	s.kind = make([]uint8, n)
+	if _, err := io.ReadFull(body, s.kind); err != nil {
+		return nil, err
+	}
+	s.cmd = make([]uint8, n)
+	if _, err := io.ReadFull(body, s.cmd); err != nil {
+		return nil, err
+	}
+	if s.write, err = readBools(body, n); err != nil {
+		return nil, err
+	}
+	s.batchPT = make([][]int32, hdr.Batches)
+	for i := range s.batchPT {
+		if _, err := io.ReadFull(body, u32[:]); err != nil {
+			return nil, err
+		}
+		m := binary.LittleEndian.Uint32(u32[:])
+		if int(m) > 1<<20 {
+			return nil, fmt.Errorf("analysis: implausible batch shape length %d", m)
+		}
+		if s.batchPT[i], err = readI32s(body, int(m)); err != nil {
+			return nil, err
+		}
+	}
+	want := sum.Sum64()
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return nil, fmt.Errorf("analysis: snapshot checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(u64[:]); got != want {
+		return nil, fmt.Errorf("analysis: snapshot checksum mismatch (stored %x, computed %x)", got, want)
+	}
+	return s, nil
+}
+
+// chunk is the encode/decode staging size, in elements.
+const chunk = 4096
+
+func writeI64s(w io.Writer, vals []int64) error {
+	buf := make([]byte, 8*chunk)
+	for len(vals) > 0 {
+		n := min(len(vals), chunk)
+		for i, v := range vals[:n] {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func writeI32s(w io.Writer, vals []int32) error {
+	buf := make([]byte, 4*chunk)
+	for len(vals) > 0 {
+		n := min(len(vals), chunk)
+		for i, v := range vals[:n] {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func writeBools(w io.Writer, vals []bool) error {
+	buf := make([]byte, chunk)
+	for len(vals) > 0 {
+		n := min(len(vals), chunk)
+		for i, v := range vals[:n] {
+			if v {
+				buf[i] = 1
+			} else {
+				buf[i] = 0
+			}
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func readI64s(r io.Reader, n int) ([]int64, error) {
+	out := make([]int64, n)
+	buf := make([]byte, 8*chunk)
+	for i := 0; i < n; {
+		m := min(n-i, chunk)
+		if _, err := io.ReadFull(r, buf[:8*m]); err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			out[i+j] = int64(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		i += m
+	}
+	return out, nil
+}
+
+func readI32s(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, n)
+	buf := make([]byte, 4*chunk)
+	for i := 0; i < n; {
+		m := min(n-i, chunk)
+		if _, err := io.ReadFull(r, buf[:4*m]); err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			out[i+j] = int32(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		i += m
+	}
+	return out, nil
+}
+
+func readBools(r io.Reader, n int) ([]bool, error) {
+	out := make([]bool, n)
+	buf := make([]byte, chunk)
+	for i := 0; i < n; {
+		m := min(n-i, chunk)
+		if _, err := io.ReadFull(r, buf[:m]); err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			out[i+j] = buf[j] != 0
+		}
+		i += m
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// DefaultMaxAnalyses bounds retained analysis results when
+// Options.MaxAnalyses is zero. Each entry holds the columnar event store
+// (for snapshots and re-analysis) plus the computed report, so the bound
+// is deliberately small.
+const DefaultMaxAnalyses = 32
+
+// analysisEntry is one retained trace analysis: the ingested columnar
+// store and the report computed from it at submission time.
+type analysisEntry struct {
+	id     string
+	store  *analysis.Store
+	report *analysis.Report
+}
+
+// analysisStore retains completed analyses up to a cap, evicting oldest
+// first. Unlike jobs, analyses are immutable results with no live state,
+// so eviction is unconditional FIFO.
+type analysisStore struct {
+	mu      sync.Mutex
+	seq     int64
+	max     int
+	entries map[string]*analysisEntry
+	order   []string
+}
+
+func newAnalysisStore(max int) *analysisStore {
+	if max <= 0 {
+		max = DefaultMaxAnalyses
+	}
+	return &analysisStore{max: max, entries: make(map[string]*analysisEntry)}
+}
+
+func (as *analysisStore) add(store *analysis.Store, report *analysis.Report) *analysisEntry {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.seq++
+	e := &analysisEntry{id: fmt.Sprintf("a-%06d", as.seq), store: store, report: report}
+	as.entries[e.id] = e
+	as.order = append(as.order, e.id)
+	for len(as.entries) > as.max {
+		delete(as.entries, as.order[0])
+		as.order = as.order[1:]
+	}
+	return e
+}
+
+func (as *analysisStore) get(id string) (*analysisEntry, bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	e, ok := as.entries[id]
+	return e, ok
+}
+
+// analyzeRequest is the JSON body of POST /v1/analysis when the trace is
+// referenced by run ID rather than inlined.
+type analyzeRequest struct {
+	Run          string `json:"run"`
+	WindowCycles int64  `json:"window_cycles,omitempty"`
+	TopK         int    `json:"top_k,omitempty"`
+}
+
+// analysisCreatedView is the POST /v1/analysis response: the new
+// analysis ID, links to its renderings, and the full report.
+type analysisCreatedView struct {
+	Schema    string           `json:"schema"`
+	ID        string           `json:"id"`
+	Report    *analysis.Report `json:"report"`
+	Text      string           `json:"text_url"`
+	Dashboard string           `json:"dashboard_url"`
+	Snapshot  string           `json:"snapshot_url"`
+}
+
+// handleAnalyze ingests a parbs.trace/v1 JSONL trace and computes the
+// windowed bottleneck report. Two submission forms:
+//
+//   - Content-Type application/json: {"run": "r-000001", ...} references a
+//     completed job that was submitted with trace.events=true.
+//   - any other Content-Type: the body IS the JSONL trace; window_cycles
+//     and top_k come from query parameters.
+//
+// Truncated traces (dropped events, torn tail) are accepted: the report
+// covers the recorded prefix and carries truncated=true.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var (
+		raw []byte
+		opt analysis.Options
+	)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var req analyzeRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("parse request: %w", err))
+			return
+		}
+		if req.Run == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf(`"run" is required in the JSON form (or POST the JSONL trace directly)`))
+			return
+		}
+		j, ok := s.store.Get(req.Run)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.Run))
+			return
+		}
+		snap := j.snapshot()
+		if snap.Status != StatusDone {
+			httpError(w, http.StatusConflict, fmt.Errorf("run %s is %s, not done", req.Run, snap.Status))
+			return
+		}
+		if snap.Result == nil || len(snap.Result.TraceEvents) == 0 {
+			httpError(w, http.StatusConflict, fmt.Errorf("run %s has no event trace; submit it with trace.events=true", req.Run))
+			return
+		}
+		raw = snap.Result.TraceEvents
+		opt = analysis.Options{WindowCycles: req.WindowCycles, TopK: req.TopK}
+	} else {
+		const maxTrace = 256 << 20
+		body, err := readAll(r.Body, maxTrace)
+		if err != nil {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		raw = body
+		if opt.WindowCycles, err = queryInt64(r, "window_cycles"); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		topK, err := queryInt64(r, "top_k")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		opt.TopK = int(topK)
+	}
+
+	store, err := analysis.Ingest(bytes.NewReader(raw))
+	if err != nil {
+		s.metrics.analysisFailed()
+		httpError(w, http.StatusBadRequest, fmt.Errorf("ingest trace: %w", err))
+		return
+	}
+	e := s.analyses.add(store, store.Analyze(opt))
+	s.metrics.analysisDone()
+	writeJSON(w, http.StatusCreated, analysisCreatedView{
+		Schema:    analysis.Schema,
+		ID:        e.id,
+		Report:    e.report,
+		Text:      "/v1/analysis/" + e.id + "/report",
+		Dashboard: "/v1/analysis/" + e.id + "/dashboard",
+		Snapshot:  "/v1/analysis/" + e.id + "/snapshot",
+	})
+}
+
+func (s *Server) analysisEntry(w http.ResponseWriter, r *http.Request) (*analysisEntry, bool) {
+	e, ok := s.analyses.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown analysis %q (evicted or never created)", r.PathValue("id")))
+	}
+	return e, ok
+}
+
+func (s *Server) handleAnalysisJSON(w http.ResponseWriter, r *http.Request) {
+	if e, ok := s.analysisEntry(w, r); ok {
+		writeJSON(w, http.StatusOK, e.report)
+	}
+}
+
+func (s *Server) handleAnalysisText(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.analysisEntry(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	e.report.WriteText(w)
+}
+
+func (s *Server) handleAnalysisSnapshot(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.analysisEntry(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.parbs-analysis", e.id))
+	e.store.WriteSnapshot(w)
+}
+
+// handleRunTrace serves a completed run's raw parbs.trace/v1 JSONL.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", r.PathValue("id")))
+		return
+	}
+	snap := j.snapshot()
+	if snap.Status != StatusDone {
+		httpError(w, http.StatusConflict, fmt.Errorf("run %s is %s, not done", j.ID, snap.Status))
+		return
+	}
+	if snap.Result == nil || len(snap.Result.TraceEvents) == 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("run %s has no event trace; submit it with trace.events=true", j.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(snap.Result.TraceEvents)
+}
+
+// readAll reads r up to limit bytes, erroring (rather than silently
+// truncating) past it.
+func readAll(r io.Reader, limit int64) ([]byte, error) {
+	var buf bytes.Buffer
+	n, err := buf.ReadFrom(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if n > limit {
+		return nil, fmt.Errorf("trace body exceeds %d bytes", limit)
+	}
+	return buf.Bytes(), nil
+}
+
+func queryInt64(r *http.Request, key string) (int64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("query %s=%q: want a non-negative integer", key, v)
+	}
+	return n, nil
+}

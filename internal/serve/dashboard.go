@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+
+	"repro/internal/analysis"
+)
+
+// The dashboard is a single self-contained HTML page: html/template plus
+// inline SVG, no scripts, no external assets. Geometry is computed here
+// in Go (the template only places ready-made rectangles) so the template
+// stays free of arithmetic.
+
+// rect is one positioned SVG rectangle with a hover tooltip.
+type rect struct {
+	X, Y, W, H float64
+	Fill       string
+	Title      string
+}
+
+// labelAt is one positioned SVG text element.
+type labelAt struct {
+	X, Y float64
+	Text string
+}
+
+// threadBarView is one thread's stacked wait-decomposition bar, already
+// placed at its row offset.
+type threadBarView struct {
+	Label  string
+	Y      float64
+	TextY  float64
+	Segs   []rect
+	Total  int64
+	TotalX float64
+}
+
+// attrRow is one rank of the side-by-side bank/thread attribution table.
+type attrRow struct {
+	Rank                 int
+	Bank, BankCycles     string
+	Thread, ThreadCycles string
+}
+
+// dashView is everything the dashboard template consumes.
+type dashView struct {
+	ID string
+	R  *analysis.Report
+
+	AttrRows []attrRow
+
+	ThreadBars []threadBarView
+	BarsW      float64
+	BarsH      float64
+
+	// Busy-per-window timeline.
+	TimelineW float64
+	TimelineH float64
+	BusyBars  []rect
+
+	// Bank × window wait heatmap.
+	HeatW, HeatH float64
+	HeatCells    []rect
+	HeatLabels   []labelAt
+
+	BatchesDrained int
+	BatchAvgSpan   float64
+}
+
+const (
+	dashBarW     = 640.0
+	dashBarH     = 22.0
+	dashRowPitch = 28.0
+	dashCellH    = 16.0
+	dashTimeline = 96.0
+)
+
+// heatFill maps a 0..1 intensity onto a white→dark-red ramp.
+func heatFill(f float64) string {
+	f = min(max(f, 0), 1)
+	// Interpolate #ffffff → #b2182b.
+	r := 255 + f*(178-255)
+	g := 255 + f*(24-255)
+	b := 255 + f*(43-255)
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(b))
+}
+
+func buildDashView(id string, r *analysis.Report) *dashView {
+	v := &dashView{ID: id, R: r, BarsW: dashBarW}
+
+	for i := 0; i < max(len(r.TopBanks), len(r.TopThreads)); i++ {
+		row := attrRow{Rank: i + 1, Bank: "-", BankCycles: "-", Thread: "-", ThreadCycles: "-"}
+		if i < len(r.TopBanks) {
+			row.Bank = r.TopBanks[i].Label
+			row.BankCycles = fmt.Sprint(r.TopBanks[i].Cycles)
+		}
+		if i < len(r.TopThreads) {
+			row.Thread = r.TopThreads[i].Label
+			row.ThreadCycles = fmt.Sprint(r.TopThreads[i].Cycles)
+		}
+		v.AttrRows = append(v.AttrRows, row)
+	}
+
+	// Stacked per-thread bars, all on a shared scale so lengths compare.
+	var maxTotal int64 = 1
+	for _, t := range r.Threads {
+		if tot := t.Wait + t.Service; tot > maxTotal {
+			maxTotal = tot
+		}
+	}
+	for i, t := range r.Threads {
+		y := float64(i) * dashRowPitch
+		bar := threadBarView{
+			Label: fmt.Sprintf("t%d", t.Thread), Y: y, TextY: y + 16,
+			Total: t.Wait + t.Service, TotalX: dashBarW + 8,
+		}
+		x := 0.0
+		for _, seg := range []struct {
+			cycles int64
+			fill   string
+			name   string
+		}{
+			{t.Unmarked, "#e08214", "unmarked wait"},
+			{t.Marked, "#b2182b", "marked wait"},
+			{t.Service, "#4393c3", "service"},
+		} {
+			w := dashBarW * float64(seg.cycles) / float64(maxTotal)
+			if seg.cycles > 0 {
+				bar.Segs = append(bar.Segs, rect{
+					X: x, Y: y, W: w, H: dashBarH, Fill: seg.fill,
+					Title: fmt.Sprintf("t%d %s: %d cycles", t.Thread, seg.name, seg.cycles),
+				})
+			}
+			x += w
+		}
+		v.ThreadBars = append(v.ThreadBars, bar)
+	}
+	v.BarsH = float64(len(r.Threads)) * dashRowPitch
+
+	// Busy% timeline: one bar per window.
+	n := len(r.Windows)
+	cellW := min(max(900.0/float64(max(n, 1)), 2), 28)
+	v.TimelineW = cellW * float64(n)
+	v.TimelineH = dashTimeline
+	for i, win := range r.Windows {
+		span := win.End - win.Start
+		busy := 0.0
+		if span > 0 {
+			busy = float64(win.BusyCycles) / float64(span)
+		}
+		h := busy * dashTimeline
+		v.BusyBars = append(v.BusyBars, rect{
+			X: float64(i) * cellW, Y: dashTimeline - h, W: max(cellW-1, 1), H: h, Fill: "#4393c3",
+			Title: fmt.Sprintf("window %d [%d,%d): busy %.1f%%, %d commands, %d arrivals, %d done",
+				win.Index, win.Start, win.End, 100*busy, win.Commands, win.Arrivals, win.Completions),
+		})
+	}
+
+	// Bank×window wait heatmap on a shared intensity scale.
+	banks := 0
+	if n > 0 {
+		banks = len(r.Windows[0].Banks)
+	}
+	var maxWait int64 = 1
+	for _, win := range r.Windows {
+		for _, b := range win.Banks {
+			if b.Wait > maxWait {
+				maxWait = b.Wait
+			}
+		}
+	}
+	v.HeatW = cellW * float64(n)
+	v.HeatH = dashCellH * float64(banks)
+	for bi := 0; bi < banks; bi++ {
+		label := "b" + fmt.Sprint(bi)
+		if bi < len(r.Banks) {
+			label = r.Banks[bi].Label
+		}
+		v.HeatLabels = append(v.HeatLabels, labelAt{
+			X: -6, Y: float64(bi)*dashCellH + dashCellH - 4, Text: label,
+		})
+		for wi, win := range r.Windows {
+			b := win.Banks[bi]
+			v.HeatCells = append(v.HeatCells, rect{
+				X: float64(wi) * cellW, Y: float64(bi) * dashCellH,
+				W: cellW, H: dashCellH, Fill: heatFill(float64(b.Wait) / float64(maxWait)),
+				Title: fmt.Sprintf("%s window %d: wait %d cycles, depth %.2f, %d commands",
+					label, win.Index, b.Wait, b.QueueDepth, b.Commands),
+			})
+		}
+	}
+
+	var spanSum int64
+	for _, b := range r.Batches {
+		if b.Drained >= 0 {
+			v.BatchesDrained++
+			spanSum += b.Drained - b.Formed
+		}
+	}
+	if v.BatchesDrained > 0 {
+		v.BatchAvgSpan = float64(spanSum) / float64(v.BatchesDrained)
+	}
+	return v
+}
+
+var dashTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
+	"f":   func(x float64) string { return fmt.Sprintf("%.1f", x) },
+	"add": func(a, b float64) string { return fmt.Sprintf("%.1f", a+b) },
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>trace analysis {{.ID}} — {{.R.Meta.Policy}}</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 1080px; color: #1a1a1a; padding: 0 1rem; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+  table { border-collapse: collapse; margin: .5rem 0; }
+  th, td { padding: .2rem .7rem; text-align: right; border-bottom: 1px solid #ddd; }
+  th { font-weight: 600; } td:first-child, th:first-child { text-align: left; }
+  .meta { color: #555; }
+  .warn { background: #fff3cd; border: 1px solid #e0c060; padding: .5rem .8rem; border-radius: 4px; }
+  .legend span { display: inline-block; margin-right: 1.2rem; }
+  .swatch { display: inline-block; width: .8em; height: .8em; margin-right: .35em; vertical-align: -.05em; }
+  svg text { font: 11px system-ui, sans-serif; fill: #444; }
+</style>
+</head>
+<body>
+<h1>Trace analysis {{.ID}}</h1>
+<p class="meta">policy {{.R.Meta.Policy}} · workload {{.R.Meta.Workload}} · {{.R.Meta.Cores}} cores ·
+{{.R.Meta.Banks}} banks{{if gt .R.Meta.Channels 1}} · {{.R.Meta.Channels}} channels{{end}} ·
+marking cap {{.R.Meta.MarkingCap}} · {{.R.Events}} events ·
+span [0, {{.R.SpanEnd}}) DRAM cycles · {{len .R.Windows}} × {{.R.WindowCycles}}-cycle windows ·
+{{.R.Requests}} reads completed, {{.R.InFlight}} in flight</p>
+{{if .R.Truncated}}<p class="warn">Trace truncated ({{.R.Dropped}} events dropped at record time) — figures cover the recorded prefix only.</p>{{end}}
+
+<h2>Bottleneck attribution (whole span)</h2>
+<table>
+<tr><th>#</th><th>bank</th><th>wait cycles</th><th>thread</th><th>wait cycles</th></tr>
+{{range .AttrRows}}<tr><td>{{.Rank}}</td><td>{{.Bank}}</td><td>{{.BankCycles}}</td><td>{{.Thread}}</td><td>{{.ThreadCycles}}</td></tr>
+{{end}}</table>
+
+<h2>Per-thread wait decomposition</h2>
+<p class="legend">
+<span><span class="swatch" style="background:#e08214"></span>unmarked wait</span>
+<span><span class="swatch" style="background:#b2182b"></span>marked wait</span>
+<span><span class="swatch" style="background:#4393c3"></span>service</span>
+</p>
+<svg width="{{add .BarsW 180}}" height="{{f .BarsH}}" role="img" aria-label="per-thread wait decomposition">
+<g transform="translate(40,0)">
+{{range .ThreadBars}}<text x="-34" y="{{f .TextY}}">{{.Label}}</text>
+{{range .Segs}}<rect x="{{f .X}}" y="{{f .Y}}" width="{{f .W}}" height="{{f .H}}" fill="{{.Fill}}"><title>{{.Title}}</title></rect>
+{{end}}<text x="{{f .TotalX}}" y="{{f .TextY}}">{{.Total}} cy</text>
+{{end}}</g>
+</svg>
+
+<h2>Bus busy per window</h2>
+<svg width="{{add .TimelineW 40}}" height="{{add .TimelineH 20}}" role="img" aria-label="bus busy timeline">
+<g transform="translate(20,4)">
+<line x1="0" y1="{{f .TimelineH}}" x2="{{f .TimelineW}}" y2="{{f .TimelineH}}" stroke="#999"/>
+{{range .BusyBars}}<rect x="{{f .X}}" y="{{f .Y}}" width="{{f .W}}" height="{{f .H}}" fill="{{.Fill}}"><title>{{.Title}}</title></rect>
+{{end}}</g>
+</svg>
+
+<h2>Queued wait by bank and window</h2>
+<svg width="{{add .HeatW 70}}" height="{{add .HeatH 10}}" role="img" aria-label="bank wait heatmap">
+<g transform="translate(60,4)">
+{{range .HeatCells}}<rect x="{{f .X}}" y="{{f .Y}}" width="{{f .W}}" height="{{f .H}}" fill="{{.Fill}}" stroke="#fff" stroke-width="0.5"><title>{{.Title}}</title></rect>
+{{end}}{{range .HeatLabels}}<text x="{{f .X}}" y="{{f .Y}}" text-anchor="end">{{.Text}}</text>
+{{end}}</g>
+</svg>
+
+<h2>Batches</h2>
+<p>{{len .R.Batches}} formed, {{.BatchesDrained}} drained{{if gt .BatchesDrained 0}} (average formation→drain span {{printf "%.0f" .BatchAvgSpan}} cycles){{end}}.</p>
+
+<p class="meta">Renderings: <a href="/v1/analysis/{{.ID}}">JSON</a> ·
+<a href="/v1/analysis/{{.ID}}/report">text report</a> ·
+<a href="/v1/analysis/{{.ID}}/snapshot">binary snapshot</a></p>
+</body>
+</html>
+`))
+
+func (s *Server) handleAnalysisDashboard(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.analysisEntry(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	dashTmpl.Execute(w, buildDashView(e.id, e.report))
+}

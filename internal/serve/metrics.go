@@ -72,7 +72,11 @@ type Metrics struct {
 	completed int64
 	failed    int64
 	cacheHits int64
-	waits     map[string]*waitHist
+	// analyses counts trace analyses computed via POST /v1/analysis;
+	// analysisErrs counts submissions whose trace failed to ingest.
+	analyses     int64
+	analysisErrs int64
+	waits        map[string]*waitHist
 	// runs holds per-policy simulation run durations (dispatch to finish)
 	// for successfully completed jobs.
 	runs map[string]*waitHist
@@ -112,6 +116,9 @@ func (m *Metrics) jobFailed(client string, wait time.Duration) {
 }
 
 func (m *Metrics) cacheHit() { m.add(&m.cacheHits) }
+
+func (m *Metrics) analysisDone()   { m.add(&m.analyses) }
+func (m *Metrics) analysisFailed() { m.add(&m.analysisErrs) }
 
 // observeRun records a successful job's simulation duration under its
 // policy name.
@@ -202,6 +209,8 @@ func (m *Metrics) render(w io.Writer, queueDepth int, batchesFormed int64) {
 	counter("jobs_completed_total", "Jobs finished successfully (including cached replays).", m.completed)
 	counter("jobs_failed_total", "Jobs that errored, timed out, or panicked.", m.failed)
 	counter("cache_hits_total", "Submissions served instantly from the content-hash result cache.", m.cacheHits)
+	counter("analyses_total", "Trace analyses computed via POST /v1/analysis.", m.analyses)
+	counter("analysis_errors_total", "Analysis submissions whose trace failed to ingest.", m.analysisErrs)
 	counter("batches_formed_total", "Admission batches formed by the PAR-BS scheduler.", batchesFormed)
 	fmt.Fprintf(w, "# HELP parbs_serve_queue_depth Jobs waiting for a worker.\n# TYPE parbs_serve_queue_depth gauge\nparbs_serve_queue_depth %d\n", queueDepth)
 	if len(m.pending) > 0 {

@@ -106,6 +106,11 @@ func SimulationRunner(cache *parbs.AloneCache) Runner {
 			if res.Trace, err = tracer.ChromeTrace(); err != nil {
 				return nil, fmt.Errorf("render trace: %w", err)
 			}
+			if spec.Trace.Events {
+				if res.TraceEvents, err = tracer.EventsJSONL(); err != nil {
+					return nil, fmt.Errorf("render trace events: %w", err)
+				}
+			}
 		}
 		return res, nil
 	}

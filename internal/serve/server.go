@@ -41,6 +41,13 @@ type Options struct {
 	MarkingCap int
 	// DefaultTimeout caps jobs that do not set timeout_ms; 0 = no cap.
 	DefaultTimeout time.Duration
+	// MaxJobs bounds the job table: past it, admitting a job evicts the
+	// oldest terminal records (default DefaultMaxJobs; negative =
+	// unbounded). The content-hash result cache is unaffected.
+	MaxJobs int
+	// MaxAnalyses bounds retained trace-analysis results (default
+	// DefaultMaxAnalyses).
+	MaxAnalyses int
 	// Runner executes jobs (default SimulationRunner with a shared
 	// AloneCache). Tests substitute stubs.
 	Runner Runner
@@ -50,12 +57,13 @@ type Options struct {
 // store, result cache, and HTTP API. Construct with New, mount Handler,
 // and call Shutdown to drain.
 type Server struct {
-	opts    Options
-	store   *Store
-	queue   *Queue
-	metrics *Metrics
-	pool    *pool
-	mux     *http.ServeMux
+	opts     Options
+	store    *Store
+	analyses *analysisStore
+	queue    *Queue
+	metrics  *Metrics
+	pool     *pool
+	mux      *http.ServeMux
 
 	// baseCtx parents every job execution; cancel is the hard-abort used
 	// when a graceful drain overruns its deadline.
@@ -91,10 +99,11 @@ func New(opts Options) *Server {
 		adm = p
 	}
 	s := &Server{
-		opts:    opts,
-		store:   NewStore(),
-		metrics: metrics,
-		queue:   newQueue(adm, opts.QueueCap),
+		opts:     opts,
+		store:    NewStore(opts.MaxJobs),
+		analyses: newAnalysisStore(opts.MaxAnalyses),
+		metrics:  metrics,
+		queue:    newQueue(adm, opts.QueueCap),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.pool = startPool(opts.Workers, s.queue, s.runJob)
@@ -103,6 +112,12 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
+	s.mux.HandleFunc("POST /v1/analysis", s.handleAnalyze)
+	s.mux.HandleFunc("GET /v1/analysis/{id}", s.handleAnalysisJSON)
+	s.mux.HandleFunc("GET /v1/analysis/{id}/report", s.handleAnalysisText)
+	s.mux.HandleFunc("GET /v1/analysis/{id}/snapshot", s.handleAnalysisSnapshot)
+	s.mux.HandleFunc("GET /v1/analysis/{id}/dashboard", s.handleAnalysisDashboard)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

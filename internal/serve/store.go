@@ -28,6 +28,11 @@ type Result struct {
 	Report    json.RawMessage
 	Telemetry json.RawMessage
 	Trace     json.RawMessage
+	// TraceEvents is the raw parbs.trace/v1 JSONL, kept when the spec set
+	// trace.events. Served at GET /v1/runs/{id}/trace and consumed by
+	// POST /v1/analysis {"run": id}; not embedded in the job view (it can
+	// be megabytes).
+	TraceEvents []byte
 }
 
 // Job is one accepted simulation run.
@@ -136,20 +141,36 @@ func (s Snapshot) Wait(now time.Time) time.Duration {
 	}
 }
 
-// Store owns the job table and the content-hash result cache.
+// Store owns the job table and the content-hash result cache. The job
+// table is bounded: past maxJobs records, admitting a new job evicts the
+// oldest terminal (done or failed) ones. Live jobs are never evicted — a
+// flood of long runs can push the table past the cap, which then shrinks
+// back as they finish. Eviction drops only the job record (its ID stops
+// resolving); the content-hash result cache is untouched, so an identical
+// resubmission still replays instantly.
 type Store struct {
-	mu    sync.Mutex
-	seq   int64
-	jobs  map[string]*Job
-	cache map[string]*Result
+	mu      sync.Mutex
+	seq     int64
+	maxJobs int
+	jobs    map[string]*Job
+	order   []string // admission order, oldest first; len == len(jobs)
+	cache   map[string]*Result
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{jobs: make(map[string]*Job), cache: make(map[string]*Result)}
+// DefaultMaxJobs bounds the job table when Options.MaxJobs is zero.
+const DefaultMaxJobs = 4096
+
+// NewStore returns an empty store retaining at most maxJobs job records
+// (0 selects DefaultMaxJobs, negative means unbounded).
+func NewStore(maxJobs int) *Store {
+	if maxJobs == 0 {
+		maxJobs = DefaultMaxJobs
+	}
+	return &Store{maxJobs: maxJobs, jobs: make(map[string]*Job), cache: make(map[string]*Result)}
 }
 
-// NewJob admits a job record in the queued state.
+// NewJob admits a job record in the queued state, evicting the oldest
+// terminal records if the table is past its cap.
 func (st *Store) NewJob(spec Spec, now time.Time) *Job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -167,7 +188,32 @@ func (st *Store) NewJob(spec Spec, now time.Time) *Job {
 		subs:        newBroadcaster(),
 	}
 	st.jobs[j.ID] = j
+	st.order = append(st.order, j.ID)
+	st.evictLocked()
 	return j
+}
+
+// evictLocked removes oldest-first terminal jobs until the table fits the
+// cap (or no terminal job remains). Caller holds st.mu.
+func (st *Store) evictLocked() {
+	if st.maxJobs < 0 || len(st.jobs) <= st.maxJobs {
+		return
+	}
+	kept := st.order[:0]
+	for i, id := range st.order {
+		if len(st.jobs) <= st.maxJobs {
+			kept = append(kept, st.order[i:]...)
+			break
+		}
+		j := st.jobs[id]
+		select {
+		case <-j.done: // terminal: evictable
+			delete(st.jobs, id)
+		default: // queued or running: keep
+			kept = append(kept, id)
+		}
+	}
+	st.order = kept
 }
 
 // Get returns the job with the given ID.

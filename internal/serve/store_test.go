@@ -98,7 +98,7 @@ func TestSpecCostScalesWithCyclesAndCores(t *testing.T) {
 }
 
 func TestStoreCacheRoundTrip(t *testing.T) {
-	st := NewStore()
+	st := NewStore(0)
 	now := time.Now()
 	j1 := st.NewJob(testSpec("a", 1), now)
 	j2 := st.NewJob(testSpec("a", 1), now)

@@ -81,7 +81,16 @@ type Audit struct {
 
 // Analysis is the analyzer's output.
 type Analysis struct {
-	Meta     Meta
+	Meta Meta
+	// Truncated reports that the log is an incomplete prefix of the run —
+	// the tracer's buffer filled (Dropped > 0) or the stream itself was cut.
+	// The numbers below then under-report the full run honestly: they cover
+	// exactly the recorded prefix, and the starvation audit's observed
+	// maxima are lower bounds.
+	Truncated bool
+	// Dropped is the event count the tracer discarded after its buffer
+	// filled (from the log header).
+	Dropped  int64
 	Requests int64
 	Threads  []ThreadForensics
 	// Batches counts batch formations; MaxBatchSpan and AvgBatchSpan
@@ -108,7 +117,7 @@ type reqState struct {
 // mark, and batch events sit at their true position), so batches-waited
 // counts are exact.
 func Analyze(log *Log) *Analysis {
-	a := &Analysis{Meta: log.Meta}
+	a := &Analysis{Meta: log.Meta, Dropped: log.Dropped, Truncated: log.Dropped > 0}
 	live := make(map[int64]*reqState)
 	perThread := make(map[int32]*ThreadForensics)
 	th := func(id int32) *ThreadForensics {
@@ -250,6 +259,9 @@ func (a *Analysis) WriteText(w io.Writer) error {
 	p("run: policy=%s workload=%s cores=%d banks=%d marking_cap=%d read_buf=%d\n",
 		a.Meta.Policy, a.Meta.Workload, a.Meta.Cores, a.Meta.Banks,
 		a.Meta.MarkingCap, a.Meta.ReadBufEntries)
+	if a.Truncated {
+		p("NOTE: log is truncated (%d events dropped at record time); figures cover the recorded prefix only\n", a.Dropped)
+	}
 	p("requests analyzed: %d completed reads; batches formed: %d", a.Requests, a.Batches)
 	if a.MaxBatchSpan > 0 {
 		p(" (avg span %.0f cycles, max %d)", a.AvgBatchSpan, a.MaxBatchSpan)

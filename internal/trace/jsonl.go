@@ -201,65 +201,13 @@ func ReadLog(r io.Reader) (*Log, error) {
 	lineNo := 1
 	for sc.Scan() {
 		lineNo++
-		raw := sc.Bytes()
-		var kind struct {
-			Kind string `json:"kind"`
-		}
-		if err := json.Unmarshal(raw, &kind); err != nil {
+		ev, perThread, err := parseEventLine(sc.Bytes())
+		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 		}
-		switch kind.Kind {
-		case "arrive":
-			var l arriveLine
-			if err := json.Unmarshal(raw, &l); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			log.Events = append(log.Events, Event{Kind: KindArrive, Cycle: l.Cycle,
-				Req: l.ID, Thread: l.Thread, Bank: l.Bank, Row: l.Row, Write: l.Write,
-				Channel: l.Channel})
-		case "mark":
-			var l markLine
-			if err := json.Unmarshal(raw, &l); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			log.Events = append(log.Events, Event{Kind: KindMark, Cycle: l.Cycle,
-				Req: l.ID, Thread: l.Thread, Row: l.Batch, Channel: l.Channel})
-		case "cmd":
-			var l cmdLine
-			if err := json.Unmarshal(raw, &l); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			cmd, ok := commandByName[l.Cmd]
-			if !ok {
-				return nil, fmt.Errorf("trace: line %d: unknown command %q", lineNo, l.Cmd)
-			}
-			log.Events = append(log.Events, Event{Kind: KindCommand, Cycle: l.Cycle,
-				Req: l.ID, Thread: l.Thread, Bank: l.Bank, Row: l.Row,
-				Rank: l.Rank, Cmd: uint8(cmd), Channel: l.Channel})
-		case "done":
-			var l doneLine
-			if err := json.Unmarshal(raw, &l); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			log.Events = append(log.Events, Event{Kind: KindComplete, Cycle: l.Cycle,
-				Req: l.ID, Thread: l.Thread, Row: l.Latency, Channel: l.Channel})
-		case "batch":
-			var l batchLine
-			if err := json.Unmarshal(raw, &l); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			log.Events = append(log.Events, Event{Kind: KindBatch, Cycle: l.Cycle,
-				Req: l.Batch, Row: l.Size, Rank: l.Clipped, Channel: l.Channel})
-			log.BatchPerThread = append(log.BatchPerThread, l.PerThread)
-		case "batch_end":
-			var l batchEndLine
-			if err := json.Unmarshal(raw, &l); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			log.Events = append(log.Events, Event{Kind: KindBatchEnd, Cycle: l.Cycle,
-				Req: l.Batch, Row: l.Duration, Channel: l.Channel})
-		default:
-			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kind.Kind)
+		log.Events = append(log.Events, ev)
+		if ev.Kind == KindBatch {
+			log.BatchPerThread = append(log.BatchPerThread, perThread)
 		}
 	}
 	if err := sc.Err(); err != nil {

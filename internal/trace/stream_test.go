@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// streamFixture records a tiny two-request run and renders it to JSONL.
+func streamFixture(t *testing.T) (*Log, string) {
+	t.Helper()
+	tr := NewTracer(Config{})
+	tr.Bind(Meta{Policy: "PAR-BS", Workload: "synthetic", Cores: 2, Banks: 2,
+		MarkingCap: 2, ReadBufEntries: 4, TotalDRAM: 1000})
+	tr.RequestArrived(1, 0, 0, 7, false, 0)
+	tr.RequestMarked(1, 0, 0, 10)
+	tr.BatchFormedDetail(0, 10, 1, []int{1, 0}, 0)
+	tr.CommandIssued(1, 0, dram.CmdActivate, 0, 7, 0, 20)
+	tr.RequestCompleted(1, 0, 50, 50)
+	tr.BatchDrained(0, 50, 40)
+	tr.RequestArrived(2, 1, 1, 9, false, 60)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Log()); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Log(), buf.String()
+}
+
+// TestScannerMatchesReadLog: streaming the fixture yields exactly the
+// events ReadLog materializes, including the per-thread batch shape.
+func TestScannerMatchesReadLog(t *testing.T) {
+	want, jsonl := streamFixture(t)
+	sc, err := NewScanner(strings.NewReader(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Meta() != want.Meta {
+		t.Errorf("Meta = %+v, want %+v", sc.Meta(), want.Meta)
+	}
+	if sc.HeaderEvents() != len(want.Events) || sc.Dropped() != 0 {
+		t.Errorf("header events=%d dropped=%d, want %d/0",
+			sc.HeaderEvents(), sc.Dropped(), len(want.Events))
+	}
+	var got []Event
+	var batchPT [][]int32
+	for {
+		ev, pt, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+		if ev.Kind == KindBatch {
+			batchPT = append(batchPT, append([]int32(nil), pt...))
+		}
+	}
+	if len(got) != len(want.Events) {
+		t.Fatalf("streamed %d events, want %d", len(got), len(want.Events))
+	}
+	for i := range got {
+		if got[i] != want.Events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want.Events[i])
+		}
+	}
+	if len(batchPT) != 1 || len(batchPT[0]) != 2 || batchPT[0][0] != 1 {
+		t.Errorf("batch per-thread = %v, want [[1 0]]", batchPT)
+	}
+}
+
+// TestScannerTruncatedMidLine: a log cut mid-line delivers every complete
+// prefix event and then ErrTruncated, never an error that hides the prefix.
+func TestScannerTruncatedMidLine(t *testing.T) {
+	_, jsonl := streamFixture(t)
+	lines := strings.SplitAfter(strings.TrimRight(jsonl, "\n"), "\n")
+	// Cut the final line in half (it is the second arrive).
+	last := lines[len(lines)-1]
+	cut := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+
+	sc, err := NewScanner(strings.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, _, err := sc.Next()
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("Next err = %v, want ErrTruncated", err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 6 { // 7 events minus the cut tail
+		t.Errorf("delivered %d prefix events, want 6", n)
+	}
+}
+
+// TestScannerGarbageMidStream: damage in the middle of the stream also
+// degrades to the parseable prefix plus ErrTruncated.
+func TestScannerGarbageMidStream(t *testing.T) {
+	_, jsonl := streamFixture(t)
+	lines := strings.SplitAfter(strings.TrimRight(jsonl, "\n"), "\n")
+	mangled := strings.Join(lines[:4], "") + "{\"kind\": \"arr\x00ve\", not json\n" + strings.Join(lines[4:], "")
+	sc, err := NewScanner(strings.NewReader(mangled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, _, err := sc.Next()
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("Next err = %v, want ErrTruncated", err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 3 { // 3 complete event lines precede the damage
+		t.Errorf("delivered %d prefix events, want 3", n)
+	}
+}
+
+// TestScannerRejectsBadHeader: header damage is fatal — nothing after it
+// can be trusted.
+func TestScannerRejectsBadHeader(t *testing.T) {
+	if _, err := NewScanner(strings.NewReader("")); err == nil {
+		t.Error("empty stream: want error")
+	}
+	if _, err := NewScanner(strings.NewReader("{\"schema\":\"parbs.trace/v0\",\"kind\":\"run\"}\n")); err == nil {
+		t.Error("wrong schema: want error")
+	}
+	if _, err := NewScanner(strings.NewReader("{not json\n")); err == nil {
+		t.Error("mangled header: want error")
+	}
+}
+
+// TestAnalyzeTruncatedLogFlagged: Dropped > 0 in the log must surface as
+// Analysis.Truncated with the partial figures intact, and the text report
+// must carry the caveat.
+func TestAnalyzeTruncatedLogFlagged(t *testing.T) {
+	log, _ := streamFixture(t)
+	log.Dropped = 123
+	a := Analyze(log)
+	if !a.Truncated || a.Dropped != 123 {
+		t.Fatalf("Truncated=%v Dropped=%d, want true/123", a.Truncated, a.Dropped)
+	}
+	if a.Requests != 1 {
+		t.Errorf("Requests = %d, want 1 (prefix still analyzed)", a.Requests)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "truncated") {
+		t.Errorf("text report lacks truncation caveat:\n%s", buf.String())
+	}
+}
+
+// TestSchemaFieldsMatchWire spot-checks the schema table against the wire
+// structs: every line kind is present and the Kind stringer agrees with
+// the discriminators the table documents.
+func TestSchemaFieldsMatchWire(t *testing.T) {
+	fields := SchemaFields()
+	kinds := map[string]bool{}
+	for _, f := range fields {
+		kinds[f.Line] = true
+	}
+	for _, k := range []Kind{KindArrive, KindMark, KindCommand, KindComplete, KindBatch, KindBatchEnd} {
+		if !kinds[k.String()] {
+			t.Errorf("schema table missing line kind %q", k)
+		}
+	}
+	if !kinds["run"] {
+		t.Error("schema table missing the run header")
+	}
+}

@@ -81,29 +81,31 @@ type Event struct {
 }
 
 // Meta describes the traced run; the sim layer fills it at Bind time and
-// it becomes the JSONL header line.
+// it becomes the JSONL header line. The JSON tags serve the analysis
+// layer's wire formats (parbs.analysis/v1 report and snapshot header) —
+// the JSONL header itself is runLine, which flattens these fields.
 type Meta struct {
 	// Policy and Workload name the scheduler and mix.
-	Policy   string
-	Workload string
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"`
 	// Cores and Banks give the system shape. Banks is per channel.
-	Cores int
-	Banks int
+	Cores int `json:"cores"`
+	Banks int `json:"banks"`
 	// Channels is the independent-channel count of a sharded run; 0 or 1
 	// means a single command stream (lock-step channels included).
-	Channels int
+	Channels int `json:"channels,omitempty"`
 	// CPUPerDRAM is the clock ratio (cycles here are DRAM cycles).
-	CPUPerDRAM int64
+	CPUPerDRAM int64 `json:"cpu_per_dram"`
 	// WarmupDRAM and TotalDRAM delimit the run in DRAM cycles; the
 	// measured window is [WarmupDRAM, TotalDRAM).
-	WarmupDRAM int64
-	TotalDRAM  int64
+	WarmupDRAM int64 `json:"warmup_dram"`
+	TotalDRAM  int64 `json:"total_dram"`
 	// MarkingCap is the scheduler's configured Marking-Cap; 0 means
 	// uncapped or a policy without batching.
-	MarkingCap int
+	MarkingCap int `json:"marking_cap"`
 	// ReadBufEntries is the controller's request-buffer capacity — together
 	// with MarkingCap it yields the paper's batch-wait bound (Section 4.3).
-	ReadBufEntries int
+	ReadBufEntries int `json:"read_buf"`
 }
 
 // Config sizes a Tracer. The zero value selects the defaults.

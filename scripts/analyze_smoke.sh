@@ -1,0 +1,60 @@
+#!/bin/sh
+# End-to-end smoke test for the trace-analytics pipeline: build parbs-sim
+# and parbs-trace, record the Section 4.3 memory-attack mix's lifecycle
+# event log under PAR-BS, ingest it through `parbs-trace report`, and
+# assert the bottleneck attribution gives the known answer — thread 0
+# (matlab, the stream attacker) carries the most queued-wait cycles,
+# because batching shifts the queueing delay onto the heaviest thread.
+# Also checks the JSON rendering agrees and that the written
+# parbs.analysis/v1 snapshot round-trips. Exits nonzero on any failure.
+#
+# Usage: scripts/analyze_smoke.sh
+#   ANALYZE_OUT=<dir>  keep the artifacts there (default: a temp dir,
+#                      deleted on exit) — CI uploads them.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+out="${ANALYZE_OUT:-$tmp}"
+mkdir -p "$out"
+
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/parbs-sim" ./cmd/parbs-sim
+go build -o "$tmp/parbs-trace" ./cmd/parbs-trace
+
+"$tmp/parbs-sim" -sched PAR-BS -mix matlab,omnetpp,hmmer,sjeng \
+	-cycles 300000 -trace-events "$out/attack.jsonl" >/dev/null
+
+"$tmp/parbs-trace" report -snapshot "$out/attack.snapshot.bin" \
+	"$out/attack.jsonl" >"$out/attack.report.txt"
+
+# The rank-1 attribution row must name t0 as the bottleneck thread.
+top_thread="$(awk '/^ +1 +b/ {print $4}' "$out/attack.report.txt")"
+[ "$top_thread" = "t0" ] || {
+	echo "analyze_smoke: expected t0 as the top bottleneck thread, got '$top_thread':" >&2
+	cat "$out/attack.report.txt" >&2
+	exit 1
+}
+
+# The JSON rendering must agree with the text tables.
+"$tmp/parbs-trace" report -json "$out/attack.jsonl" >"$out/attack.report.json"
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$out/attack.report.json" <<'PYEOF' || exit 1
+import json, sys
+r = json.load(open(sys.argv[1]))
+top = r["top_threads"][0]
+assert top["id"] == 0, f"top thread {top} is not thread 0"
+assert top["cycles"] > 0, "top thread has no wait cycles"
+assert r["requests"] > 0 and len(r["windows"]) > 0
+PYEOF
+fi
+
+# The snapshot must carry the versioned magic and re-analyze identically.
+head -c 17 "$out/attack.snapshot.bin" | grep -q 'parbs.analysis/v1' || {
+	echo "analyze_smoke: snapshot missing parbs.analysis/v1 magic" >&2
+	exit 1
+}
+
+echo "analyze_smoke: OK (t0 is the attributed bottleneck; artifacts in $out)"
