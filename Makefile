@@ -17,15 +17,16 @@ race:
 	$(GO) test -race ./...
 
 # Short re-measurement of the engine benchmark, failing on a >20%
-# DRAMcycles/s regression vs the floor checked in via BENCH_2.json, plus
+# DRAMcycles/s regression vs the floor checked in via BENCH_5.json, plus
 # one-iteration breakage checks of the PolicyDecision benchmarks and the
 # sequential/parallel Independent-channel engine.
 bench-smoke:
 	scripts/bench_smoke.sh
 
-# Full measurement; rewrites BENCH_2.json (lock-step engine) and
-# BENCH_3.json (sequential vs parallel sharded channels) with fresh numbers
-# (BENCH_1.json is a frozen artifact of the bank-index rewrite).
+# Full measurement; rewrites BENCH_5.json (scheduler fast path), BENCH_3.json
+# (sequential vs parallel sharded channels) and BENCH_4.json (idle-workload
+# clock extremes) with fresh numbers (BENCH_1.json and BENCH_2.json are
+# frozen artifacts of the bank-index rewrite and the next-event clock).
 bench:
 	scripts/bench.sh
 

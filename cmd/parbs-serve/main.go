@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +49,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "job records retained before oldest terminal ones are evicted (0 = default, negative = unbounded)")
 	maxAnalyses := flag.Int("max-analyses", 0, "trace analyses retained before oldest are evicted (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "graceful-shutdown drain budget before in-flight jobs are aborted")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	flag.Parse()
 
 	var adm serve.Admission
@@ -71,6 +73,23 @@ func main() {
 		MaxAnalyses:    *maxAnalyses,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: sv.Handler()}
+
+	// The profiler gets its own mux and listener so the debug endpoints are
+	// never reachable through the service address; bind it to localhost.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("parbs-serve: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("parbs-serve: pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	parbs "repro"
@@ -52,6 +54,8 @@ func main() {
 		channels  = flag.Int("channels", 0, "DRAM channels (0 scales with cores as in the paper: 1/2/4 for 4/8/16)")
 		chanMode  = flag.String("channel-mode", "", "channel organization: "+strings.Join(parbs.ChannelModeNames(), ", ")+" (default lockstep, the paper's ganged organization)")
 		par       = flag.Int("parallelism", 0, "worker goroutines for -channel-mode independent (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run (pprof format) to this file")
+		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile (pprof format) to this file")
 	)
 	flag.Parse()
 
@@ -129,6 +133,18 @@ func main() {
 	policy, err := sched.ByName(*schedName)
 	if err != nil {
 		fatal(err)
+	}
+	// Profiling covers the shared run plus the alone baselines computed for
+	// the slowdown columns — all the simulation work the invocation does.
+	// Inspect with `go tool pprof <binary|.> <file>`.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 	var res sim.Result
 	runAlone := sim.RunAlone
@@ -228,6 +244,31 @@ func main() {
 		if n := tracer.Dropped(); n > 0 {
 			fmt.Printf("trace: %d events dropped after the buffer filled; raise -trace-max-events\n", n)
 		}
+	}
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("\ncpu profile written to %s\n", *cpuProf)
+	}
+	if *memProf != "" {
+		writeHeapProfile(*memProf)
+		fmt.Printf("heap profile written to %s\n", *memProf)
+	}
+}
+
+// writeHeapProfile records an end-of-run heap snapshot; the GC beforehand
+// settles the live-object numbers so retained memory reads true.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

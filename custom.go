@@ -63,6 +63,13 @@ func NewCustomScheduler(p CustomPolicy) (Scheduler, error) {
 }
 
 // customAdapter lowers a CustomPolicy onto the internal policy interface.
+//
+// It deliberately does not implement memctrl.EpochedPolicy: a Less function
+// may read arbitrary closed-over state, so no within-bank order-stability
+// promise can be inferred for it. The controller therefore runs custom
+// policies without the per-bank candidate cache (DESIGN.md §16) — every
+// bank's class winners are recomputed on every evaluated cycle, which is
+// always correct, just slower than the built-in schedulers.
 type customAdapter struct {
 	p CustomPolicy
 }

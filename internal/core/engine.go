@@ -56,6 +56,11 @@ type Engine struct {
 	// batchIndex counts formed batches, starting at 1; a thread with
 	// priority X is marked only when batchIndex is a multiple of X.
 	batchIndex int64
+	// epoch versions the (marking, ranking) state for the controller's
+	// candidate cache; see OrderEpoch.
+	epoch uint64
+	// prio is the per-thread comparable priority, baked in OnAttach.
+	prio []int
 
 	// nextStaticMark is the next re-marking cycle for StaticBatching.
 	nextStaticMark int64
@@ -68,11 +73,9 @@ type Engine struct {
 	adaptiveCap  int
 	lastBatchLen int64
 
-	// arrivalBatch records the batch index current when each buffered
-	// request arrived; maxBatchWait tracks the most batches any request
-	// waited before being marked — the paper's starvation bound made
-	// observable.
-	arrivalBatch map[*memctrl.Request]int64
+	// maxBatchWait tracks the most batches any request waited before being
+	// marked — the paper's starvation bound made observable. Each request's
+	// arrival-time batch index lives in its Stamp scratch field.
 	maxBatchWait int64
 
 	// permScratch and sorter are reused across batches so ranking performs
@@ -135,9 +138,8 @@ func (s *rankSorter) Less(i, j int) bool {
 // is checked against the controller's thread count at attach time.
 func NewEngine(opts Options) *Engine {
 	return &Engine{
-		opts:         opts,
-		rng:          rand.New(rand.NewSource(opts.Seed)),
-		arrivalBatch: make(map[*memctrl.Request]int64),
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
 }
 
@@ -197,6 +199,10 @@ func (e *Engine) OnAttach(c *memctrl.Controller) {
 		panic(err)
 	}
 	e.rankOf = make([]int, e.threads)
+	e.prio = make([]int, e.threads)
+	for t := range e.prio {
+		e.prio[t] = comparablePriority(e.opts, t)
+	}
 	e.permScratch = make([]int, e.threads)
 	e.sorter = rankSorter{keys: make([]rankKey, e.threads), totalMax: e.opts.Rank == TotalMax}
 	e.markedInBatch = make([][]int, e.threads)
@@ -295,7 +301,7 @@ func (e *Engine) formBatch(now int64) {
 	}
 	capacity := e.currentCap()
 	clipped := 0
-	for _, r := range e.ctrl.ReadRequests() { // buffer order == oldest first
+	for r := e.ctrl.FirstRead(); r != nil; r = r.NextBuffered() { // buffer order == oldest first
 		if r.Marked {
 			// Only possible under StaticBatching: leftovers stay marked and
 			// consume their thread's slots in the new batch.
@@ -312,11 +318,8 @@ func (e *Engine) formBatch(now int64) {
 		r.Marked = true
 		e.markedInBatch[r.Thread][r.Loc.Bank]++
 		e.totalMarked++
-		if arrived, ok := e.arrivalBatch[r]; ok {
-			if waited := e.batchIndex - 1 - arrived; waited > e.maxBatchWait {
-				e.maxBatchWait = waited
-			}
-			delete(e.arrivalBatch, r)
+		if waited := e.batchIndex - 1 - r.Stamp; waited > e.maxBatchWait {
+			e.maxBatchWait = waited
 		}
 		if e.lifecycle != nil {
 			e.lifecycle.RequestMarked(r.ID, r.Thread, e.batchIndex, now)
@@ -337,7 +340,16 @@ func (e *Engine) formBatch(now int64) {
 		e.lifecycle.BatchFormedDetail(e.batchIndex, now, e.totalMarked, pt, clipped)
 	}
 	e.computeRanking()
+	// Marking and ranking both changed: retire all cached candidate orderings.
+	e.epoch++
 }
+
+// OrderEpoch implements memctrl.EpochedPolicy. Better reads the Marked bits
+// and the thread ranking, both rewritten only by formBatch (empty-slot
+// marking under ImmediateBatching touches only the request being enqueued,
+// whose bank the enqueue itself invalidates), so versioning batch
+// formations is sufficient for the controller's candidate cache.
+func (e *Engine) OrderEpoch() uint64 { return e.epoch }
 
 // threadMarkedThisBatch implements priority-based marking (Section 5):
 // priority-X threads participate in every Xth batch; opportunistic threads
@@ -406,7 +418,7 @@ func (e *Engine) computeRanking() {
 // OnEnqueue admits late-arriving requests into the current batch under
 // EmptySlotBatching (Section 4.4).
 func (e *Engine) OnEnqueue(r *memctrl.Request, now int64) {
-	e.arrivalBatch[r] = e.batchIndex
+	r.Stamp = e.batchIndex
 	if e.opts.Batch != EmptySlotBatching || e.totalMarked == 0 {
 		return
 	}
@@ -419,7 +431,6 @@ func (e *Engine) OnEnqueue(r *memctrl.Request, now int64) {
 	r.Marked = true
 	e.markedInBatch[r.Thread][r.Loc.Bank]++
 	e.totalMarked++
-	delete(e.arrivalBatch, r)
 	if e.lifecycle != nil {
 		e.lifecycle.RequestMarked(r.ID, r.Thread, e.batchIndex, now)
 	}
@@ -431,7 +442,6 @@ func (e *Engine) OnIssue(memctrl.Candidate, int64) {}
 // OnComplete decrements TotalMarkedRequests when a marked request is fully
 // serviced; the batch ends when the count reaches zero.
 func (e *Engine) OnComplete(r *memctrl.Request, now int64) {
-	delete(e.arrivalBatch, r)
 	if !r.Marked {
 		return
 	}
@@ -457,7 +467,7 @@ func (e *Engine) Better(a, b memctrl.Candidate) bool {
 	if a.Req.Marked != b.Req.Marked {
 		return a.Req.Marked
 	}
-	pa, pb := e.comparablePriority(a.Req.Thread), e.comparablePriority(b.Req.Thread)
+	pa, pb := e.prio[a.Req.Thread], e.prio[b.Req.Thread]
 	if pa != pb {
 		return pa < pb
 	}
@@ -473,9 +483,11 @@ func (e *Engine) Better(a, b memctrl.Candidate) bool {
 }
 
 // comparablePriority maps a thread's priority level to a sortable value with
-// opportunistic threads last.
-func (e *Engine) comparablePriority(thread int) int {
-	p := e.opts.priorityOf(thread)
+// opportunistic threads last. Priorities are fixed at construction, so
+// OnAttach bakes the mapping into e.prio and the comparison hot path never
+// touches (or copies) Options again.
+func comparablePriority(opts Options, thread int) int {
+	p := opts.priorityOf(thread)
 	if p == OpportunisticPriority {
 		return math.MaxInt
 	}

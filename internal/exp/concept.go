@@ -43,11 +43,11 @@ type scriptedPort struct {
 	n      int
 }
 
-func (p *scriptedPort) IssueRead(thread int, addr int64) (*memctrl.Request, bool) {
-	r := &memctrl.Request{ID: int64(p.n), Thread: thread, Addr: addr}
+func (p *scriptedPort) IssueRead(thread int, addr int64, tag int) bool {
+	r := &memctrl.Request{ID: int64(p.n), Thread: thread, Addr: addr, Tag: tag}
 	p.core.Complete(r, p.delays[p.n])
 	p.n++
-	return r, true
+	return true
 }
 
 func (p *scriptedPort) IssueWrite(int, int64) bool { return true }

@@ -32,6 +32,14 @@ type Config struct {
 	// The two paths must produce byte-identical command streams; the
 	// equivalence tests in internal/sim pin that. Reference only — slow.
 	ReferenceScan bool
+	// DisableCandidateCache keeps the bank-indexed fast path but rebuilds
+	// every bank's candidate entry on every scan instead of reusing cached
+	// class winners (see candcache.go). The command stream is byte-identical
+	// either way — pinned by the differential fuzz suites — so the knob
+	// exists for the cache-on/off differential arm and as an escape hatch,
+	// not for correctness. Policies without an OrderEpoch (custom
+	// schedulers) run as if it were set.
+	DisableCandidateCache bool
 	// Channel identifies this controller's channel in a sharded
 	// multi-channel system; it is stamped onto CommandEvents and trace
 	// events so merged per-channel streams stay attributable. 0 for
@@ -160,14 +168,32 @@ type Controller struct {
 	dev    *dram.Device
 	policy Policy
 
-	reads  []*Request
-	writes []*Request
+	// reads and writes hold the buffered requests in arrival order, as
+	// intrusive doubly-linked lists (reqlist.go) so removal at CAS issue is
+	// O(1) pointer surgery instead of a slice tail shift.
+	reads  reqList
+	writes reqList
 	// bankReads and bankWrites index the buffered requests by bank, each
-	// queue in arrival order. They let the scheduler visit only banks that
-	// can legally accept a command (see bestCandidate) and are kept in
-	// sync with reads/writes on enqueue and CAS issue.
-	bankReads  [][]*Request
-	bankWrites [][]*Request
+	// queue in arrival order on the requests' bank links. They let the
+	// scheduler visit only banks that can legally accept a command (see
+	// bestCandidate) and are kept in sync with reads/writes on enqueue and
+	// CAS issue.
+	bankReads  []reqList
+	bankWrites []reqList
+	// readCache and writeCache are the per-bank best-candidate caches over
+	// the corresponding queues (candcache.go). cacheReads reports whether
+	// the read cache may be reused across scans — the policy must publish an
+	// order epoch for that; the write order (writeBetter) is static, so the
+	// write cache only needs Config.DisableCandidateCache to be off.
+	readCache  []bankCand
+	writeCache []bankCand
+	cacheReads bool
+	// epoched and elig are the attached policy's optional views, resolved
+	// once at construction so the hot scan performs no type assertions.
+	epoched EpochedPolicy
+	elig    EligibilityPolicy
+	// freeReqs heads the retired-Request freelist newRequest recycles from.
+	freeReqs *Request
 	// inflight holds CAS-issued requests ordered by completion time (data
 	// bus bursts complete in issue order, so a FIFO ring suffices).
 	inflight inflightRing
@@ -186,8 +212,10 @@ type Controller struct {
 	// only to stamp rank-at-issue onto trace events.
 	ranked RankedPolicy
 	// nextRefresh is the next due all-bank refresh when the device's
-	// TREFI is non-zero.
+	// TREFI is non-zero; trefi caches that interval so the per-cycle check
+	// does not copy the device's whole Timing struct.
 	nextRefresh int64
+	trefi       int64
 
 	// Table 1 registers: per-thread-per-bank and per-thread outstanding
 	// read request counts (ReqsInBankPerThread, ReqsPerThread).
@@ -199,6 +227,15 @@ type Controller struct {
 	// a core, so the paper's bank-level parallelism is about demand misses).
 	inServiceBank [][]int
 	banksBusy     []int
+
+	// blpPending counts evaluated (or skipped — see AccountIdleSpan) cycles
+	// whose BLP accounting has not yet been folded into threadStats. The
+	// per-cycle accrual the ticked loop used to perform is deferred until a
+	// busy-bank count is about to change (retire, first service of a read)
+	// or the stats are read, then applied in closed form: banksBusy is
+	// constant over the pending span by construction, so the deferred sum
+	// equals the per-cycle one bit for bit.
+	blpPending int64
 
 	threadStats []ThreadStats
 	cmdsIssued  int64
@@ -228,8 +265,12 @@ func NewController(dev *dram.Device, policy Policy, cfg Config) (*Controller, er
 		cfg:              cfg,
 		dev:              dev,
 		policy:           policy,
-		bankReads:        make([][]*Request, banks),
-		bankWrites:       make([][]*Request, banks),
+		reads:            reqList{kind: linkBuf},
+		writes:           reqList{kind: linkBuf},
+		bankReads:        make([]reqList, banks),
+		bankWrites:       make([]reqList, banks),
+		readCache:        make([]bankCand, banks),
+		writeCache:       make([]bankCand, banks),
 		inflight:         newInflightRing(cfg.ReadBufEntries + cfg.WriteBufEntries),
 		perThreadPerBank: make([][]int, cfg.Threads),
 		perThread:        make([]int, cfg.Threads),
@@ -237,15 +278,23 @@ func NewController(dev *dram.Device, policy Policy, cfg Config) (*Controller, er
 		banksBusy:        make([]int, cfg.Threads),
 		threadStats:      make([]ThreadStats, cfg.Threads),
 	}
+	for b := range c.bankReads {
+		c.bankReads[b] = reqList{kind: linkBank}
+		c.bankWrites[b] = reqList{kind: linkBank}
+	}
 	for i := range c.perThreadPerBank {
 		c.perThreadPerBank[i] = make([]int, banks)
 		c.inServiceBank[i] = make([]int, banks)
 	}
+	c.epoched, _ = policy.(EpochedPolicy)
+	c.elig, _ = policy.(EligibilityPolicy)
+	c.cacheReads = c.epoched != nil && !cfg.DisableCandidateCache
 	if c.cfg.IDStride == 0 {
 		c.cfg.IDStride = 1
 	}
 	c.nextID = c.cfg.IDBase
-	c.nextRefresh = dev.Timing().TREFI
+	c.trefi = dev.Timing().TREFI
+	c.nextRefresh = c.trefi
 	policy.OnAttach(c)
 	return c, nil
 }
@@ -308,9 +357,15 @@ func (c *Controller) SetTracer(t *trace.Tracer) {
 	c.ranked, _ = c.policy.(RankedPolicy)
 }
 
-// ReadRequests returns the live read request buffer. Policies may reorder
-// their own bookkeeping from it but must not mutate the slice.
-func (c *Controller) ReadRequests() []*Request { return c.reads }
+// FirstRead returns the oldest buffered read request, or nil when the read
+// buffer is empty. Policies iterate the buffer in arrival order via
+// Request.NextBuffered; they must not unlink or reorder requests.
+func (c *Controller) FirstRead() *Request { return c.reads.head }
+
+// FirstReadInBank returns the oldest buffered read targeting the bank, or
+// nil. Bank queues are in arrival order, so this is the bank's oldest
+// request — the O(1) form of "does an older request wait on this bank".
+func (c *Controller) FirstReadInBank(bank int) *Request { return c.bankReads[bank].head }
 
 // ReadsPerThread returns the thread's outstanding read count
 // (Table 1 ReqsPerThread).
@@ -323,20 +378,27 @@ func (c *Controller) ReadsInBank(thread, bank int) int {
 }
 
 // PendingReads returns the total number of buffered reads.
-func (c *Controller) PendingReads() int { return len(c.reads) }
+func (c *Controller) PendingReads() int { return c.reads.n }
 
 // PendingWrites returns the write-buffer occupancy.
-func (c *Controller) PendingWrites() int { return len(c.writes) }
+func (c *Controller) PendingWrites() int { return c.writes.n }
 
-// ThreadStats returns a copy of the accumulated stats for thread.
-func (c *Controller) ThreadStats(thread int) ThreadStats { return c.threadStats[thread] }
+// ThreadStats returns a copy of the accumulated stats for thread. Deferred
+// BLP accounting is folded in first, so the copy is exact as of the last
+// Tick or AccountIdleSpan.
+func (c *Controller) ThreadStats(thread int) ThreadStats {
+	c.flushBLP()
+	return c.threadStats[thread]
+}
 
 // ResetStats zeroes all per-thread service statistics and the device
 // counters, e.g. after warmup. Buffer contents and policy state persist.
+// Pending BLP cycles belong to the discarded window and are dropped with it.
 func (c *Controller) ResetStats() {
 	for i := range c.threadStats {
 		c.threadStats[i] = ThreadStats{}
 	}
+	c.blpPending = 0
 	c.cmdsIssued = 0
 	c.dev.ResetStats()
 }
@@ -353,14 +415,14 @@ func (c *Controller) Enqueues() int64 { return c.enqueues }
 // EnqueueRead inserts a read request. It returns the request and true, or
 // nil and false when the request buffer is full (the core must retry).
 func (c *Controller) EnqueueRead(thread int, addr int64, now int64) (*Request, bool) {
-	if len(c.reads) >= c.cfg.ReadBufEntries {
+	if c.reads.n >= c.cfg.ReadBufEntries {
 		return nil, false
 	}
 	r := c.newRequest(thread, addr, now, false)
 	c.idleUntil = 0
 	c.enqueues++
-	c.reads = append(c.reads, r)
-	c.bankReads[r.Loc.Bank] = append(c.bankReads[r.Loc.Bank], r)
+	c.reads.pushBack(r)
+	c.bankReads[r.Loc.Bank].pushBack(r)
 	c.perThread[thread]++
 	c.perThreadPerBank[thread][r.Loc.Bank]++
 	// Arrival is traced before the policy sees the request: empty-slot
@@ -370,20 +432,24 @@ func (c *Controller) EnqueueRead(thread int, addr int64, now int64) (*Request, b
 		c.tracer.RequestArrived(r.ID, thread, r.Loc.Bank, r.Loc.Row, false, now)
 	}
 	c.policy.OnEnqueue(r, now)
+	// After OnEnqueue: the insert comparison must see the policy's
+	// per-request stamps (NFQ deadline, empty-slot mark).
+	c.cacheInsert(c.readCache, r, false)
 	return r, true
 }
 
 // EnqueueWrite inserts a writeback. It returns false when the write buffer
 // is full.
 func (c *Controller) EnqueueWrite(thread int, addr int64, now int64) bool {
-	if len(c.writes) >= c.cfg.WriteBufEntries {
+	if c.writes.n >= c.cfg.WriteBufEntries {
 		return false
 	}
 	r := c.newRequest(thread, addr, now, true)
 	c.idleUntil = 0
 	c.enqueues++
-	c.writes = append(c.writes, r)
-	c.bankWrites[r.Loc.Bank] = append(c.bankWrites[r.Loc.Bank], r)
+	c.writes.pushBack(r)
+	c.bankWrites[r.Loc.Bank].pushBack(r)
+	c.cacheInsert(c.writeCache, r, true)
 	if c.tracer != nil {
 		c.tracer.RequestArrived(r.ID, thread, r.Loc.Bank, r.Loc.Row, true, now)
 	}
@@ -394,7 +460,13 @@ func (c *Controller) newRequest(thread int, addr, now int64, isWrite bool) *Requ
 	if thread < 0 || thread >= c.cfg.Threads {
 		panic(fmt.Sprintf("memctrl: thread %d out of range [0,%d)", thread, c.cfg.Threads))
 	}
-	r := &Request{
+	r := c.freeReqs
+	if r != nil {
+		c.freeReqs = r.links[linkBuf].next
+	} else {
+		r = new(Request)
+	}
+	*r = Request{
 		ID:       c.nextID,
 		Thread:   thread,
 		Addr:     addr,
@@ -407,13 +479,28 @@ func (c *Controller) newRequest(thread int, addr, now int64, isWrite bool) *Requ
 	return r
 }
 
+// freeRequest returns a fully-retired request to the allocation freelist,
+// chained through its buffer-link slot. Safe at retire time: by then the
+// request is off every queue and cache, and no layer keeps the pointer past
+// the completion callbacks — the cores resolve their window slot inside
+// Complete (reading only Tag) and the multi-channel drain reads fields
+// strictly before the next enqueue could pop the entry again.
+func (c *Controller) freeRequest(r *Request) {
+	r.links[linkBuf].next = c.freeReqs
+	c.freeReqs = r
+}
+
 // Tick advances the controller by one DRAM cycle: it retires finished
 // bursts, lets the policy update its state, and issues at most one ready
 // command chosen by the policy (reads) or FR-FCFS (writes).
 func (c *Controller) Tick(now int64) {
 	c.retire(now)
 	c.policy.OnCycle(now)
-	c.accountBLP()
+	// Defer this cycle's BLP accrual (see blpPending). Retires above already
+	// flushed older cycles before changing any busy-bank count, so cycle
+	// `now` is pending with its post-retire counts — exactly what the old
+	// per-cycle accountBLP observed at this point.
+	c.blpPending++
 
 	// Global early-out: with the command bus busy this cycle, no command
 	// of any kind can issue, so skip all candidate enumeration.
@@ -424,7 +511,7 @@ func (c *Controller) Tick(now int64) {
 	// All-bank refresh takes absolute priority once due: close the open
 	// banks, issue REF, and only then resume request scheduling. Modeled
 	// but disabled by default (Timing.TREFI == 0); see DESIGN.md.
-	if trefi := c.dev.Timing().TREFI; trefi > 0 && now >= c.nextRefresh {
+	if trefi := c.trefi; trefi > 0 && now >= c.nextRefresh {
 		if c.refreshStep(now, trefi) {
 			return
 		}
@@ -440,9 +527,9 @@ func (c *Controller) Tick(now int64) {
 	}
 
 	// Write-drain hysteresis.
-	if len(c.writes) >= c.cfg.WriteDrainHigh {
+	if c.writes.n >= c.cfg.WriteDrainHigh {
 		c.draining = true
-	} else if len(c.writes) <= c.cfg.WriteDrainLow {
+	} else if c.writes.n <= c.cfg.WriteDrainLow {
 		c.draining = false
 	}
 
@@ -517,10 +604,14 @@ func (c *Controller) retire(now int64) {
 		st := &c.threadStats[r.Thread]
 		if r.IsWrite {
 			st.WritesCompleted++
+			c.freeRequest(r)
 			continue
 		}
 		c.inServiceBank[r.Thread][r.Loc.Bank]--
 		if c.inServiceBank[r.Thread][r.Loc.Bank] == 0 {
+			// The busy-bank count is about to drop: settle all pending BLP
+			// cycles (over which it was constant) before the transition.
+			c.flushBLP()
 			c.banksBusy[r.Thread]--
 		}
 		lat := e.end - r.Arrival
@@ -539,14 +630,24 @@ func (c *Controller) retire(now int64) {
 		if c.onComplete != nil {
 			c.onComplete(r, e.end)
 		}
+		c.freeRequest(r)
 	}
 }
 
-func (c *Controller) accountBLP() {
+// flushBLP folds the pending BLP cycles into threadStats in closed form.
+// Callers guarantee every busy-bank count was constant over the pending
+// span (retire and first-service flush before transitioning), so crediting
+// `count × pending` equals the retired per-cycle accrual bit for bit.
+func (c *Controller) flushBLP() {
+	p := c.blpPending
+	if p == 0 {
+		return
+	}
+	c.blpPending = 0
 	for t := range c.banksBusy {
 		if n := c.banksBusy[t]; n > 0 {
-			c.threadStats[t].blpSum += int64(n)
-			c.threadStats[t].blpCycles++
+			c.threadStats[t].blpSum += int64(n) * p
+			c.threadStats[t].blpCycles += p
 		}
 	}
 }
@@ -573,141 +674,7 @@ func (c *Controller) bestReadCandidate(now int64) (Candidate, bool, int64) {
 		// per-cycle oracle for the equivalence tests.
 		return best, ok, now
 	}
-	return c.bestCandidate(c.bankReads, now, false)
-}
-
-// bestCandidate is the bank-indexed scheduling fast path: it visits only
-// banks with buffered work that have passed their readiness bound, performs
-// one legality check per (bank, command class) instead of one per request,
-// and lets the ordering function pick among the surviving candidates.
-//
-// Every registered policy's Better is a strict total order (all tie-break on
-// the unique request ID), so the winner is independent of enumeration order
-// and the fast path selects exactly what the flat scan would — pinned by the
-// command-stream equivalence tests in internal/sim.
-//
-// The third result is a byproduct of the failure paths: a lower bound on the
-// next cycle at which any command for this queue set could become legal.
-// Before that cycle a re-scan is guaranteed to find nothing, provided no
-// request is enqueued and no command issues in between (both invalidate the
-// idle cache). The bound is conservative: whenever a bank's failure reason
-// cannot be bounded from timing alone (e.g. every legal-class request was
-// skipped by an eligibility filter), the bank contributes `now`, disabling
-// skipping. Eligibility is otherwise ignored, which is safe because
-// eligibility can only remove candidates — it never makes an illegal command
-// legal earlier.
-func (c *Controller) bestCandidate(queues [][]*Request, now int64, isWrite bool) (Candidate, bool, int64) {
-	var best Candidate
-	found := false
-	bound := int64(math.MaxInt64)
-	var elig EligibilityPolicy
-	hasElig := false
-	if !isWrite {
-		elig, hasElig = c.policy.(EligibilityPolicy)
-	}
-	cas := dram.CmdRead
-	if isWrite {
-		cas = dram.CmdWrite
-	}
-	for b := range queues {
-		queue := queues[b]
-		if len(queue) == 0 {
-			continue
-		}
-		if br := c.dev.BankReadyAt(b); now < br {
-			if br < bound {
-				bound = br
-			}
-			continue
-		}
-		openRow, tAct, tCAS, tPre := c.dev.ScanBank(b, isWrite)
-		if openRow < 0 {
-			// Closed bank: every request needs an activate, whose legality
-			// is row-independent — one check covers the whole queue.
-			if now < tAct {
-				if tAct < bound {
-					bound = tAct
-				}
-				continue
-			}
-			had := false
-			for _, r := range queue {
-				if hasElig && !elig.Eligible(r) {
-					continue
-				}
-				had = true
-				cand := Candidate{Req: r, Cmd: dram.CmdActivate, RowState: dram.RowClosed}
-				if !found || c.better(cand, best, isWrite) {
-					best, found = cand, true
-				}
-			}
-			if !had {
-				bound = now // all eligibility-filtered; no timing bound
-			}
-			continue
-		}
-		// Open bank: requests to the open row need a CAS, the rest need a
-		// precharge; each class's legality is again a single check.
-		canCAS := now >= tCAS
-		canPre := now >= tPre
-		if !canCAS && !canPre {
-			t := tCAS
-			if tPre < t {
-				t = tPre
-			}
-			if t < bound {
-				bound = t
-			}
-			continue
-		}
-		had := false
-		filtered := false
-		sawHit, sawConflict := false, false
-		for _, r := range queue {
-			if hasElig && !elig.Eligible(r) {
-				filtered = true
-				continue
-			}
-			var cand Candidate
-			if r.Loc.Row == openRow {
-				if !canCAS {
-					sawHit = true
-					continue
-				}
-				cand = Candidate{Req: r, Cmd: cas, RowState: dram.RowHit}
-			} else {
-				if !canPre {
-					sawConflict = true
-					continue
-				}
-				cand = Candidate{Req: r, Cmd: dram.CmdPrecharge, RowState: dram.RowConflict}
-			}
-			had = true
-			if !found || c.better(cand, best, isWrite) {
-				best, found = cand, true
-			}
-		}
-		if !had {
-			// No candidate despite a legal class: the blocked class's own
-			// readiness bounds the bank. Any eligibility-filtered request
-			// bounds to now — it may become eligible while its class is
-			// already legal.
-			t := now
-			if !filtered && (sawHit || sawConflict) {
-				t = int64(math.MaxInt64)
-				if sawHit && tCAS < t {
-					t = tCAS
-				}
-				if sawConflict && tPre < t {
-					t = tPre
-				}
-			}
-			if t < bound {
-				bound = t
-			}
-		}
-	}
-	return best, found, bound
+	return c.bestCandidate(c.bankReads, c.readCache, c.cacheReads, now, false)
 }
 
 // better orders candidates: the attached policy for reads, FR-FCFS for
@@ -725,7 +692,7 @@ func (c *Controller) bestReadCandidateScan(now int64) (Candidate, bool) {
 	var best Candidate
 	found := false
 	elig, hasElig := c.policy.(EligibilityPolicy)
-	for _, r := range c.reads {
+	for r := c.reads.head; r != nil; r = r.NextBuffered() {
 		if hasElig && !elig.Eligible(r) {
 			continue
 		}
@@ -755,7 +722,7 @@ func (c *Controller) candidateFor(r *Request, now int64) (Candidate, bool) {
 // bound on the next cycle a write-side command could become legal (an empty
 // buffer bounds to "never" — enqueues invalidate the idle cache).
 func (c *Controller) issueWrite(now int64) (bool, int64) {
-	if len(c.writes) == 0 {
+	if c.writes.n == 0 {
 		return false, int64(math.MaxInt64)
 	}
 	var best Candidate
@@ -764,7 +731,9 @@ func (c *Controller) issueWrite(now int64) (bool, int64) {
 	if c.cfg.ReferenceScan {
 		best, found = c.issueWriteScan(now)
 	} else {
-		best, found, bound = c.bestCandidate(c.bankWrites, now, true)
+		// The write order (writeBetter) is time-invariant, so the write
+		// cache needs no policy epoch — only the cache-off knob disables it.
+		best, found, bound = c.bestCandidate(c.bankWrites, c.writeCache, !c.cfg.DisableCandidateCache, now, true)
 	}
 	if !found {
 		return false, bound
@@ -777,7 +746,7 @@ func (c *Controller) issueWrite(now int64) (bool, int64) {
 func (c *Controller) issueWriteScan(now int64) (Candidate, bool) {
 	var best Candidate
 	found := false
-	for _, r := range c.writes {
+	for r := c.writes.head; r != nil; r = r.NextBuffered() {
 		cand, ok := c.candidateFor(r, now)
 		if !ok {
 			continue
@@ -822,6 +791,11 @@ func (c *Controller) issue(cand Candidate, now int64) {
 		r.firstCmd = now
 		if !r.IsWrite {
 			if c.inServiceBank[r.Thread][r.Loc.Bank] == 0 {
+				// First service raises the busy-bank count: settle pending
+				// BLP cycles first. The pending span already includes cycle
+				// `now` with its pre-issue count, matching the old per-cycle
+				// accrual that ran before scheduling.
+				c.flushBLP()
 				c.banksBusy[r.Thread]++
 			}
 			c.inServiceBank[r.Thread][r.Loc.Bank]++
@@ -858,12 +832,14 @@ func (c *Controller) rowWanted(req *Request) bool {
 	if c.cfg.ReferenceScan {
 		return c.rowWantedScan(req)
 	}
-	for _, r := range c.bankReads[req.Loc.Bank] {
+	rq := &c.bankReads[req.Loc.Bank]
+	for r := rq.head; r != nil; r = rq.next(r) {
 		if r != req && r.Loc.Row == req.Loc.Row {
 			return true
 		}
 	}
-	for _, r := range c.bankWrites[req.Loc.Bank] {
+	wq := &c.bankWrites[req.Loc.Bank]
+	for r := wq.head; r != nil; r = wq.next(r) {
 		if r != req && r.Loc.Row == req.Loc.Row {
 			return true
 		}
@@ -873,12 +849,12 @@ func (c *Controller) rowWanted(req *Request) bool {
 
 // rowWantedScan is the pre-index O(buffer) reference implementation.
 func (c *Controller) rowWantedScan(req *Request) bool {
-	for _, r := range c.reads {
+	for r := c.reads.head; r != nil; r = r.NextBuffered() {
 		if r != req && r.Loc.Bank == req.Loc.Bank && r.Loc.Row == req.Loc.Row {
 			return true
 		}
 	}
-	for _, r := range c.writes {
+	for r := c.writes.head; r != nil; r = r.NextBuffered() {
 		if r != req && r.Loc.Bank == req.Loc.Bank && r.Loc.Row == req.Loc.Row {
 			return true
 		}
@@ -886,25 +862,21 @@ func (c *Controller) rowWantedScan(req *Request) bool {
 	return false
 }
 
+// removeBuffered unlinks a CAS-issued request from its buffer and bank
+// queue — O(1) pointer surgery on the intrusive lists — and updates the
+// bank's candidate entry (invalidated only when a cached winner departs).
 func (c *Controller) removeBuffered(r *Request) {
 	if r.IsWrite {
-		c.writes = removeReq(c.writes, r)
-		c.bankWrites[r.Loc.Bank] = removeReq(c.bankWrites[r.Loc.Bank], r)
+		c.writes.remove(r)
+		c.bankWrites[r.Loc.Bank].remove(r)
+		c.writeCache[r.Loc.Bank].cacheRemove(r)
 		return
 	}
-	c.reads = removeReq(c.reads, r)
-	c.bankReads[r.Loc.Bank] = removeReq(c.bankReads[r.Loc.Bank], r)
+	c.reads.remove(r)
+	c.bankReads[r.Loc.Bank].remove(r)
+	c.readCache[r.Loc.Bank].cacheRemove(r)
 	c.perThread[r.Thread]--
 	c.perThreadPerBank[r.Thread][r.Loc.Bank]--
-}
-
-func removeReq(s []*Request, r *Request) []*Request {
-	for i, x := range s {
-		if x == r {
-			return append(s[:i], s[i+1:]...)
-		}
-	}
-	panic("memctrl: request not found in buffer")
 }
 
 // logCmd forwards an issued command to the registered log hook.

@@ -45,7 +45,7 @@ func (c *Controller) NextEventAt(now int64) int64 {
 	if !ok {
 		return now + 1 // policy needs per-cycle OnCycle calls
 	}
-	if trefi := c.dev.Timing().TREFI; trefi > 0 {
+	if trefi := c.trefi; trefi > 0 {
 		if now >= c.nextRefresh {
 			return now + 1 // mid refresh sequence: tick through it
 		}
@@ -56,7 +56,7 @@ func (c *Controller) NextEventAt(now int64) int64 {
 		}
 	}
 	next := ne.NextPolicyEventAt(now)
-	if trefi := c.dev.Timing().TREFI; trefi > 0 && c.nextRefresh < next {
+	if trefi := c.trefi; trefi > 0 && c.nextRefresh < next {
 		next = c.nextRefresh
 	}
 	if c.inflight.len() > 0 {
@@ -89,7 +89,8 @@ func (c *Controller) NextEventAt(now int64) int64 {
 func (c *Controller) nextIssueAt() int64 {
 	next := int64(math.MaxInt64)
 	for b := range c.bankReads {
-		nr, nw := len(c.bankReads[b]), len(c.bankWrites[b])
+		rq, wq := &c.bankReads[b], &c.bankWrites[b]
+		nr, nw := rq.n, wq.n
 		if nr == 0 && nw == 0 {
 			continue
 		}
@@ -103,7 +104,7 @@ func (c *Controller) nextIssueAt() int64 {
 			continue
 		}
 		anyHit, anyMiss := false, false
-		for _, r := range c.bankReads[b] {
+		for r := rq.head; r != nil; r = rq.next(r) {
 			if r.Loc.Row == openRow {
 				anyHit = true
 			} else {
@@ -114,7 +115,7 @@ func (c *Controller) nextIssueAt() int64 {
 			}
 		}
 		if !(anyHit && anyMiss) {
-			for _, r := range c.bankWrites[b] {
+			for r := wq.head; r != nil; r = wq.next(r) {
 				if r.Loc.Row == openRow {
 					anyHit = true
 				} else {
@@ -148,19 +149,14 @@ func (c *Controller) nextIssueAt() int64 {
 }
 
 // AccountIdleSpan applies the per-cycle accounting Tick would have performed
-// over a span of `cycles` idle cycles the clock is about to skip: the BLP
-// accumulators advance in closed form. Valid only for spans in which no
-// command issues and no burst retires — then banksBusy is constant, so the
-// closed form equals the per-cycle sum exactly (the differential equivalence
-// tests in internal/sim pin this).
+// over a span of `cycles` idle cycles the clock is about to skip: the cycles
+// join the deferred BLP span (see blpPending). Valid only for spans in which
+// no command issues and no burst retires — then banksBusy is constant, so
+// the eventual closed-form flush equals the per-cycle sum exactly (the
+// differential equivalence tests in internal/sim pin this).
 func (c *Controller) AccountIdleSpan(cycles int64) {
 	if cycles <= 0 {
 		return
 	}
-	for t := range c.banksBusy {
-		if n := c.banksBusy[t]; n > 0 {
-			c.threadStats[t].blpSum += int64(n) * cycles
-			c.threadStats[t].blpCycles += cycles
-		}
-	}
+	c.blpPending += cycles
 }

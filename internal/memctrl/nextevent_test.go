@@ -114,7 +114,10 @@ func TestAccountIdleSpanMatchesPerCycle(t *testing.T) {
 	perCycle, closed := build(), build()
 	const span = 37
 	for i := 0; i < span; i++ {
-		perCycle.accountBLP()
+		// One deferred cycle at a time, settled immediately: the per-cycle
+		// accounting the ticked loop used to perform inline.
+		perCycle.blpPending++
+		perCycle.flushBLP()
 	}
 	closed.AccountIdleSpan(span)
 	for th := 0; th < 3; th++ {

@@ -1,0 +1,74 @@
+package memctrl
+
+// Intrusive doubly-linked request lists. The controller keeps every buffered
+// request on two lists at once — the buffer-order list (all reads, or all
+// writes, oldest first) and its bank's queue — so ordered removal at CAS
+// issue is O(1) pointer surgery instead of the slice copy() tail shift the
+// previous representation paid (and, with it, the bulk write barriers the
+// Go runtime emits for pointer-slice copies).
+//
+// The links live inside the Request itself (Request.links), indexed by list
+// kind, so membership needs no per-node allocation and no auxiliary maps.
+// A request is on at most one buffer list and one bank list at a time
+// (reads and writes never share a list), which is why two link sets
+// suffice.
+
+// List kinds, indexing Request.links.
+const (
+	// linkBuf threads the whole read buffer (or the whole write buffer) in
+	// arrival order.
+	linkBuf = 0
+	// linkBank threads one bank's queue in arrival order.
+	linkBank = 1
+)
+
+// reqLinks is one list membership: the neighbors on that list.
+type reqLinks struct {
+	next, prev *Request
+}
+
+// reqList is an intrusive doubly-linked list of requests in arrival order.
+// kind selects which of the Request's link sets this list threads.
+type reqList struct {
+	kind       int
+	head, tail *Request
+	n          int
+}
+
+// pushBack appends r, preserving arrival order (callers only ever append
+// newly-enqueued requests).
+func (l *reqList) pushBack(r *Request) {
+	k := l.kind
+	r.links[k].prev = l.tail
+	r.links[k].next = nil
+	if l.tail != nil {
+		l.tail.links[k].next = r
+	} else {
+		l.head = r
+	}
+	l.tail = r
+	l.n++
+}
+
+// remove unlinks r in O(1). r must be on the list; the cleared links make a
+// double remove fail loudly (the second call would corrupt head/tail counts
+// only after walking nil neighbors, and the parbsdebug audit catches the
+// resulting stale cache immediately).
+func (l *reqList) remove(r *Request) {
+	k := l.kind
+	if p := r.links[k].prev; p != nil {
+		p.links[k].next = r.links[k].next
+	} else {
+		l.head = r.links[k].next
+	}
+	if nx := r.links[k].next; nx != nil {
+		nx.links[k].prev = r.links[k].prev
+	} else {
+		l.tail = r.links[k].prev
+	}
+	r.links[k] = reqLinks{}
+	l.n--
+}
+
+// next returns the element after r on this list.
+func (l *reqList) next(r *Request) *Request { return r.links[l.kind].next }

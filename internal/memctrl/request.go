@@ -39,6 +39,13 @@ type Request struct {
 	Marked bool
 	// Deadline is the NFQ virtual finish time.
 	Deadline float64
+	// Stamp is a policy-owned scratch counter; PAR-BS stores the batch
+	// index current at arrival to derive its max-batch-wait bound.
+	Stamp int64
+	// Tag is issuer-owned scratch: the core that issued a read records its
+	// instruction-window slot here (via MemPort.IssueRead) so the completion
+	// routes back without a lookup table. Writes leave it zero.
+	Tag int
 
 	// neededACT records that the request could not be serviced as a row hit;
 	// set when a precharge or activate is issued on its behalf.
@@ -48,7 +55,18 @@ type Request struct {
 	firstCmd int64
 	// done marks fully-serviced requests (data burst finished).
 	done bool
+
+	// links holds the request's intrusive list memberships (see reqlist.go):
+	// linkBuf threads the read (or write) buffer in arrival order, linkBank
+	// its bank's queue. Owned by the controller.
+	links [2]reqLinks
 }
+
+// NextBuffered returns the next request in arrival order on the same buffer
+// (read requests link to reads, writes to writes), or nil at the tail.
+// Together with Controller.FirstRead it replaces the slice view policies
+// used to iterate the buffer with, at the same oldest-first order.
+func (r *Request) NextBuffered() *Request { return r.links[linkBuf].next }
 
 // WasRowHit reports whether the request was serviced straight from the open
 // row, i.e. no activate was needed on its behalf.
@@ -101,4 +119,36 @@ type Policy interface {
 // channel idle rather than serve out-of-slot threads.
 type EligibilityPolicy interface {
 	Eligible(r *Request) bool
+}
+
+// EpochedPolicy is an optional extension of Policy that enables the
+// controller's per-bank best-candidate cache (see candcache.go). Implementing
+// it is a contract about Better (and Eligible, when present):
+//
+// Between two calls that return the same OrderEpoch value, and absent
+// enqueue or issue events touching a bank, the relative order of any two
+// candidates from that bank within the same command class (both row hits,
+// both row conflicts, or both activates to a closed bank) must not change,
+// and neither may their eligibility. Cross-bank and cross-class comparisons
+// carry no such obligation — the controller re-compares class winners
+// freshly on every scan, so terms that depend on the current cycle or on
+// other banks' state (NFQ's tRAS boost window, TDM's slot owner,
+// FR-FCFS+Cap's streak cap) stay exact as long as they are uniform within a
+// bank-and-class.
+//
+// A policy must therefore bump (or otherwise change) its epoch whenever
+// within-bank-within-class order can shift without such an event: PAR-BS on
+// every batch formation (marking and ranking change), STFM when its
+// fairness-mode decision (unfair, slowest) changes, TDM on slot-owner
+// change. Completion hooks are bound by the same rule — an OnComplete that
+// reorders live candidates must bump the epoch (PAR-BS's batch end only
+// reorders at the next cycle's formBatch, which does). Policies whose
+// within-bank-within-class order is time-invariant (FCFS, FR-FCFS, NFQ,
+// FR-FCFS+Cap) return a constant.
+//
+// Policies that do not implement the interface get no candidate cache: the
+// controller rescans their bank queues every evaluated cycle, which is
+// always correct. DESIGN.md §16 specifies the full contract.
+type EpochedPolicy interface {
+	OrderEpoch() uint64
 }

@@ -68,13 +68,10 @@ func (p *FRFCFSCap) OnIssue(c memctrl.Candidate, now int64) {
 }
 
 // olderWaiting reports whether a request older than r waits for r's bank.
+// Bank queues are in arrival (== ID) order and r is still buffered when
+// OnIssue runs, so it suffices to check whether r heads its bank's queue.
 func (p *FRFCFSCap) olderWaiting(r *memctrl.Request) bool {
-	for _, other := range p.ctrl.ReadRequests() {
-		if other != r && other.Loc.Bank == r.Loc.Bank && other.ID < r.ID {
-			return true
-		}
-	}
-	return false
+	return p.ctrl.FirstReadInBank(r.Loc.Bank) != r
 }
 
 // OnComplete implements memctrl.Policy.
@@ -86,6 +83,14 @@ func (p *FRFCFSCap) OnCycle(int64) {}
 // NextPolicyEventAt implements memctrl.NextEventer: the bypass counters
 // change only on issue events, never with bare time.
 func (p *FRFCFSCap) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }
+
+// OrderEpoch implements memctrl.EpochedPolicy with a constant: the only
+// state in Better is the per-bank bypass counter, which is uniform across a
+// bank's candidates (capped applies to the whole bank) and equal within a
+// class (every hit-class candidate is a row hit, every other class none),
+// and it changes only on CAS issues — bank events the controller already
+// invalidates on.
+func (p *FRFCFSCap) OrderEpoch() uint64 { return 0 }
 
 // capped reports whether the candidate's row-hit preference is suspended.
 func (p *FRFCFSCap) capped(c memctrl.Candidate) bool {
@@ -164,6 +169,13 @@ func (p *TDM) OnCycle(now int64) { p.now = now }
 // re-evaluating cycle by cycle via the NextEventAt clamp — slot boundaries
 // are therefore never stepped over.
 func (p *TDM) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }
+
+// OrderEpoch implements memctrl.EpochedPolicy: the slot index. Better's
+// owner preference (and the strict variant's eligibility) is a pure
+// function of the slot owner, so within one slot the within-bank order is
+// frozen and every slot handoff forces a rebuild. OnCycle has refreshed
+// p.now before any scan runs.
+func (p *TDM) OrderEpoch() uint64 { return uint64(p.now / p.SlotCycles) }
 
 // Owner returns the thread owning the current slot.
 func (p *TDM) Owner() int {

@@ -145,6 +145,16 @@ func (n *NFQ) OnCycle(now int64) { n.now = now }
 // fresh clock whenever candidates exist.
 func (n *NFQ) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }
 
+// OrderEpoch implements memctrl.EpochedPolicy with a constant. The only
+// time-varying term in Better is the tRAS inversion boost, and it is
+// uniform within a bank and class: all of a bank's hit-class candidates
+// share one (lastACT, IsRowHit) pair, and the other classes are never
+// boosted — so the window expiring cannot reorder a class internally, only
+// shift fresh cross-class comparisons. Deadlines are immutable after
+// OnEnqueue, and lastACT moves only on activates, which change the bank's
+// open row and force a rebuild anyway.
+func (n *NFQ) OrderEpoch() uint64 { return 0 }
+
 // Better implements earliest-virtual-finish-time-first with the tRAS
 // priority-inversion prevention window.
 func (n *NFQ) Better(a, b memctrl.Candidate) bool {

@@ -76,6 +76,12 @@ func (noopHooks) OnCycle(int64)                      {}
 // controller events.
 func (noopHooks) NextPolicyEventAt(int64) int64 { return math.MaxInt64 }
 
+// OrderEpoch implements memctrl.EpochedPolicy with a constant: FCFS and
+// FR-FCFS order on request ID and current row-hit status only, both
+// invariant between bank events, so their candidate-cache entries never go
+// stale by mere passage of time.
+func (noopHooks) OrderEpoch() uint64 { return 0 }
+
 // equalWeights returns a slice of n 1.0 weights.
 func equalWeights(n int) []float64 {
 	w := make([]float64, n)

@@ -53,6 +53,9 @@ type STFM struct {
 	slowest    int
 	burst      int64
 	nextAgeing int64
+	// epoch versions the (unfair, slowest) decision for the controller's
+	// candidate cache; see OrderEpoch.
+	epoch uint64
 }
 
 // NewSTFM returns an STFM scheduler with the paper's parameters
@@ -160,19 +163,31 @@ func (s *STFM) OnCycle(now int64) {
 		s.nextAgeing = now + s.IntervalLength
 	}
 	maxS, minS := 0.0, 0.0
-	s.slowest = 0
+	slowest := 0
 	for th := range s.shared {
 		sd := s.Slowdown(th)
 		if th == 0 || sd > maxS {
 			maxS = sd
-			s.slowest = th
+			slowest = th
 		}
 		if th == 0 || sd < minS {
 			minS = sd
 		}
 	}
-	s.unfair = minS > 0 && maxS/minS > s.Alpha
+	unfair := minS > 0 && maxS/minS > s.Alpha
+	if unfair != s.unfair || (unfair && slowest != s.slowest) {
+		s.epoch++
+	}
+	s.unfair, s.slowest = unfair, slowest
 }
+
+// OrderEpoch implements memctrl.EpochedPolicy. Better depends on exactly
+// two pieces of policy state — the fairness-mode flag and, when it is set,
+// the identity of the slowest thread — and OnCycle bumps the epoch whenever
+// that pair changes. Everything else Better reads (row-hit status, request
+// ID) is invariant between bank events. STFM is not a NextEventer, so
+// OnCycle runs on every cycle and no decision change can be skipped over.
+func (s *STFM) OrderEpoch() uint64 { return s.epoch }
 
 // Slowdown returns the thread's estimated weighted memory slowdown.
 func (s *STFM) Slowdown(thread int) float64 {

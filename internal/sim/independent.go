@@ -490,9 +490,13 @@ type channelPort struct {
 	now    int64
 }
 
-func (p *channelPort) IssueRead(thread int, addr int64) (*memctrl.Request, bool) {
+func (p *channelPort) IssueRead(thread int, addr int64, tag int) bool {
 	ch, inner := dram.ChannelRoute(addr, p.line, p.chans)
-	return p.shards[ch].ctrl.EnqueueRead(thread, inner, p.now)
+	r, ok := p.shards[ch].ctrl.EnqueueRead(thread, inner, p.now)
+	if ok {
+		r.Tag = tag
+	}
+	return ok
 }
 
 func (p *channelPort) IssueWrite(thread int, addr int64) bool {

@@ -29,7 +29,7 @@ import (
 // differentialShardRun executes one fully-instrumented independent-channel
 // run and captures its command-stream digest (with channel stamps),
 // telemetry report and trace log.
-func differentialShardRun(t *testing.T, polName string, mix workload.Mix, seed int64, channels, parallelism int, forceTicked bool) (streamDigest, []byte, []byte) {
+func differentialShardRun(t *testing.T, polName string, mix workload.Mix, seed int64, channels, parallelism int, disableCache, forceTicked bool) (streamDigest, []byte, []byte) {
 	t.Helper()
 	cfg := DefaultConfig(4)
 	cfg.Seed = seed
@@ -37,6 +37,7 @@ func differentialShardRun(t *testing.T, polName string, mix workload.Mix, seed i
 	cfg.MeasureCPUCycles = 150_000
 	cfg.Geometry.Channels = channels
 	cfg.Parallelism = parallelism
+	cfg.Ctrl.DisableCandidateCache = disableCache
 	cfg.ForceTicked = forceTicked
 	probe := telemetry.NewProbe(telemetry.Config{EpochDRAMCycles: 2048})
 	cfg.Probe = probe
@@ -80,8 +81,8 @@ func differentialShardRun(t *testing.T, polName string, mix workload.Mix, seed i
 // byte for byte on every observable output.
 func expectIdenticalShardRuns(t *testing.T, polName string, mix workload.Mix, seed int64, channels int, parA, parB int, tickA, tickB bool) {
 	t.Helper()
-	a, aTel, aTr := differentialShardRun(t, polName, mix, seed, channels, parA, tickA)
-	b, bTel, bTr := differentialShardRun(t, polName, mix, seed, channels, parB, tickB)
+	a, aTel, aTr := differentialShardRun(t, polName, mix, seed, channels, parA, false, tickA)
+	b, bTel, bTr := differentialShardRun(t, polName, mix, seed, channels, parB, false, tickB)
 	if a.count == 0 {
 		t.Fatal("reference run issued no commands (vacuous)")
 	}

@@ -561,8 +561,12 @@ type memPort struct {
 	now  int64
 }
 
-func (p *memPort) IssueRead(thread int, addr int64) (*memctrl.Request, bool) {
-	return p.ctrl.EnqueueRead(thread, addr, p.now)
+func (p *memPort) IssueRead(thread int, addr int64, tag int) bool {
+	r, ok := p.ctrl.EnqueueRead(thread, addr, p.now)
+	if ok {
+		r.Tag = tag
+	}
+	return ok
 }
 
 func (p *memPort) IssueWrite(thread int, addr int64) bool {

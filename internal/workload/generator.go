@@ -30,8 +30,16 @@ type generator struct {
 	base int64 // first row of the thread's private row slice
 	span int64 // rows in the slice
 
-	// queue holds the items of the episode under emission.
+	// queue holds the items of the episode under emission; qHead is the
+	// consumption cursor. The backing array is reused across episodes so
+	// steady-state generation performs no allocations.
 	queue []cpu.Item
+	qHead int
+
+	// runs and bankScratch are per-episode scratch, reused for the same
+	// reason.
+	runs        []bankRun
+	bankScratch []int
 
 	// rowOf tracks each bank's current row and next column for the thread.
 	rowOf []int64
@@ -77,11 +85,13 @@ func newGenerator(p Profile, threadID int, g dram.Geometry, seed int64) *generat
 
 // Next implements cpu.TraceSource.
 func (gen *generator) Next() cpu.Item {
-	if len(gen.queue) == 0 {
+	if gen.qHead >= len(gen.queue) {
+		gen.queue = gen.queue[:0]
+		gen.qHead = 0
 		gen.emitEpisode()
 	}
-	it := gen.queue[0]
-	gen.queue = gen.queue[1:]
+	it := gen.queue[gen.qHead]
+	gen.qHead++
 	return it
 }
 
@@ -123,17 +133,22 @@ func (gen *generator) runLength() int {
 	return n
 }
 
+// bankRun is one bank's same-row access run within an episode.
+type bankRun struct {
+	bank int
+	len  int
+}
+
 // emitEpisode builds one miss episode plus its trailing compute gap.
 func (gen *generator) emitEpisode() {
 	width := gen.burstWidth()
 	banks := gen.pickBanks(width)
 
 	// Build the per-bank runs.
-	type run struct {
-		bank int
-		len  int
+	if cap(gen.runs) < width {
+		gen.runs = make([]bankRun, width)
 	}
-	runs := make([]run, width)
+	runs := gen.runs[:width]
 	total := 0
 	for i, b := range banks {
 		// Each run targets a fresh row: its first access is a row conflict
@@ -141,7 +156,7 @@ func (gen *generator) emitEpisode() {
 		// makes the long-run hit rate track 1 - 1/E[run length].
 		gen.newRow(b)
 		l := gen.runLength()
-		runs[i] = run{bank: b, len: l}
+		runs[i] = bankRun{bank: b, len: l}
 		total += l
 	}
 
@@ -206,10 +221,11 @@ func (gen *generator) pickBanks(width int) []int {
 	} else {
 		gen.offset = (gen.offset + 1) % gen.g.Banks
 	}
-	out := make([]int, width)
+	out := gen.bankScratch[:0]
 	for i := 0; i < width; i++ {
-		out[i] = gen.perm[(gen.offset+i)%gen.g.Banks]
+		out = append(out, gen.perm[(gen.offset+i)%gen.g.Banks])
 	}
+	gen.bankScratch = out
 	return out
 }
 

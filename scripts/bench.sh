@@ -1,10 +1,11 @@
 #!/bin/sh
 # Measures the gated scheduling-path benchmarks and records them in
-# BENCH_2.json. The "before" numbers are frozen from BENCH_1.json's "after"
-# column (the bank-indexed per-cycle loop, measured on the same machine
-# class); BENCH_1.json itself is a frozen artifact and is no longer
+# BENCH_5.json. The "before" numbers are frozen from BENCH_2.json's "after"
+# column (the next-event clock engine, measured on the same machine class);
+# BENCH_1.json and BENCH_2.json are frozen artifacts and are no longer
 # rewritten. The ticked variant is recorded alongside to separate the
-# next-event clock's contribution from controller-level optimizations.
+# next-event clock's contribution from controller-level optimizations, and
+# -benchmem pins the steady-state allocation rate of the decision path.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s)
 set -eu
@@ -13,27 +14,28 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-2s}"
 
 out="$(go test -run '^$' -bench 'SimulatedCyclesPerSecond|PolicyDecision|IndependentChannels|IdleSingleCore' \
-	-benchtime "$benchtime" .)"
+	-benchtime "$benchtime" -benchmem .)"
 printf '%s\n' "$out"
 
 cycles="$(printf '%s\n' "$out" | awk '/BenchmarkSimulatedCyclesPerSecond / {for (i=1;i<NF;i++) if ($(i+1)=="DRAMcycles/s") print $i}')"
 ticked="$(printf '%s\n' "$out" | awk '/BenchmarkSimulatedCyclesPerSecondTicked/ {for (i=1;i<NF;i++) if ($(i+1)=="DRAMcycles/s") print $i}')"
 dec128="$(printf '%s\n' "$out" | awk '/BenchmarkPolicyDecision\/occupancy-128/ {for (i=1;i<NF;i++) if ($(i+1)=="ns/op") print $i}')"
+decallocs="$(printf '%s\n' "$out" | awk '/BenchmarkPolicyDecision\/occupancy-128/ {for (i=1;i<NF;i++) if ($(i+1)=="allocs/op") print $i}')"
 seqch="$(printf '%s\n' "$out" | awk '/BenchmarkIndependentChannels\/sequential/ {for (i=1;i<NF;i++) if ($(i+1)=="DRAMcycles/s") print $i}')"
 parch="$(printf '%s\n' "$out" | awk '/BenchmarkIndependentChannels\/parallel-4/ {for (i=1;i<NF;i++) if ($(i+1)=="DRAMcycles/s") print $i}')"
-[ -n "$cycles" ] && [ -n "$ticked" ] && [ -n "$dec128" ] && [ -n "$seqch" ] && [ -n "$parch" ] || {
+[ -n "$cycles" ] && [ -n "$ticked" ] && [ -n "$dec128" ] && [ -n "$decallocs" ] && [ -n "$seqch" ] && [ -n "$parch" ] || {
 	echo "bench.sh: could not parse benchmark output" >&2
 	exit 1
 }
 
-cat > BENCH_2.json <<EOF
+cat > BENCH_5.json <<EOF
 {
   "benchmarks": [
     {
       "name": "BenchmarkSimulatedCyclesPerSecond",
       "workload": "4-core Case Study I mix under PAR-BS",
       "unit": "DRAMcycles/s",
-      "before": 1538826,
+      "before": 2434033,
       "after": $cycles,
       "higher_is_better": true
     },
@@ -41,7 +43,7 @@ cat > BENCH_2.json <<EOF
       "name": "BenchmarkSimulatedCyclesPerSecondTicked",
       "workload": "same run with Config.ForceTicked (event clock off)",
       "unit": "DRAMcycles/s",
-      "before": 1538826,
+      "before": 2293963,
       "after": $ticked,
       "higher_is_better": true
     },
@@ -49,17 +51,18 @@ cat > BENCH_2.json <<EOF
       "name": "BenchmarkPolicyDecision/occupancy-128",
       "workload": "one scheduling decision, 128-entry read buffer + 16 writes",
       "unit": "ns/op",
-      "before": 484.7,
+      "before": 349.4,
       "after": $dec128,
+      "allocs_per_op": $decallocs,
       "higher_is_better": false
     }
   ],
-  "baseline": "bank-indexed per-cycle loop (BENCH_1.json after column)",
-  "note": "4-core Case Study I saturates the command bus (a command issues on ~54% of DRAM cycles), so pure cycle-skipping is bounded well below its idle-workload ceiling on this mix; the skip rate here is ~11% with the remaining gain from scan-byproduct idle caching, per-core tick gating and controller-tick elision.",
+  "baseline": "next-event clock engine (BENCH_2.json after column)",
+  "note": "Gains over the BENCH_2 baseline come from the per-evaluated-cycle fast path: the incrementally-maintained per-bank candidate cache (policy OrderEpoch contract, DESIGN.md section 16), deferred closed-form BLP accounting, intrusive request buffers with O(1) removal, request and trace-item recycling (zero steady-state allocations, see allocs_per_op), and slot-tagged completion routing that removed the per-request map lookups.",
   "benchtime": "$benchtime"
 }
 EOF
-echo "wrote BENCH_2.json"
+echo "wrote BENCH_5.json"
 
 speedup="$(awk -v s="$seqch" -v p="$parch" 'BEGIN { printf "%.2f", p / s }')"
 cat > BENCH_3.json <<EOF

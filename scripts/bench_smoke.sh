@@ -1,7 +1,7 @@
 #!/bin/sh
 # CI throughput gate: re-measures BenchmarkSimulatedCyclesPerSecond briefly
 # and fails when it regresses more than 20% below the floor checked in via
-# BENCH_2.json (the "after" column recorded by scripts/bench.sh). The 20%
+# BENCH_5.json (the "after" column recorded by scripts/bench.sh). The 20%
 # margin absorbs machine noise (+-10% is routine on shared runners) while
 # still catching any change that loses the next-event clock or one of the
 # scheduling-path optimizations outright. Refresh the floor with
@@ -13,8 +13,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-floor="$(awk '/"name": "BenchmarkSimulatedCyclesPerSecond"/{grab=1} grab && /"after":/ {gsub(/[^0-9.]/,"",$2); print $2; exit}' BENCH_2.json)"
-[ -n "$floor" ] || { echo "bench_smoke.sh: no floor in BENCH_2.json" >&2; exit 1; }
+floor="$(awk '/"name": "BenchmarkSimulatedCyclesPerSecond"/{grab=1} grab && /"after":/ {gsub(/[^0-9.]/,"",$2); print $2; exit}' BENCH_5.json)"
+[ -n "$floor" ] || { echo "bench_smoke.sh: no floor in BENCH_5.json" >&2; exit 1; }
 
 out="$(go test -run '^$' -bench 'SimulatedCyclesPerSecond$' -benchtime 1s .)"
 printf '%s\n' "$out"
