@@ -13,7 +13,15 @@
 //	GET  /v1/analysis/{id}               windowed bottleneck report (JSON)
 //	GET  /v1/analysis/{id}/report        the same report as text tables
 //	GET  /v1/analysis/{id}/dashboard     embedded HTML dashboard (inline SVG)
-//	GET  /v1/analysis/{id}/snapshot      parbs.analysis/v1 binary snapshot
+//	GET  /v1/analysis/{id}/snapshot      parbs.analysis/v2 binary snapshot
+//	GET  /v1/analysis/{id}/live          live analysis of a running trace.events
+//	                                     job via SSE (report snapshots, then done)
+//	GET  /v1/analysis/{id}/live/dashboard  auto-refreshing live HTML dashboard
+//	POST /v1/analysis/diff               cross-run diff: {"a": id, "b": id} or
+//	                                     multipart snapshot/trace uploads
+//	GET  /v1/diffs/{id}                  retained diff report (JSON)
+//	GET  /v1/diffs/{id}/report           the same diff as text tables
+//	GET  /v1/diffs/{id}/dashboard        side-by-side A/B diff dashboard
 //	GET  /healthz                        liveness (503 while draining)
 //	GET  /metrics                        Prometheus text exposition
 //

@@ -39,6 +39,7 @@ func main() {
 		schedName = flag.String("sched", "PAR-BS", "scheduler: "+strings.Join(sched.Names(), ", "))
 		mixSpec   = flag.String("mix", "CSI", "named mix (CSI, CSII, CSIII, F9) or comma-separated benchmarks")
 		cycles    = flag.Int64("cycles", 2_000_000, "measured CPU cycles")
+		warmup    = flag.Int64("warmup", -1, "warmup CPU cycles discarded from statistics (-1 = paper default)")
 		seed      = flag.Int64("seed", 1, "trace seed")
 		device    = flag.String("device", "", "DRAM device: "+strings.Join(parbs.DeviceNames(), ", "))
 		list      = flag.Bool("list", false, "list benchmarks and named mixes, then exit")
@@ -76,6 +77,9 @@ func main() {
 	}
 	cfg := sim.DefaultConfig(len(mix.Benchmarks))
 	cfg.MeasureCPUCycles = *cycles
+	if *warmup >= 0 {
+		cfg.WarmupCPUCycles = *warmup
+	}
 	cfg.Seed = *seed
 	cfg.ForceTicked = *ticked
 	if *timeout > 0 {

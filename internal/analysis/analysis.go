@@ -30,8 +30,13 @@ import (
 )
 
 // Schema identifies both the binary snapshot format (snapshot.go) and the
-// report JSON the query layer emits.
-const Schema = "parbs.analysis/v1"
+// report JSON the query layer emits. v2 added the ingest-truncation flag to
+// the snapshot header (the percentile columns are derived at Analyze time,
+// so they need no storage change); SchemaV1 snapshots remain readable.
+const (
+	Schema   = "parbs.analysis/v2"
+	SchemaV1 = "parbs.analysis/v1"
+)
 
 // Store is the in-memory columnar event store: one slice per event field,
 // parallel by index, in the log's simulation processing order. Construct
@@ -40,7 +45,10 @@ const Schema = "parbs.analysis/v1"
 type Store struct {
 	meta      trace.Meta
 	truncated bool
-	dropped   int64
+	// ingestTruncated records stream damage found while reading (torn
+	// tail, malformed line) as opposed to record-time buffer drops.
+	ingestTruncated bool
+	dropped         int64
 
 	kind    []uint8
 	cycle   []int64
@@ -69,6 +77,11 @@ func (s *Store) Truncated() bool { return s.truncated }
 
 // Dropped returns the record-time drop count from the log header.
 func (s *Store) Dropped() int64 { return s.dropped }
+
+// IngestTruncated reports that the ingested stream itself was damaged (cut
+// mid-line or mid-stream), distinct from record-time drops; see Truncated
+// for the union of both conditions.
+func (s *Store) IngestTruncated() bool { return s.ingestTruncated }
 
 // append adds one event to the columns.
 func (s *Store) append(ev trace.Event, perThread []int32) {
@@ -141,6 +154,7 @@ func Ingest(r io.Reader) (*Store, error) {
 		}
 		if errors.Is(err, trace.ErrTruncated) {
 			s.truncated = true
+			s.ingestTruncated = true
 			return s, nil
 		}
 		if err != nil {

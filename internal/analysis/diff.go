@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Cross-run diffing. PAR-BS's claims are comparative — fairness and
+// throughput relative to FR-FCFS and friends — so the diff is a first-class
+// artifact: two stores in, one aligned report out. Alignment rules:
+//
+//   - Both runs are re-analyzed with one common window width (the given
+//     Options width, or the default division of the longer run's span), so
+//     window k covers the same cycle range in both arms.
+//   - Threads and banks align by index; an entity present in only one run
+//     diffs against a zero row rather than being dropped.
+//   - Config mismatches (cores, banks, channels, workload, span) do not
+//     refuse the diff — comparing a 4-core run against an 8-core run is
+//     legitimate — but every mismatch is recorded in Mismatches so a report
+//     can never silently compare apples to oranges. Policy difference is
+//     the expected case and is not a mismatch.
+//
+// All deltas are B minus A.
+
+// DiffSchema identifies the diff report JSON.
+const DiffSchema = "parbs.analysis.diff/v1"
+
+// ThreadDelta is one thread's cross-run comparison.
+type ThreadDelta struct {
+	Thread int `json:"thread"`
+	// A and B are the whole-span rollups of each arm (zero row when the
+	// thread exists in only one).
+	A ThreadTotals `json:"a"`
+	B ThreadTotals `json:"b"`
+	// Deltas of the wait decomposition and the latency tail, B − A.
+	DWait       int64 `json:"d_wait"`
+	DUnmarked   int64 `json:"d_unmarked"`
+	DMarked     int64 `json:"d_marked"`
+	DService    int64 `json:"d_service"`
+	DLatencyP50 int64 `json:"d_latency_p50"`
+	DLatencyP99 int64 `json:"d_latency_p99"`
+}
+
+// BankDelta is one bank's cross-run comparison.
+type BankDelta struct {
+	Bank  int        `json:"bank"`
+	Label string     `json:"label"`
+	A     BankTotals `json:"a"`
+	B     BankTotals `json:"b"`
+	// DCommands and DWait shift the occupancy picture; DQueueDepth the
+	// time-averaged buffered-request count.
+	DCommands   int64   `json:"d_commands"`
+	DWait       int64   `json:"d_wait"`
+	DQueueDepth float64 `json:"d_queue_depth"`
+}
+
+// WindowDelta compares one aligned time slice.
+type WindowDelta struct {
+	Index int   `json:"index"`
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Deltas of bus activity and request flow, B − A. Windows beyond one
+	// arm's span diff against zeros.
+	DCommands    int64 `json:"d_commands"`
+	DBusyCycles  int64 `json:"d_busy_cycles"`
+	DArrivals    int64 `json:"d_arrivals"`
+	DCompletions int64 `json:"d_completions"`
+}
+
+// BatchDelta summarizes batch-span changes between the arms.
+type BatchDelta struct {
+	BatchesA  int   `json:"batches_a"`
+	BatchesB  int   `json:"batches_b"`
+	MaxSpanA  int64 `json:"max_span_a"`
+	MaxSpanB  int64 `json:"max_span_b"`
+	MeanSpanA int64 `json:"mean_span_a"`
+	MeanSpanB int64 `json:"mean_span_b"`
+}
+
+// DiffReport is the aligned comparison of two runs. The full per-arm
+// reports ride along so a consumer can drill into either side without
+// re-analyzing.
+type DiffReport struct {
+	Schema string `json:"schema"`
+	// A and B are the complete windowed reports of each arm, computed with
+	// the common WindowCycles below.
+	A *Report `json:"a"`
+	B *Report `json:"b"`
+	// WindowCycles is the common window width both arms were analyzed at.
+	WindowCycles int64 `json:"window_cycles"`
+	// Mismatches lists config differences between the runs (empty when the
+	// arms are directly comparable).
+	Mismatches []string `json:"mismatches,omitempty"`
+
+	Threads []ThreadDelta `json:"threads"`
+	Banks   []BankDelta   `json:"banks"`
+	Windows []WindowDelta `json:"windows"`
+	Batches BatchDelta    `json:"batches"`
+
+	// Unfairness is the max/min ratio of per-thread p50 read latency
+	// (threads with completed reads only) — a trace-derived proxy for the
+	// paper's slowdown-based unfairness metric, which needs alone-run
+	// baselines a single trace does not carry. Zero when undefined.
+	UnfairnessA     float64 `json:"unfairness_a"`
+	UnfairnessB     float64 `json:"unfairness_b"`
+	UnfairnessDelta float64 `json:"unfairness_delta"`
+}
+
+// spanOf mirrors Analyze's span derivation: the metadata's total DRAM
+// cycles, extended by any event past it.
+func spanOf(s *Store) int64 {
+	end := s.meta.TotalDRAM
+	for _, c := range s.cycle {
+		if c >= end {
+			end = c + 1
+		}
+	}
+	if end < 1 {
+		end = 1
+	}
+	return end
+}
+
+// Diff aligns and compares two runs. opt.WindowCycles fixes the common
+// window width (0 divides the longer span into DefaultWindows); opt.TopK
+// passes through to both arms' reports.
+func Diff(a, b *Store, opt Options) *DiffReport {
+	width := opt.WindowCycles
+	if width <= 0 {
+		longest := max(spanOf(a), spanOf(b))
+		width = (longest + DefaultWindows - 1) / DefaultWindows
+	}
+	if width < 1 {
+		width = 1
+	}
+	ra := a.Analyze(Options{WindowCycles: width, TopK: opt.TopK})
+	rb := b.Analyze(Options{WindowCycles: width, TopK: opt.TopK})
+
+	d := &DiffReport{Schema: DiffSchema, A: ra, B: rb, WindowCycles: ra.WindowCycles}
+	mismatch := func(field string, va, vb any) {
+		if va != vb {
+			d.Mismatches = append(d.Mismatches,
+				fmt.Sprintf("%s: %v (A) vs %v (B)", field, va, vb))
+		}
+	}
+	mismatch("workload", ra.Meta.Workload, rb.Meta.Workload)
+	mismatch("cores", ra.Meta.Cores, rb.Meta.Cores)
+	mismatch("banks", ra.Meta.Banks, rb.Meta.Banks)
+	mismatch("channels", ra.Meta.Channels, rb.Meta.Channels)
+	// Policy and Marking-Cap are deliberately not compared: differing
+	// scheduling configuration is the expected case, not a misalignment.
+	mismatch("total_dram", ra.Meta.TotalDRAM, rb.Meta.TotalDRAM)
+	mismatch("span_end", ra.SpanEnd, rb.SpanEnd)
+	if ra.WindowCycles != rb.WindowCycles {
+		// Only possible if one arm hit the maxWindows clamp; the aligned
+		// window table below would be lying, so say so loudly.
+		d.Mismatches = append(d.Mismatches, fmt.Sprintf(
+			"window width diverged under the window-count clamp: %d (A) vs %d (B)",
+			ra.WindowCycles, rb.WindowCycles))
+	}
+
+	// Threads by index, zero-padded.
+	nThr := max(len(ra.Threads), len(rb.Threads))
+	for t := 0; t < nThr; t++ {
+		td := ThreadDelta{Thread: t, A: ThreadTotals{Thread: t}, B: ThreadTotals{Thread: t}}
+		if t < len(ra.Threads) {
+			td.A = ra.Threads[t]
+		}
+		if t < len(rb.Threads) {
+			td.B = rb.Threads[t]
+		}
+		td.DWait = td.B.Wait - td.A.Wait
+		td.DUnmarked = td.B.Unmarked - td.A.Unmarked
+		td.DMarked = td.B.Marked - td.A.Marked
+		td.DService = td.B.Service - td.A.Service
+		td.DLatencyP50 = td.B.LatencyPct.P50 - td.A.LatencyPct.P50
+		td.DLatencyP99 = td.B.LatencyPct.P99 - td.A.LatencyPct.P99
+		d.Threads = append(d.Threads, td)
+	}
+
+	// Banks by global index, zero-padded; labels come from whichever arm
+	// has the bank.
+	nBanks := max(len(ra.Banks), len(rb.Banks))
+	for bk := 0; bk < nBanks; bk++ {
+		bd := BankDelta{Bank: bk}
+		if bk < len(ra.Banks) {
+			bd.A = ra.Banks[bk]
+			bd.Label = bd.A.Label
+		}
+		if bk < len(rb.Banks) {
+			bd.B = rb.Banks[bk]
+			bd.Label = bd.B.Label
+		}
+		bd.DCommands = bd.B.Commands - bd.A.Commands
+		bd.DWait = bd.B.Wait - bd.A.Wait
+		bd.DQueueDepth = bd.B.QueueDepth - bd.A.QueueDepth
+		d.Banks = append(d.Banks, bd)
+	}
+
+	// Windows by index: identical width, so window k spans the same cycles
+	// in both arms; the longer run's extra windows diff against zeros.
+	nWin := max(len(ra.Windows), len(rb.Windows))
+	for w := 0; w < nWin; w++ {
+		var wa, wb Window
+		if w < len(ra.Windows) {
+			wa = ra.Windows[w]
+		}
+		if w < len(rb.Windows) {
+			wb = rb.Windows[w]
+		}
+		ref := wa
+		if w >= len(ra.Windows) {
+			ref = wb
+		}
+		d.Windows = append(d.Windows, WindowDelta{
+			Index: w, Start: ref.Start, End: ref.End,
+			DCommands:    wb.Commands - wa.Commands,
+			DBusyCycles:  wb.BusyCycles - wa.BusyCycles,
+			DArrivals:    wb.Arrivals - wa.Arrivals,
+			DCompletions: wb.Completions - wa.Completions,
+		})
+	}
+
+	d.Batches = BatchDelta{BatchesA: len(ra.Batches), BatchesB: len(rb.Batches)}
+	d.Batches.MaxSpanA, d.Batches.MeanSpanA = batchSpanStats(ra.Batches)
+	d.Batches.MaxSpanB, d.Batches.MeanSpanB = batchSpanStats(rb.Batches)
+
+	d.UnfairnessA = latencyUnfairness(ra.Threads)
+	d.UnfairnessB = latencyUnfairness(rb.Threads)
+	d.UnfairnessDelta = d.UnfairnessB - d.UnfairnessA
+	return d
+}
+
+// batchSpanStats returns the max and mean formation→drain span over drained
+// batches (zero when none drained inside the log).
+func batchSpanStats(spans []BatchSpan) (maxSpan, mean int64) {
+	var sum, n int64
+	for _, bs := range spans {
+		if bs.Drained < 0 {
+			continue
+		}
+		span := bs.Drained - bs.Formed
+		if span > maxSpan {
+			maxSpan = span
+		}
+		sum += span
+		n++
+	}
+	if n > 0 {
+		mean = sum / n
+	}
+	return maxSpan, mean
+}
+
+// latencyUnfairness is max/min per-thread p50 read latency over threads
+// with completed reads; zero when fewer than one thread qualifies or the
+// minimum is zero.
+func latencyUnfairness(threads []ThreadTotals) float64 {
+	var lo, hi int64
+	for _, tt := range threads {
+		if tt.Reads == 0 {
+			continue
+		}
+		p := tt.LatencyPct.P50
+		if lo == 0 || p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return float64(hi) / float64(lo)
+}
+
+// WriteText renders the diff for terminals; `parbs-trace diff` and the
+// smoke script parse this layout.
+func (d *DiffReport) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	pol := func(r *Report) string {
+		if r.Meta.Policy == "" {
+			return "?"
+		}
+		return r.Meta.Policy
+	}
+	bw.printf("analysis diff: A=%s  B=%s  (deltas are B−A)\n", pol(d.A), pol(d.B))
+	bw.printf("  span A %d cycles, B %d cycles; window %d cycles\n",
+		d.A.SpanEnd, d.B.SpanEnd, d.WindowCycles)
+	if d.A.Truncated || d.B.Truncated {
+		bw.printf("  NOTE: truncated arms: A=%v B=%v — deltas cover recorded prefixes only\n",
+			d.A.Truncated, d.B.Truncated)
+	}
+	for _, m := range d.Mismatches {
+		bw.printf("  MISMATCH %s\n", m)
+	}
+
+	bw.printf("\nthreads (wait decomposition, B−A):\n")
+	bw.printf("  %-4s %14s %14s %14s %14s %12s %12s\n",
+		"thr", "waitA", "waitB", "dWait", "dUnmarked", "dLat.p50", "dLat.p99")
+	for _, td := range d.Threads {
+		bw.printf("  t%-3d %14d %14d %+14d %+14d %+12d %+12d\n",
+			td.Thread, td.A.Wait, td.B.Wait, td.DWait, td.DUnmarked,
+			td.DLatencyP50, td.DLatencyP99)
+	}
+
+	bw.printf("\nbanks (occupancy shift, B−A):\n")
+	bw.printf("  %-8s %12s %12s %+12s %+14s\n", "bank", "cmdsA", "cmdsB", "dCmds", "dWait")
+	for _, bd := range d.Banks {
+		if bd.A.Commands == 0 && bd.B.Commands == 0 && bd.DWait == 0 {
+			continue
+		}
+		bw.printf("  %-8s %12d %12d %+12d %+14d\n",
+			bd.Label, bd.A.Commands, bd.B.Commands, bd.DCommands, bd.DWait)
+	}
+
+	bw.printf("\nbatches: A %d (max span %d, mean %d) → B %d (max span %d, mean %d)\n",
+		d.Batches.BatchesA, d.Batches.MaxSpanA, d.Batches.MeanSpanA,
+		d.Batches.BatchesB, d.Batches.MaxSpanB, d.Batches.MeanSpanB)
+	bw.printf("unfairness (p50 latency max/min): A %.3f → B %.3f (%+.3f)\n",
+		d.UnfairnessA, d.UnfairnessB, d.UnfairnessDelta)
+	return bw.err
+}
+
+// errWriter folds write errors so the renderer reads linearly.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/trace"
+)
+
+// fixtureLogB is the fixture run with the roles flipped enough to produce
+// visible deltas: thread 1's read is serviced much sooner, and an extra
+// bank-0 command shifts the occupancy.
+func fixtureLogB() *trace.Log {
+	tr := trace.NewTracer(trace.Config{})
+	tr.Bind(trace.Meta{Policy: "FR-FCFS", Workload: "synthetic", Cores: 2, Banks: 2,
+		ReadBufEntries: 64, TotalDRAM: 1000})
+	tr.RequestArrived(1, 0, 0, 3, false, 0)
+	tr.RequestArrived(2, 1, 1, 9, false, 80)
+	tr.CommandIssued(1, 0, dram.CmdActivate, 0, 3, 0, 150)
+	tr.CommandIssued(1, 0, dram.CmdRead, 0, 3, 0, 160)
+	tr.RequestCompleted(1, 0, 250, 250)
+	tr.CommandIssued(2, 1, dram.CmdActivate, 1, 9, -1, 120)
+	tr.RequestCompleted(2, 1, 180, 100)
+	return tr.Log()
+}
+
+func TestDiffAlignmentAndDeltas(t *testing.T) {
+	a := FromLog(fixtureLog())  // PAR-BS fixture: 1 batch, t1 waits long
+	b := FromLog(fixtureLogB()) // FR-FCFS fixture: no batches, t1 fast
+
+	d := Diff(a, b, Options{WindowCycles: 100})
+	if d.Schema != DiffSchema {
+		t.Fatalf("schema = %q", d.Schema)
+	}
+	if len(d.Mismatches) != 0 {
+		t.Fatalf("same-config arms reported mismatches: %v", d.Mismatches)
+	}
+	if d.WindowCycles != 100 || len(d.Windows) != 10 {
+		t.Fatalf("windows = %d x %d, want 10 x 100", len(d.Windows), d.WindowCycles)
+	}
+
+	// Thread deltas: t1's wait drops from 700 (400 queued + 300 in-flight)
+	// to 40 ([80,120) before its first command).
+	t1 := d.Threads[1]
+	if t1.A.Wait != 700 || t1.B.Wait != 40 || t1.DWait != -660 {
+		t.Errorf("t1 wait delta: A=%d B=%d D=%d, want 700/40/-660", t1.A.Wait, t1.B.Wait, t1.DWait)
+	}
+	// t0 is identical in both runs except the marked split: A marks
+	// [50,150), B has no marking so the same 150 cycles are all unmarked.
+	t0 := d.Threads[0]
+	if t0.DWait != 0 || t0.DMarked != -100 || t0.DUnmarked != 100 {
+		t.Errorf("t0 deltas: DWait=%d DMarked=%d DUnmarked=%d, want 0/-100/100",
+			t0.DWait, t0.DMarked, t0.DUnmarked)
+	}
+
+	// Bank deltas: bank 1's wait collapses with t1's.
+	if d.Banks[1].DWait != -660 {
+		t.Errorf("bank 1 DWait = %d, want -660", d.Banks[1].DWait)
+	}
+
+	// Batch summary: one batch in A, none in B.
+	if d.Batches.BatchesA != 1 || d.Batches.BatchesB != 0 || d.Batches.MaxSpanA != 200 {
+		t.Errorf("batches = %+v, want A 1 (max span 200), B 0", d.Batches)
+	}
+
+	// Window deltas: window 1 gains B's bank-1 command ([120) vs [480)).
+	w1 := d.Windows[1]
+	if w1.DCommands != 1 {
+		t.Errorf("window 1 DCommands = %d, want +1", w1.DCommands)
+	}
+	w4 := d.Windows[4]
+	if w4.DCommands != -1 {
+		t.Errorf("window 4 DCommands = %d, want -1 (A's cmd at 480 gone)", w4.DCommands)
+	}
+
+	// Unfairness proxy: A's p50 latencies are 250 (t0) and 450 (t1) → 1.8;
+	// B's are 250 and 100 → 2.5.
+	if d.UnfairnessA < 1.79 || d.UnfairnessA > 1.81 {
+		t.Errorf("unfairness A = %v, want 1.8", d.UnfairnessA)
+	}
+	if d.UnfairnessB < 2.49 || d.UnfairnessB > 2.51 {
+		t.Errorf("unfairness B = %v, want 2.5", d.UnfairnessB)
+	}
+
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"A=PAR-BS", "B=FR-FCFS", "deltas are B−A", "unfairness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffMismatchedConfigs: differing shapes are diffed with zero-padding
+// and every config divergence is recorded.
+func TestDiffMismatchedConfigs(t *testing.T) {
+	a := FromLog(fixtureLog())
+	big := fixtureLogB()
+	big.Meta.Cores = 4
+	big.Meta.Banks = 4
+	big.Meta.Workload = "other"
+	b := FromLog(big)
+
+	d := Diff(a, b, Options{})
+	if len(d.Mismatches) == 0 {
+		t.Fatal("mismatched configs reported no mismatches")
+	}
+	joined := strings.Join(d.Mismatches, "; ")
+	for _, want := range []string{"cores", "banks", "workload"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("mismatches missing %q: %v", want, d.Mismatches)
+		}
+	}
+	// Zero-padded alignment: 4 threads and 4 banks, the extra rows diffing
+	// against zeros.
+	if len(d.Threads) != 4 || len(d.Banks) != 4 {
+		t.Fatalf("aligned %d threads / %d banks, want 4/4", len(d.Threads), len(d.Banks))
+	}
+	if d.Threads[3].A.Wait != 0 || d.Threads[3].DWait != d.Threads[3].B.Wait {
+		t.Errorf("zero-padded thread 3 wrong: %+v", d.Threads[3])
+	}
+}
+
+// TestDiffDefaultWidthCoversLongerRun: with no width given, the common
+// width derives from the longer span so both arms get aligned windows.
+func TestDiffDefaultWidthCoversLongerRun(t *testing.T) {
+	a := FromLog(fixtureLog()) // span 1000
+	longLog := fixtureLogB()
+	longLog.Meta.TotalDRAM = 3200 // span 3200
+	b := FromLog(longLog)
+
+	d := Diff(a, b, Options{})
+	if want := int64(100); d.WindowCycles != want { // ceil(3200/32)
+		t.Errorf("derived width = %d, want %d", d.WindowCycles, want)
+	}
+	if len(d.Windows) != len(d.B.Windows) {
+		t.Errorf("aligned windows = %d, want the longer arm's %d", len(d.Windows), len(d.B.Windows))
+	}
+}

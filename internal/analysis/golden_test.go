@@ -26,9 +26,9 @@ import (
 // victims completing far fewer reads (the denial of service), which the
 // cross-policy assertions at the bottom pin relatively.
 
-// attackReport runs the scenario under the named policy and analyzes it
+// attackStore runs the scenario under the named policy and ingests it
 // through the full JSONL → Ingest pipeline.
-func attackReport(t *testing.T, policy string, windowCycles int64) *analysis.Report {
+func attackStore(t *testing.T, policy string) *analysis.Store {
 	t.Helper()
 	cfg := sim.DefaultConfig(4)
 	cfg.WarmupCPUCycles = 0
@@ -56,7 +56,13 @@ func attackReport(t *testing.T, policy string, windowCycles int64) *analysis.Rep
 	if store.Truncated() {
 		t.Fatal("attack trace unexpectedly truncated")
 	}
-	return store.Analyze(analysis.Options{WindowCycles: windowCycles, TopK: 3})
+	return store
+}
+
+// attackReport analyzes the scenario under the named policy.
+func attackReport(t *testing.T, policy string, windowCycles int64) *analysis.Report {
+	t.Helper()
+	return attackStore(t, policy).Analyze(analysis.Options{WindowCycles: windowCycles, TopK: 3})
 }
 
 func TestGoldenMemoryAttackPARBS(t *testing.T) {
@@ -80,12 +86,22 @@ func TestGoldenMemoryAttackPARBS(t *testing.T) {
 		t.Errorf("top thread = %+v, want t0/431139", r.TopThreads)
 	}
 
-	// Per-thread wait decomposition over the span, exact.
+	// Per-thread wait decomposition over the span, exact — including the
+	// nearest-rank latency/wait percentiles (the attacker's tail is an
+	// order of magnitude above the victims' even while PAR-BS shields them).
 	want := []analysis.ThreadTotals{
-		{Thread: 0, Reads: 1533, InFlight: 5, Unmarked: 334532, Marked: 96607, Service: 25917, Wait: 431139},
-		{Thread: 1, Reads: 1773, InFlight: 6, Unmarked: 37155, Marked: 12246, Service: 54956, Wait: 49401},
-		{Thread: 2, Reads: 976, InFlight: 1, Unmarked: 22870, Marked: 9174, Service: 26579, Wait: 32044},
-		{Thread: 3, Reads: 344, InFlight: 2, Unmarked: 5504, Marked: 2323, Service: 10734, Wait: 7827},
+		{Thread: 0, Reads: 1533, InFlight: 5, Unmarked: 334532, Marked: 96607, Service: 25917, Wait: 431139,
+			LatencyPct: analysis.Percentiles{P50: 230, P90: 665, P99: 898},
+			WaitPct:    analysis.Percentiles{P50: 212, P90: 653, P99: 888}},
+		{Thread: 1, Reads: 1773, InFlight: 6, Unmarked: 37155, Marked: 12246, Service: 54956, Wait: 49401,
+			LatencyPct: analysis.Percentiles{P50: 41, P90: 117, P99: 265},
+			WaitPct:    analysis.Percentiles{P50: 8, P90: 70, P99: 227}},
+		{Thread: 2, Reads: 976, InFlight: 1, Unmarked: 22870, Marked: 9174, Service: 26579, Wait: 32044,
+			LatencyPct: analysis.Percentiles{P50: 42, P90: 126, P99: 266},
+			WaitPct:    analysis.Percentiles{P50: 13, P90: 89, P99: 243}},
+		{Thread: 3, Reads: 344, InFlight: 2, Unmarked: 5504, Marked: 2323, Service: 10734, Wait: 7827,
+			LatencyPct: analysis.Percentiles{P50: 38, P90: 112, P99: 194},
+			WaitPct:    analysis.Percentiles{P50: 3, P90: 73, P99: 150}},
 	}
 	for i, w := range want {
 		if r.Threads[i] != w {
@@ -99,14 +115,16 @@ func TestGoldenMemoryAttackPARBS(t *testing.T) {
 		w0.Completions != 592 || w0.BatchesFormed != 40 || w0.BatchesDrained != 39 {
 		t.Errorf("window 0 counters drifted: %+v", w0)
 	}
-	if (w0.Threads[0] != analysis.ThreadWindow{Unmarked: 54081, Marked: 13148, Service: 3316, Completions: 206}) {
+	if (w0.Threads[0] != analysis.ThreadWindow{Unmarked: 54081, Marked: 13148, Service: 3316, Completions: 206,
+		LatencyPct: analysis.Percentiles{P50: 253, P90: 728, P99: 883}}) {
 		t.Errorf("window 0 thread 0 = %+v", w0.Threads[0])
 	}
 	if len(w0.TopBanks) == 0 || w0.TopBanks[0].ID != 0 || w0.TopBanks[0].Cycles != 30995 {
 		t.Errorf("window 0 top bank = %+v, want b0/30995", w0.TopBanks)
 	}
 	w7 := r.Windows[7]
-	if (w7.Threads[0] != analysis.ThreadWindow{Unmarked: 28252, Marked: 10810, Service: 3619, Completions: 218}) {
+	if (w7.Threads[0] != analysis.ThreadWindow{Unmarked: 28252, Marked: 10810, Service: 3619, Completions: 218,
+		LatencyPct: analysis.Percentiles{P50: 146, P90: 393, P99: 631}}) {
 		t.Errorf("window 7 thread 0 = %+v", w7.Threads[0])
 	}
 	if len(w7.TopBanks) == 0 || w7.TopBanks[0].ID != 6 || w7.TopBanks[0].Cycles != 12446 {
@@ -146,6 +164,59 @@ func TestGoldenMemoryAttackComparative(t *testing.T) {
 		if float64(p) < 1.1*float64(f) {
 			t.Errorf("victim thread %d: %d reads under PAR-BS vs %d under FR-FCFS — batching should lift it",
 				i, p, f)
+		}
+	}
+}
+
+// TestGoldenAttackDiff pins the cross-run diff of the §4.3 runs: the
+// PAR-BS arm must reproduce the golden attribution (t0 wait 431139) and
+// the aligned deltas must carry the comparative story — FR-FCFS gives the
+// attacker less queued wait (the victims pay instead) and zero batches.
+func TestGoldenAttackDiff(t *testing.T) {
+	frfcfs := attackStore(t, "FR-FCFS")
+	parbs := attackStore(t, "PAR-BS")
+
+	d := analysis.Diff(frfcfs, parbs, analysis.Options{WindowCycles: 5000, TopK: 3})
+	if d.Schema != analysis.DiffSchema {
+		t.Fatalf("schema = %q", d.Schema)
+	}
+	// Both arms share the workload and span, so the diff must align clean.
+	if len(d.Mismatches) != 0 {
+		t.Fatalf("unexpected mismatches: %v", d.Mismatches)
+	}
+	// The PAR-BS arm (B) reproduces the seed golden attribution.
+	if d.B.Threads[0].Wait != 431139 {
+		t.Errorf("PAR-BS arm t0 wait = %d, want 431139", d.B.Threads[0].Wait)
+	}
+	if d.Threads[0].DWait != 431139-d.A.Threads[0].Wait {
+		t.Errorf("t0 DWait = %d, inconsistent with arms %d/%d",
+			d.Threads[0].DWait, d.A.Threads[0].Wait, d.B.Threads[0].Wait)
+	}
+	// PAR-BS marks requests; FR-FCFS never does.
+	if d.Batches.BatchesA != 0 || d.Batches.BatchesB != 312 {
+		t.Errorf("batches = %d/%d, want 0/312", d.Batches.BatchesA, d.Batches.BatchesB)
+	}
+	for _, td := range d.Threads {
+		if td.A.Marked != 0 {
+			t.Errorf("FR-FCFS arm thread %d has marked wait %d", td.Thread, td.A.Marked)
+		}
+	}
+	// Every victim completes more reads under PAR-BS — positive read deltas.
+	for _, i := range []int{1, 2, 3} {
+		if d.Threads[i].B.Reads <= d.Threads[i].A.Reads {
+			t.Errorf("victim t%d reads: %d (FR-FCFS) → %d (PAR-BS), want an increase",
+				i, d.Threads[i].A.Reads, d.Threads[i].B.Reads)
+		}
+	}
+	// The text rendering carries the golden value and the arm labels.
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"A=FR-FCFS", "B=PAR-BS", "431139"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("diff text missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,74 @@
+package analysis
+
+import "sort"
+
+// Exact percentiles. Latency tails are the judging criterion of the
+// bandwidth-regulation successor literature, so the columns here are exact
+// nearest-rank percentiles over every completed read — never a sketch, and
+// never interpolated: P(p) of n sorted samples is sorted[ceil(p/100·n)-1].
+// With one sample every percentile is that sample; with none every
+// percentile is zero.
+
+// Percentiles holds exact nearest-rank p50/p90/p99 of one sample set, in
+// DRAM cycles.
+type Percentiles struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+}
+
+// percentilesOf computes exact nearest-rank percentiles, sorting samples in
+// place. Empty input yields the zero value.
+func percentilesOf(samples []int64) Percentiles {
+	n := len(samples)
+	if n == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := func(p int64) int64 {
+		// ceil(p/100 · n) − 1, computed in integers.
+		i := (p*int64(n) + 99) / 100
+		return samples[i-1]
+	}
+	return Percentiles{P50: rank(50), P90: rank(90), P99: rank(99)}
+}
+
+// sampleSet accumulates per-entity latency/wait samples during the
+// attribution pass: whole-span per thread, per bank, and overall, plus
+// per-window splits keyed by the completion window.
+type sampleSet struct {
+	all        []int64
+	thrLat     [][]int64 // [thread] latency (arrival → data return)
+	thrWait    [][]int64 // [thread] queued wait (arrival → first command)
+	bankLat    [][]int64
+	bankWait   [][]int64
+	winLat     [][]int64 // [window]
+	winThrLat  [][]int64 // [window*threads + thread]
+	winBankLat [][]int64 // [window*banks + bank]
+	threads    int
+	banks      int
+}
+
+func newSampleSet(windows, threads, banks int) *sampleSet {
+	return &sampleSet{
+		thrLat: make([][]int64, threads), thrWait: make([][]int64, threads),
+		bankLat: make([][]int64, banks), bankWait: make([][]int64, banks),
+		winLat:     make([][]int64, windows),
+		winThrLat:  make([][]int64, windows*threads),
+		winBankLat: make([][]int64, windows*banks),
+		threads:    threads, banks: banks,
+	}
+}
+
+// add records one completed read: lat is arrival→return, wait is
+// arrival→first command (the queued portion), win the completion window.
+func (ss *sampleSet) add(thread, bank int32, win int, lat, wait int64) {
+	ss.all = append(ss.all, lat)
+	ss.thrLat[thread] = append(ss.thrLat[thread], lat)
+	ss.thrWait[thread] = append(ss.thrWait[thread], wait)
+	ss.bankLat[bank] = append(ss.bankLat[bank], lat)
+	ss.bankWait[bank] = append(ss.bankWait[bank], wait)
+	ss.winLat[win] = append(ss.winLat[win], lat)
+	ss.winThrLat[win*ss.threads+int(thread)] = append(ss.winThrLat[win*ss.threads+int(thread)], lat)
+	ss.winBankLat[win*ss.banks+int(bank)] = append(ss.winBankLat[win*ss.banks+int(bank)], lat)
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import "testing"
+
+// TestPercentilesNearestRank pins the exact nearest-rank definition:
+// P(p) = sorted[ceil(p/100 · n) − 1], no interpolation.
+func TestPercentilesNearestRank(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		want    Percentiles
+	}{
+		{"empty", nil, Percentiles{}},
+		{"single", []int64{42}, Percentiles{P50: 42, P90: 42, P99: 42}},
+		{"two", []int64{10, 20}, Percentiles{P50: 10, P90: 20, P99: 20}},
+		// n=10: ranks ceil(5)=5, ceil(9)=9, ceil(9.9)=10 → values 50/90/100.
+		{"ten", []int64{100, 10, 20, 30, 40, 50, 60, 70, 80, 90},
+			Percentiles{P50: 50, P90: 90, P99: 100}},
+		// n=4: ranks ceil(2)=2, ceil(3.6)=4, ceil(3.96)=4.
+		{"four", []int64{4, 1, 3, 2}, Percentiles{P50: 2, P90: 4, P99: 4}},
+		// n=100: p99 is the 99th value, not the max.
+		{"hundred", seq100(), Percentiles{P50: 50, P90: 90, P99: 99}},
+	}
+	for _, tc := range cases {
+		if got := percentilesOf(tc.samples); got != tc.want {
+			t.Errorf("%s: percentilesOf = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func seq100() []int64 {
+	out := make([]int64, 100)
+	for i := range out {
+		out[i] = int64(100 - i) // reversed, so the sort matters
+	}
+	return out
+}
+
+// TestReportPercentiles checks the fixture's hand-derivable percentiles:
+// t0 completes one read (latency 250, wait 150), t1 one read (450/400);
+// the in-flight request and the write contribute no samples.
+func TestReportPercentiles(t *testing.T) {
+	r := FromLog(fixtureLog()).Analyze(Options{WindowCycles: 100})
+
+	if want := (Percentiles{P50: 250, P90: 450, P99: 450}); r.LatencyPct != want {
+		t.Errorf("overall LatencyPct = %+v, want %+v", r.LatencyPct, want)
+	}
+	if want := (Percentiles{P50: 250, P90: 250, P99: 250}); r.Threads[0].LatencyPct != want {
+		t.Errorf("t0 LatencyPct = %+v, want %+v", r.Threads[0].LatencyPct, want)
+	}
+	if want := (Percentiles{P50: 150, P90: 150, P99: 150}); r.Threads[0].WaitPct != want {
+		t.Errorf("t0 WaitPct = %+v, want %+v", r.Threads[0].WaitPct, want)
+	}
+	if want := (Percentiles{P50: 450, P90: 450, P99: 450}); r.Threads[1].LatencyPct != want {
+		t.Errorf("t1 LatencyPct = %+v, want %+v", r.Threads[1].LatencyPct, want)
+	}
+	// Banks: bank 0 served t0's read, bank 1 t1's.
+	if r.Banks[0].LatencyPct.P50 != 250 || r.Banks[1].LatencyPct.P50 != 450 {
+		t.Errorf("bank latency p50 = %d/%d, want 250/450",
+			r.Banks[0].LatencyPct.P50, r.Banks[1].LatencyPct.P50)
+	}
+	if r.Banks[1].WaitPct.P99 != 400 {
+		t.Errorf("bank 1 WaitPct.P99 = %d, want 400", r.Banks[1].WaitPct.P99)
+	}
+	// Windows key on the completion cycle: t0's read completes at 250
+	// (window 2), t1's at 530 (window 5).
+	if r.Windows[2].LatencyPct.P50 != 250 || r.Windows[2].Threads[0].LatencyPct.P50 != 250 {
+		t.Errorf("window 2 percentiles wrong: %+v", r.Windows[2].LatencyPct)
+	}
+	if r.Windows[5].LatencyPct.P50 != 450 || r.Windows[5].Banks[1].LatencyPct.P50 != 450 {
+		t.Errorf("window 5 percentiles wrong: %+v", r.Windows[5].LatencyPct)
+	}
+	// Empty windows carry zero percentiles.
+	if r.Windows[9].LatencyPct != (Percentiles{}) {
+		t.Errorf("empty window 9 has percentiles %+v", r.Windows[9].LatencyPct)
+	}
+}

@@ -26,8 +26,13 @@ func (r *Report) WriteText(w io.Writer) error {
 	p("events: %d  span: [0, %d) DRAM cycles  windows: %d x %d cycles\n",
 		r.Events, r.SpanEnd, len(r.Windows), r.WindowCycles)
 	p("requests: %d completed reads, %d still in flight at span end\n", r.Requests, r.InFlight)
-	if r.Truncated {
+	p("latency percentiles (all reads, cycles): p50=%d p90=%d p99=%d\n",
+		r.LatencyPct.P50, r.LatencyPct.P90, r.LatencyPct.P99)
+	if r.Dropped > 0 {
 		p("NOTE: trace truncated (%d events dropped at record time); figures cover the recorded prefix only\n", r.Dropped)
+	}
+	if r.IngestTruncated {
+		p("NOTE: trace stream truncated during ingest (torn tail or malformed line); figures cover the parseable prefix only\n")
 	}
 
 	p("\nbottleneck attribution (queued wait = unmarked + marked cycles, whole span):\n")
@@ -46,11 +51,12 @@ func (r *Report) WriteText(w io.Writer) error {
 		p("  %4d  %-8s %14s      %-8s %14s\n", i+1, bankLbl, bankWait, thrLbl, thrWait)
 	}
 
-	p("\nper-thread wait decomposition (cycle sums over the span):\n")
-	p("  thread    reads  inflight    unmarked      marked     service\n")
+	p("\nper-thread wait decomposition (cycle sums over the span; percentiles nearest-rank per read):\n")
+	p("  thread    reads  inflight    unmarked      marked     service   lat.p50   lat.p90   lat.p99  wait.p99\n")
 	for _, t := range r.Threads {
-		p("  %6d %8d %9d %11d %11d %11d\n",
-			t.Thread, t.Reads, t.InFlight, t.Unmarked, t.Marked, t.Service)
+		p("  %6d %8d %9d %11d %11d %11d %9d %9d %9d %9d\n",
+			t.Thread, t.Reads, t.InFlight, t.Unmarked, t.Marked, t.Service,
+			t.LatencyPct.P50, t.LatencyPct.P90, t.LatencyPct.P99, t.WaitPct.P99)
 	}
 
 	p("\nwindow timeline (busy%% = cycles with a command issued):\n")

@@ -11,12 +11,12 @@ import (
 	"repro/internal/trace"
 )
 
-// parbs.analysis/v1 snapshot: the columnar store serialized for reuse
+// parbs.analysis/v2 snapshot: the columnar store serialized for reuse
 // across processes (ingest once, query many times; ship a snapshot instead
 // of re-parsing a multi-hundred-MB JSONL). Layout, all integers little
 // endian:
 //
-//	magic    "parbs.analysis/v1\n"
+//	magic    "parbs.analysis/v2\n"
 //	u32      header JSON length, then that many bytes of snapHeader JSON
 //	columns  cycle,req,row int64; thread,bank,rank,channel int32;
 //	         kind,cmd,write u8 — each a packed array of Events() entries
@@ -27,26 +27,30 @@ import (
 //	         silently corrupt column would poison every query downstream
 //
 // The magic carries the version: any incompatible change bumps Schema and
-// old readers fail loudly on the first 18 bytes.
+// old readers fail loudly on the first 18 bytes. v2 added ingest_truncated
+// to the header JSON; the body layout is unchanged, so the reader accepts
+// the v1 magic too and infers the flag (a v1 store marked truncated with
+// zero record-time drops could only have been cut during ingest).
 
 // snapHeader is the snapshot's JSON header.
 type snapHeader struct {
-	Meta      trace.Meta `json:"meta"`
-	Truncated bool       `json:"truncated"`
-	Dropped   int64      `json:"dropped"`
-	Events    int        `json:"events"`
-	Batches   int        `json:"batches"`
+	Meta            trace.Meta `json:"meta"`
+	Truncated       bool       `json:"truncated"`
+	IngestTruncated bool       `json:"ingest_truncated,omitempty"`
+	Dropped         int64      `json:"dropped"`
+	Events          int        `json:"events"`
+	Batches         int        `json:"batches"`
 }
 
-// WriteSnapshot serializes the store in parbs.analysis/v1 form.
+// WriteSnapshot serializes the store in parbs.analysis/v2 form.
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(Schema + "\n"); err != nil {
 		return err
 	}
 	hdr, err := json.Marshal(snapHeader{
-		Meta: s.meta, Truncated: s.truncated, Dropped: s.dropped,
-		Events: len(s.kind), Batches: len(s.batchPT),
+		Meta: s.meta, Truncated: s.truncated, IngestTruncated: s.ingestTruncated,
+		Dropped: s.dropped, Events: len(s.kind), Batches: len(s.batchPT),
 	})
 	if err != nil {
 		return err
@@ -109,15 +113,17 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadSnapshot deserializes a parbs.analysis/v1 snapshot, verifying the
-// magic, the declared lengths, and the body checksum.
+// ReadSnapshot deserializes a parbs.analysis snapshot (v2 or the legacy
+// v1 magic), verifying the magic, the declared lengths, and the body
+// checksum.
 func ReadSnapshot(r io.Reader) (*Store, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, len(Schema)+1)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("analysis: snapshot magic: %w", err)
 	}
-	if string(magic) != Schema+"\n" {
+	v1 := string(magic) == SchemaV1+"\n"
+	if string(magic) != Schema+"\n" && !v1 {
 		return nil, fmt.Errorf("analysis: not a %s snapshot", Schema)
 	}
 	var u32 [4]byte
@@ -143,7 +149,13 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	sum := fnv.New64a()
 	body := io.TeeReader(br, sum)
 	n := hdr.Events
-	s := &Store{meta: hdr.Meta, truncated: hdr.Truncated, dropped: hdr.Dropped}
+	s := &Store{meta: hdr.Meta, truncated: hdr.Truncated,
+		ingestTruncated: hdr.IngestTruncated, dropped: hdr.Dropped}
+	if v1 && s.truncated && s.dropped == 0 {
+		// v1 headers did not record the distinction; truncation without
+		// record-time drops can only have come from a damaged stream.
+		s.ingestTruncated = true
+	}
 	var err error
 	if s.cycle, err = readI64s(body, n); err != nil {
 		return nil, err

@@ -70,4 +70,88 @@ func TestSnapshotRejectsDamage(t *testing.T) {
 	if _, err := ReadSnapshot(bytes.NewReader(good[:len(good)/2])); err == nil {
 		t.Error("truncated snapshot: want error")
 	}
+
+	// Errors must be descriptive, never a panic: check the three classes.
+	_, err := ReadSnapshot(strings.NewReader("parbs.analysis/v9\nxx"))
+	if err == nil || !strings.Contains(err.Error(), "not a") {
+		t.Errorf("wrong-version magic error undescriptive: %v", err)
+	}
+	// Corrupt the stored checksum itself: the mismatch must name both sums.
+	badSum := append([]byte(nil), good...)
+	badSum[len(badSum)-1] ^= 0xff
+	_, err = ReadSnapshot(bytes.NewReader(badSum))
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("checksum error undescriptive: %v", err)
+	}
+}
+
+// TestSnapshotV1Compat: v1 snapshots stay readable. The v2 body layout is
+// unchanged and the checksum covers only the body, so a v1 fixture is a v2
+// snapshot with the legacy magic patched in (v1 headers never carried
+// ingest_truncated, which omitempty reproduces).
+func TestSnapshotV1Compat(t *testing.T) {
+	s := FromLog(fixtureLog())
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(SchemaV1+"\n"), buf.Bytes()[len(Schema)+1:]...)
+
+	back, err := ReadSnapshot(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 snapshot unreadable: %v", err)
+	}
+	if back.Meta() != s.Meta() || back.Events() != s.Events() {
+		t.Errorf("v1 read drifted: %+v / %d events", back.Meta(), back.Events())
+	}
+	// Re-serializing a v1 read produces a v2 snapshot (reads upgrade).
+	var again bytes.Buffer
+	if err := back.WriteSnapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(again.Bytes(), []byte(Schema+"\n")) {
+		t.Error("v1 read did not re-serialize as v2")
+	}
+}
+
+// TestSnapshotV1InfersIngestTruncation: a v1 store flagged truncated with
+// zero record-time drops can only have been cut during ingest; the reader
+// reconstructs the distinction v1 headers could not record.
+func TestSnapshotV1InfersIngestTruncation(t *testing.T) {
+	s := FromLog(fixtureLog())
+	// Ingest-truncated store: flag set, dropped == 0. A v1 writer would
+	// record only truncated.
+	s.truncated = true
+	s.ingestTruncated = true
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[len(Schema)+1:]
+	// Strip the v2-only header field so the fixture is a faithful v1 file.
+	hdrLen := int(uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24)
+	hdr := bytes.Replace(raw[4:4+hdrLen], []byte(`,"ingest_truncated":true`), nil, 1)
+	var v1 bytes.Buffer
+	v1.WriteString(SchemaV1 + "\n")
+	v1.Write([]byte{byte(len(hdr)), byte(len(hdr) >> 8), byte(len(hdr) >> 16), byte(len(hdr) >> 24)})
+	v1.Write(hdr)
+	v1.Write(raw[4+hdrLen:])
+
+	back, err := ReadSnapshot(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Truncated() || !back.IngestTruncated() {
+		t.Errorf("v1 inference: Truncated=%v IngestTruncated=%v, want true/true",
+			back.Truncated(), back.IngestTruncated())
+	}
+
+	// A v2 snapshot of the same store round-trips the explicit flag.
+	back2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back2.IngestTruncated() {
+		t.Error("v2 snapshot dropped the explicit ingest_truncated flag")
+	}
 }

@@ -61,6 +61,9 @@ type BankWindow struct {
 	// Wait is the queued wait (unmarked + marked phases) contributed by
 	// requests targeting the bank, in cycles overlapping this window.
 	Wait int64 `json:"wait"`
+	// LatencyPct holds exact nearest-rank percentiles of the latencies of
+	// reads to this bank that completed in this window.
+	LatencyPct Percentiles `json:"latency_pct"`
 }
 
 // ThreadWindow is one thread's wait decomposition inside one window.
@@ -70,6 +73,9 @@ type ThreadWindow struct {
 	Service  int64 `json:"service"`
 	// Completions counts reads whose data returned in this window.
 	Completions int64 `json:"completions"`
+	// LatencyPct holds exact percentiles of the latencies of this thread's
+	// reads that completed in this window.
+	LatencyPct Percentiles `json:"latency_pct"`
 }
 
 // Window is one time slice's aggregates.
@@ -95,6 +101,9 @@ type Window struct {
 	// TopBanks and TopThreads rank this window's wait contributors.
 	TopBanks   []Contribution `json:"top_banks"`
 	TopThreads []Contribution `json:"top_threads"`
+	// LatencyPct holds exact percentiles of all read latencies completing
+	// in this window.
+	LatencyPct Percentiles `json:"latency_pct"`
 }
 
 // BankTotals is one bank's whole-span rollup.
@@ -106,6 +115,10 @@ type BankTotals struct {
 	Commands   int64   `json:"commands"`
 	Wait       int64   `json:"wait"`
 	QueueDepth float64 `json:"queue_depth"`
+	// LatencyPct and WaitPct hold exact whole-span percentiles of this
+	// bank's completed-read latencies and queued waits.
+	LatencyPct Percentiles `json:"latency_pct"`
+	WaitPct    Percentiles `json:"wait_pct"`
 }
 
 // ThreadTotals is one thread's whole-span rollup.
@@ -120,6 +133,12 @@ type ThreadTotals struct {
 	Service  int64 `json:"service"`
 	// Wait is Unmarked+Marked — the attribution ranking signal.
 	Wait int64 `json:"wait"`
+	// LatencyPct and WaitPct hold exact whole-span percentiles of this
+	// thread's completed-read latencies and queued waits (arrival to first
+	// command). In-flight requests are excluded — a percentile over
+	// unfinished samples would be a lower bound masquerading as a fact.
+	LatencyPct Percentiles `json:"latency_pct"`
+	WaitPct    Percentiles `json:"wait_pct"`
 }
 
 // BatchSpan is one batch's formation/drain timeline entry.
@@ -139,8 +158,12 @@ type Report struct {
 	Schema    string     `json:"schema"`
 	Meta      trace.Meta `json:"meta"`
 	Truncated bool       `json:"truncated"`
-	Dropped   int64      `json:"dropped"`
-	Events    int        `json:"events"`
+	// IngestTruncated distinguishes damage found while reading the stream
+	// (torn tail, malformed line) from record-time buffer drops, which are
+	// reported via Dropped. Either condition sets Truncated.
+	IngestTruncated bool  `json:"ingest_truncated"`
+	Dropped         int64 `json:"dropped"`
+	Events          int   `json:"events"`
 	// SpanEnd is the analyzed span's exclusive end ([0, SpanEnd)).
 	SpanEnd      int64 `json:"span_end"`
 	WindowCycles int64 `json:"window_cycles"`
@@ -155,6 +178,9 @@ type Report struct {
 	// TopBanks and TopThreads are the whole-span bottleneck attribution.
 	TopBanks   []Contribution `json:"top_banks"`
 	TopThreads []Contribution `json:"top_threads"`
+	// LatencyPct holds exact whole-span percentiles over every completed
+	// read's latency.
+	LatencyPct Percentiles `json:"latency_pct"`
 
 	topK int
 }
@@ -211,7 +237,8 @@ func (s *Store) Analyze(opt Options) *Report {
 
 	nBanks := channels * banksPer
 	r := &Report{
-		Schema: Schema, Meta: s.meta, Truncated: s.truncated, Dropped: s.dropped,
+		Schema: Schema, Meta: s.meta, Truncated: s.truncated,
+		IngestTruncated: s.ingestTruncated, Dropped: s.dropped,
 		Events: len(s.kind), SpanEnd: end, WindowCycles: width, topK: topK,
 		Windows: make([]Window, nWin),
 	}
@@ -339,6 +366,7 @@ func (s *Store) Analyze(opt Options) *Report {
 	for t := range r.Threads {
 		r.Threads[t].Thread = t
 	}
+	samples := newSampleSet(nWin, threads, nBanks)
 	attribute := func(q *reqOpen, completed int64, live bool) {
 		// Queue residency (all requests, writes included): arrival → return.
 		spread(q.arrival, completed, func(w int, amt int64) {
@@ -357,6 +385,13 @@ func (s *Store) Analyze(opt Options) *Report {
 		markEnd := q.firstCmd
 		if markEnd < 0 {
 			markEnd = completed
+		}
+		if !live {
+			// Percentile samples: completed reads only. Latency is arrival →
+			// data return; wait is the queued portion (arrival → first
+			// command); the window is the one the read completed in.
+			samples.add(q.thread, q.bank, winOf(completed),
+				completed-q.arrival, markEnd-q.arrival)
 		}
 		unmarkedEnd := markEnd
 		if q.marked >= 0 && markEnd >= q.marked {
@@ -421,6 +456,27 @@ func (s *Store) Analyze(opt Options) *Report {
 		tw[t] = ThreadWindow{Unmarked: r.Threads[t].Unmarked, Marked: r.Threads[t].Marked}
 	}
 	r.TopThreads = topThreads(tw, topK)
+
+	// Percentile columns, exact nearest-rank over the collected samples.
+	r.LatencyPct = percentilesOf(samples.all)
+	for t := range r.Threads {
+		r.Threads[t].LatencyPct = percentilesOf(samples.thrLat[t])
+		r.Threads[t].WaitPct = percentilesOf(samples.thrWait[t])
+	}
+	for b := range r.Banks {
+		r.Banks[b].LatencyPct = percentilesOf(samples.bankLat[b])
+		r.Banks[b].WaitPct = percentilesOf(samples.bankWait[b])
+	}
+	for w := range r.Windows {
+		win := &r.Windows[w]
+		win.LatencyPct = percentilesOf(samples.winLat[w])
+		for t := range win.Threads {
+			win.Threads[t].LatencyPct = percentilesOf(samples.winThrLat[w*threads+t])
+		}
+		for b := range win.Banks {
+			win.Banks[b].LatencyPct = percentilesOf(samples.winBankLat[w*nBanks+b])
+		}
+	}
 	return r
 }
 

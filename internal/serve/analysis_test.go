@@ -11,7 +11,6 @@ import (
 	"testing"
 	"time"
 
-	parbs "repro"
 	"repro/internal/analysis"
 	"repro/internal/trace"
 )
@@ -48,7 +47,7 @@ func testTraceJSONL(t *testing.T) []byte {
 // and every rendering (JSON, text, dashboard, snapshot) agrees.
 func TestAnalysisEndpoints(t *testing.T) {
 	jsonl := testTraceJSONL(t)
-	runner := func(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error) {
+	runner := func(ctx context.Context, spec Spec, sink Sink) (*Result, error) {
 		res := &Result{Report: json.RawMessage(`{"scheduler":"stub"}`)}
 		if spec.Trace != nil && spec.Trace.Events {
 			res.TraceEvents = jsonl

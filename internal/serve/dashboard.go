@@ -44,12 +44,26 @@ type attrRow struct {
 	Thread, ThreadCycles string
 }
 
+// pctRow is one thread's latency/wait percentile table row.
+type pctRow struct {
+	Label string
+	Lat   analysis.Percentiles
+	Wait  analysis.Percentiles
+}
+
 // dashView is everything the dashboard template consumes.
 type dashView struct {
 	ID string
 	R  *analysis.Report
 
+	// Live marks a mid-run view computed from the trace prefix received so
+	// far; RefreshSeconds > 0 emits a meta-refresh tag so the page reloads
+	// until the run completes.
+	Live           bool
+	RefreshSeconds int
+
 	AttrRows []attrRow
+	PctRows  []pctRow
 
 	ThreadBars []threadBarView
 	BarsW      float64
@@ -101,6 +115,12 @@ func buildDashView(id string, r *analysis.Report) *dashView {
 			row.ThreadCycles = fmt.Sprint(r.TopThreads[i].Cycles)
 		}
 		v.AttrRows = append(v.AttrRows, row)
+	}
+
+	for _, t := range r.Threads {
+		v.PctRows = append(v.PctRows, pctRow{
+			Label: fmt.Sprintf("t%d", t.Thread), Lat: t.LatencyPct, Wait: t.WaitPct,
+		})
 	}
 
 	// Stacked per-thread bars, all on a shared scale so lengths compare.
@@ -212,7 +232,8 @@ var dashTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
 <html lang="en">
 <head>
 <meta charset="utf-8">
-<title>trace analysis {{.ID}} — {{.R.Meta.Policy}}</title>
+{{if gt .RefreshSeconds 0}}<meta http-equiv="refresh" content="{{.RefreshSeconds}}">
+{{end}}<title>trace analysis {{.ID}}{{if .Live}} (live){{end}} — {{.R.Meta.Policy}}</title>
 <style>
   body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 1080px; color: #1a1a1a; padding: 0 1rem; }
   h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
@@ -227,13 +248,15 @@ var dashTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
 </style>
 </head>
 <body>
-<h1>Trace analysis {{.ID}}</h1>
+<h1>Trace analysis {{.ID}}{{if .Live}} <span class="meta">(live)</span>{{end}}</h1>
 <p class="meta">policy {{.R.Meta.Policy}} · workload {{.R.Meta.Workload}} · {{.R.Meta.Cores}} cores ·
 {{.R.Meta.Banks}} banks{{if gt .R.Meta.Channels 1}} · {{.R.Meta.Channels}} channels{{end}} ·
 marking cap {{.R.Meta.MarkingCap}} · {{.R.Events}} events ·
 span [0, {{.R.SpanEnd}}) DRAM cycles · {{len .R.Windows}} × {{.R.WindowCycles}}-cycle windows ·
 {{.R.Requests}} reads completed, {{.R.InFlight}} in flight</p>
-{{if .R.Truncated}}<p class="warn">Trace truncated ({{.R.Dropped}} events dropped at record time) — figures cover the recorded prefix only.</p>{{end}}
+{{if gt .R.Dropped 0}}<p class="warn">Data loss: {{.R.Dropped}} events dropped at record time (tracer buffer cap) — figures cover the recorded prefix only.</p>{{end}}
+{{if .R.IngestTruncated}}<p class="warn">Data loss: trace stream truncated during ingest (torn tail or malformed line) — figures cover the parseable prefix only.</p>{{end}}
+{{if .Live}}<p class="meta">Live view: aggregates cover the trace prefix received so far{{if gt .RefreshSeconds 0}}; this page refreshes every {{.RefreshSeconds}}&#8201;s until the run completes{{end}}.</p>{{end}}
 
 <h2>Bottleneck attribution (whole span)</h2>
 <table>
@@ -255,6 +278,13 @@ span [0, {{.R.SpanEnd}}) DRAM cycles · {{len .R.Windows}} × {{.R.WindowCycles}
 {{end}}</g>
 </svg>
 
+<h2>Latency percentiles (cycles, nearest-rank)</h2>
+<p class="meta">all reads: p50 {{.R.LatencyPct.P50}} · p90 {{.R.LatencyPct.P90}} · p99 {{.R.LatencyPct.P99}}</p>
+<table>
+<tr><th>thread</th><th>lat p50</th><th>lat p90</th><th>lat p99</th><th>wait p50</th><th>wait p90</th><th>wait p99</th></tr>
+{{range .PctRows}}<tr><td>{{.Label}}</td><td>{{.Lat.P50}}</td><td>{{.Lat.P90}}</td><td>{{.Lat.P99}}</td><td>{{.Wait.P50}}</td><td>{{.Wait.P90}}</td><td>{{.Wait.P99}}</td></tr>
+{{end}}</table>
+
 <h2>Bus busy per window</h2>
 <svg width="{{add .TimelineW 40}}" height="{{add .TimelineH 20}}" role="img" aria-label="bus busy timeline">
 <g transform="translate(20,4)">
@@ -274,9 +304,11 @@ span [0, {{.R.SpanEnd}}) DRAM cycles · {{len .R.Windows}} × {{.R.WindowCycles}
 <h2>Batches</h2>
 <p>{{len .R.Batches}} formed, {{.BatchesDrained}} drained{{if gt .BatchesDrained 0}} (average formation→drain span {{printf "%.0f" .BatchAvgSpan}} cycles){{end}}.</p>
 
-<p class="meta">Renderings: <a href="/v1/analysis/{{.ID}}">JSON</a> ·
+{{if .Live}}<p class="meta">Streams: <a href="/v1/analysis/{{.ID}}/live">live SSE reports</a></p>
+{{else}}<p class="meta">Renderings: <a href="/v1/analysis/{{.ID}}">JSON</a> ·
 <a href="/v1/analysis/{{.ID}}/report">text report</a> ·
 <a href="/v1/analysis/{{.ID}}/snapshot">binary snapshot</a></p>
+{{end}}
 </body>
 </html>
 `))
@@ -288,4 +320,161 @@ func (s *Server) handleAnalysisDashboard(w http.ResponseWriter, r *http.Request)
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	dashTmpl.Execute(w, buildDashView(e.id, e.report))
+}
+
+// diffBarRow is one thread's side-by-side wait decomposition: the A arm's
+// bar stacked directly above the B arm's, on one shared scale.
+type diffBarRow struct {
+	Label        string
+	TextY        float64
+	SegsA, SegsB []rect
+	TotalA       int64
+	TotalB       int64
+	TotalAY      float64
+	TotalBY      float64
+}
+
+// diffThreadRow is one line of the diff dashboard's thread table.
+type diffThreadRow struct {
+	Thread                              int
+	WaitA, WaitB, DWait                 int64
+	DUnmarked, DLatencyP50, DLatencyP99 int64
+}
+
+// diffDashView is everything the diff dashboard template consumes.
+type diffDashView struct {
+	ID string
+	D  *analysis.DiffReport
+
+	ThreadRows []diffThreadRow
+	BarRows    []diffBarRow
+	BarsW      float64
+	BarsH      float64
+}
+
+func buildDiffDashView(id string, d *analysis.DiffReport) *diffDashView {
+	v := &diffDashView{ID: id, D: d, BarsW: dashBarW}
+
+	var maxTotal int64 = 1
+	for _, td := range d.Threads {
+		if tot := td.A.Wait + td.A.Service; tot > maxTotal {
+			maxTotal = tot
+		}
+		if tot := td.B.Wait + td.B.Service; tot > maxTotal {
+			maxTotal = tot
+		}
+	}
+	const pairPitch = 2*dashBarH + 16
+	for i, td := range d.Threads {
+		v.ThreadRows = append(v.ThreadRows, diffThreadRow{
+			Thread: td.Thread, WaitA: td.A.Wait, WaitB: td.B.Wait, DWait: td.DWait,
+			DUnmarked: td.DUnmarked, DLatencyP50: td.DLatencyP50, DLatencyP99: td.DLatencyP99,
+		})
+		y := float64(i) * pairPitch
+		row := diffBarRow{
+			Label: fmt.Sprintf("t%d", td.Thread), TextY: y + dashBarH + 4,
+			TotalA: td.A.Wait + td.A.Service, TotalAY: y + 16,
+			TotalB: td.B.Wait + td.B.Service, TotalBY: y + dashBarH + 18,
+		}
+		bar := func(tt analysis.ThreadTotals, arm string, barY float64) []rect {
+			var segs []rect
+			x := 0.0
+			for _, seg := range []struct {
+				cycles int64
+				fill   string
+				name   string
+			}{
+				{tt.Unmarked, "#e08214", "unmarked wait"},
+				{tt.Marked, "#b2182b", "marked wait"},
+				{tt.Service, "#4393c3", "service"},
+			} {
+				w := dashBarW * float64(seg.cycles) / float64(maxTotal)
+				if seg.cycles > 0 {
+					segs = append(segs, rect{
+						X: x, Y: barY, W: w, H: dashBarH - 2, Fill: seg.fill,
+						Title: fmt.Sprintf("t%d %s %s: %d cycles", td.Thread, arm, seg.name, seg.cycles),
+					})
+				}
+				x += w
+			}
+			return segs
+		}
+		row.SegsA = bar(td.A, "A", y)
+		row.SegsB = bar(td.B, "B", y+dashBarH)
+		v.BarRows = append(v.BarRows, row)
+	}
+	v.BarsH = float64(len(d.Threads)) * pairPitch
+	return v
+}
+
+var diffTmpl = template.Must(template.New("diff").Funcs(template.FuncMap{
+	"f":   func(x float64) string { return fmt.Sprintf("%.1f", x) },
+	"add": func(a, b float64) string { return fmt.Sprintf("%.1f", a+b) },
+	"f3":  func(x float64) string { return fmt.Sprintf("%.3f", x) },
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>analysis diff {{.ID}} — {{.D.A.Meta.Policy}} vs {{.D.B.Meta.Policy}}</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 1080px; color: #1a1a1a; padding: 0 1rem; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+  table { border-collapse: collapse; margin: .5rem 0; }
+  th, td { padding: .2rem .7rem; text-align: right; border-bottom: 1px solid #ddd; }
+  th { font-weight: 600; } td:first-child, th:first-child { text-align: left; }
+  .meta { color: #555; }
+  .warn { background: #fff3cd; border: 1px solid #e0c060; padding: .5rem .8rem; border-radius: 4px; }
+  .legend span { display: inline-block; margin-right: 1.2rem; }
+  .swatch { display: inline-block; width: .8em; height: .8em; margin-right: .35em; vertical-align: -.05em; }
+  svg text { font: 11px system-ui, sans-serif; fill: #444; }
+</style>
+</head>
+<body>
+<h1>Analysis diff {{.ID}}: A={{.D.A.Meta.Policy}} vs B={{.D.B.Meta.Policy}}</h1>
+<p class="meta">deltas are B−A · workload {{.D.A.Meta.Workload}} ·
+span A {{.D.A.SpanEnd}} / B {{.D.B.SpanEnd}} cycles · window {{.D.WindowCycles}} cycles ·
+batches A {{.D.Batches.BatchesA}} / B {{.D.Batches.BatchesB}}</p>
+{{range .D.Mismatches}}<p class="warn">MISMATCH {{.}}</p>
+{{end}}{{if .D.A.Truncated}}<p class="warn">Arm A is truncated — deltas cover its recorded prefix only.</p>{{end}}
+{{if .D.B.Truncated}}<p class="warn">Arm B is truncated — deltas cover its recorded prefix only.</p>{{end}}
+
+<h2>Unfairness (p50 latency max/min)</h2>
+<p>A {{f3 .D.UnfairnessA}} → B {{f3 .D.UnfairnessB}} ({{printf "%+.3f" .D.UnfairnessDelta}})</p>
+
+<h2>Per-thread wait, side by side</h2>
+<p class="legend">
+<span><span class="swatch" style="background:#e08214"></span>unmarked wait</span>
+<span><span class="swatch" style="background:#b2182b"></span>marked wait</span>
+<span><span class="swatch" style="background:#4393c3"></span>service</span>
+<span>top bar = A, bottom bar = B</span>
+</p>
+<svg width="{{add .BarsW 200}}" height="{{f .BarsH}}" role="img" aria-label="per-thread wait, A above B">
+<g transform="translate(40,0)">
+{{range .BarRows}}<text x="-34" y="{{f .TextY}}">{{.Label}}</text>
+{{range .SegsA}}<rect x="{{f .X}}" y="{{f .Y}}" width="{{f .W}}" height="{{f .H}}" fill="{{.Fill}}"><title>{{.Title}}</title></rect>
+{{end}}{{range .SegsB}}<rect x="{{f .X}}" y="{{f .Y}}" width="{{f .W}}" height="{{f .H}}" fill="{{.Fill}}"><title>{{.Title}}</title></rect>
+{{end}}<text x="{{add $.BarsW 8}}" y="{{f .TotalAY}}">A {{.TotalA}} cy</text>
+<text x="{{add $.BarsW 8}}" y="{{f .TotalBY}}">B {{.TotalB}} cy</text>
+{{end}}</g>
+</svg>
+
+<h2>Thread deltas</h2>
+<table>
+<tr><th>thread</th><th>waitA</th><th>waitB</th><th>dWait</th><th>dUnmarked</th><th>dLat p50</th><th>dLat p99</th></tr>
+{{range .ThreadRows}}<tr><td>t{{.Thread}}</td><td>{{.WaitA}}</td><td>{{.WaitB}}</td><td>{{printf "%+d" .DWait}}</td><td>{{printf "%+d" .DUnmarked}}</td><td>{{printf "%+d" .DLatencyP50}}</td><td>{{printf "%+d" .DLatencyP99}}</td></tr>
+{{end}}</table>
+
+<p class="meta">Renderings: <a href="/v1/diffs/{{.ID}}">JSON</a> ·
+<a href="/v1/diffs/{{.ID}}/report">text report</a></p>
+</body>
+</html>
+`))
+
+func (s *Server) handleDiffDashboard(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.diffEntry(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	diffTmpl.Execute(w, buildDiffDashView(e.id, e.report))
 }

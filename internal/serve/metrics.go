@@ -76,7 +76,16 @@ type Metrics struct {
 	// analysisErrs counts submissions whose trace failed to ingest.
 	analyses     int64
 	analysisErrs int64
-	waits        map[string]*waitHist
+	// liveSessions gauges currently-open live-analysis SSE followers;
+	// ingestEvents counts trace events consumed by live ingesters.
+	liveSessions int64
+	ingestEvents int64
+	// diffs counts cross-run diff reports computed via POST
+	// /v1/analysis/diff; diffErrs counts submissions that failed to resolve
+	// or ingest either arm.
+	diffs    int64
+	diffErrs int64
+	waits    map[string]*waitHist
 	// runs holds per-policy simulation run durations (dispatch to finish)
 	// for successfully completed jobs.
 	runs map[string]*waitHist
@@ -119,6 +128,26 @@ func (m *Metrics) cacheHit() { m.add(&m.cacheHits) }
 
 func (m *Metrics) analysisDone()   { m.add(&m.analyses) }
 func (m *Metrics) analysisFailed() { m.add(&m.analysisErrs) }
+
+func (m *Metrics) liveSessionStart() { m.add(&m.liveSessions) }
+func (m *Metrics) liveSessionEnd() {
+	m.mu.Lock()
+	m.liveSessions--
+	m.mu.Unlock()
+}
+
+// observeIngest records n trace events consumed by a live ingester.
+func (m *Metrics) observeIngest(n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.ingestEvents += n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) diffDone()   { m.add(&m.diffs) }
+func (m *Metrics) diffFailed() { m.add(&m.diffErrs) }
 
 // observeRun records a successful job's simulation duration under its
 // policy name.
@@ -211,8 +240,12 @@ func (m *Metrics) render(w io.Writer, queueDepth int, batchesFormed int64) {
 	counter("cache_hits_total", "Submissions served instantly from the content-hash result cache.", m.cacheHits)
 	counter("analyses_total", "Trace analyses computed via POST /v1/analysis.", m.analyses)
 	counter("analysis_errors_total", "Analysis submissions whose trace failed to ingest.", m.analysisErrs)
+	counter("analysis_ingest_events_total", "Trace events consumed by live-analysis ingesters.", m.ingestEvents)
+	counter("analysis_diffs_total", "Cross-run diff reports computed via POST /v1/analysis/diff.", m.diffs)
+	counter("analysis_diff_errors_total", "Diff submissions that failed to resolve or ingest an arm.", m.diffErrs)
 	counter("batches_formed_total", "Admission batches formed by the PAR-BS scheduler.", batchesFormed)
 	fmt.Fprintf(w, "# HELP parbs_serve_queue_depth Jobs waiting for a worker.\n# TYPE parbs_serve_queue_depth gauge\nparbs_serve_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP parbs_serve_live_analysis_sessions Live-analysis SSE sessions currently open.\n# TYPE parbs_serve_live_analysis_sessions gauge\nparbs_serve_live_analysis_sessions %d\n", m.liveSessions)
 	if len(m.pending) > 0 {
 		fmt.Fprintf(w, "# HELP parbs_serve_pending_reads Request-buffer occupancy per DRAM channel at the latest shared-run heartbeat.\n# TYPE parbs_serve_pending_reads gauge\n")
 		for ch, n := range m.pending {

@@ -8,10 +8,23 @@ import (
 	parbs "repro"
 )
 
+// Sink receives a running job's observability streams. Either hook may be
+// nil; both are invoked synchronously from the simulation goroutine, so
+// they must be fast and must not block.
+type Sink struct {
+	// Progress receives heartbeat snapshots (SSE /events, occupancy gauges).
+	Progress func(parbs.Progress)
+	// TraceChunk receives incremental parbs.trace/v1 JSONL: each call
+	// carries the bytes recorded since the previous one (header line
+	// first). Concatenated chunks form a valid prefix of the run's trace —
+	// the live-analysis endpoint ingests them as they arrive.
+	TraceChunk func([]byte)
+}
+
 // Runner executes one validated job spec. The default is SimulationRunner;
 // tests substitute stubs to make scheduling behavior observable without
 // paying for real simulations.
-type Runner func(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error)
+type Runner func(ctx context.Context, spec Spec, sink Sink) (*Result, error)
 
 // reportJSON is the wire form of a parbs.Report, embedded in run results.
 type reportJSON struct {
@@ -60,7 +73,7 @@ func marshalReport(rep parbs.Report) (json.RawMessage, error) {
 // alone-run baselines across jobs through cache (identical system shapes
 // skip the baseline simulations entirely).
 func SimulationRunner(cache *parbs.AloneCache) Runner {
-	return func(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error) {
+	return func(ctx context.Context, spec Spec, sink Sink) (*Result, error) {
 		w, err := spec.workload()
 		if err != nil {
 			return nil, err
@@ -73,9 +86,6 @@ func SimulationRunner(cache *parbs.AloneCache) Runner {
 		if cache != nil {
 			opts = append(opts, parbs.WithAloneCache(cache))
 		}
-		if progress != nil {
-			opts = append(opts, parbs.WithProgress(progress))
-		}
 		var tel *parbs.Telemetry
 		if spec.Telemetry != nil {
 			tel = parbs.NewTelemetry(parbs.TelemetryConfig{
@@ -85,13 +95,39 @@ func SimulationRunner(cache *parbs.AloneCache) Runner {
 			opts = append(opts, parbs.WithTelemetry(tel))
 		}
 		var tracer *parbs.Tracer
+		var stream *parbs.TraceStream
 		if spec.Trace != nil {
 			tracer = parbs.NewTracer(parbs.TracerConfig{MaxEvents: spec.Trace.MaxEvents})
 			opts = append(opts, parbs.WithTrace(tracer))
+			if spec.Trace.Events && sink.TraceChunk != nil {
+				stream = tracer.Stream()
+			}
+		}
+		// Progress callbacks fire synchronously on the simulation goroutine,
+		// which is the one place a mid-run trace flush is race-free.
+		if sink.Progress != nil || stream != nil {
+			opts = append(opts, parbs.WithProgress(func(p parbs.Progress) {
+				if sink.Progress != nil {
+					sink.Progress(p)
+				}
+				if stream != nil {
+					if chunk, err := stream.Flush(); err == nil && chunk != nil {
+						sink.TraceChunk(chunk)
+					}
+				}
+			}))
 		}
 		rep, err := parbs.RunContext(ctx, spec.system(), w, sched, opts...)
 		if err != nil {
 			return nil, err
+		}
+		if stream != nil {
+			// Final flush after the run: everything the last progress
+			// heartbeat had not yet seen (sharded runs deliver all their
+			// events here, after the shard merge).
+			if chunk, err := stream.Flush(); err == nil && chunk != nil {
+				sink.TraceChunk(chunk)
+			}
 		}
 		res := &Result{}
 		if res.Report, err = marshalReport(rep); err != nil {

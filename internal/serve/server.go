@@ -60,6 +60,7 @@ type Server struct {
 	opts     Options
 	store    *Store
 	analyses *analysisStore
+	diffs    *diffStore
 	queue    *Queue
 	metrics  *Metrics
 	pool     *pool
@@ -102,6 +103,7 @@ func New(opts Options) *Server {
 		opts:     opts,
 		store:    NewStore(opts.MaxJobs),
 		analyses: newAnalysisStore(opts.MaxAnalyses),
+		diffs:    newDiffStore(opts.MaxAnalyses),
 		metrics:  metrics,
 		queue:    newQueue(adm, opts.QueueCap),
 	}
@@ -114,10 +116,18 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("POST /v1/analysis", s.handleAnalyze)
+	// Diff GETs live under /v1/diffs: a literal "diff" segment under
+	// /v1/analysis would be ambiguous against the {id} wildcard routes.
+	s.mux.HandleFunc("POST /v1/analysis/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /v1/diffs/{id}", s.handleDiffJSON)
+	s.mux.HandleFunc("GET /v1/diffs/{id}/report", s.handleDiffText)
+	s.mux.HandleFunc("GET /v1/diffs/{id}/dashboard", s.handleDiffDashboard)
 	s.mux.HandleFunc("GET /v1/analysis/{id}", s.handleAnalysisJSON)
 	s.mux.HandleFunc("GET /v1/analysis/{id}/report", s.handleAnalysisText)
 	s.mux.HandleFunc("GET /v1/analysis/{id}/snapshot", s.handleAnalysisSnapshot)
 	s.mux.HandleFunc("GET /v1/analysis/{id}/dashboard", s.handleAnalysisDashboard)
+	s.mux.HandleFunc("GET /v1/analysis/{id}/live", s.handleAnalysisLive)
+	s.mux.HandleFunc("GET /v1/analysis/{id}/live/dashboard", s.handleAnalysisLiveDashboard)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -186,11 +196,16 @@ func (s *Server) safeRun(ctx context.Context, j *Job) (res *Result, err error) {
 			res, err = nil, fmt.Errorf("job panicked: %v", p)
 		}
 	}()
-	progress := func(p parbs.Progress) {
-		s.metrics.observeOccupancy(p)
-		j.subs.publish(p)
+	sink := Sink{
+		Progress: func(p parbs.Progress) {
+			s.metrics.observeOccupancy(p)
+			j.subs.publish(p)
+		},
 	}
-	return s.opts.Runner(ctx, j.Spec, progress)
+	if j.live != nil {
+		sink.TraceChunk = j.live.append
+	}
+	return s.opts.Runner(ctx, j.Spec, sink)
 }
 
 // httpError writes a JSON error payload.

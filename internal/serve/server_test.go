@@ -30,7 +30,7 @@ func newStubRunner(delay time.Duration) *stubRunner {
 	return &stubRunner{calls: map[string]int{}, gate: make(chan struct{}), delay: delay}
 }
 
-func (sr *stubRunner) run(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error) {
+func (sr *stubRunner) run(ctx context.Context, spec Spec, sink Sink) (*Result, error) {
 	<-sr.gate
 	sr.mu.Lock()
 	sr.calls[spec.Client]++
@@ -329,7 +329,7 @@ func TestEndToEndBatchAdmissionVsFIFO(t *testing.T) {
 // runner's Chrome trace artifact embedded in the terminal job view, a spec
 // without one does not, and the two hash to different cache keys.
 func TestTraceArtifactFlowsThrough(t *testing.T) {
-	runner := func(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error) {
+	runner := func(ctx context.Context, spec Spec, sink Sink) (*Result, error) {
 		res := &Result{Report: json.RawMessage(`{"scheduler":"stub"}`)}
 		if spec.Trace != nil {
 			res.Trace = json.RawMessage(`{"traceEvents":[]}`)
@@ -410,7 +410,7 @@ func TestQueueBackpressure429(t *testing.T) {
 // the server survive and keep serving.
 func TestJobPanicIsIsolated(t *testing.T) {
 	calls := 0
-	sv := New(Options{Workers: 1, Runner: func(ctx context.Context, spec Spec, _ func(parbs.Progress)) (*Result, error) {
+	sv := New(Options{Workers: 1, Runner: func(ctx context.Context, spec Spec, _ Sink) (*Result, error) {
 		calls++
 		if calls == 1 {
 			panic("poisoned job")
@@ -440,7 +440,7 @@ func TestJobPanicIsIsolated(t *testing.T) {
 
 // TestJobDeadline: timeout_ms is enforced through context cancellation.
 func TestJobDeadline(t *testing.T) {
-	sv := New(Options{Workers: 1, Runner: func(ctx context.Context, spec Spec, _ func(parbs.Progress)) (*Result, error) {
+	sv := New(Options{Workers: 1, Runner: func(ctx context.Context, spec Spec, _ Sink) (*Result, error) {
 		<-ctx.Done() // a run that never finishes on its own
 		return nil, ctx.Err()
 	}})
@@ -462,7 +462,7 @@ func TestJobDeadline(t *testing.T) {
 // jobs are aborted through context cancellation and Shutdown returns the
 // context error instead of hanging.
 func TestShutdownDeadlineHardAborts(t *testing.T) {
-	sv := New(Options{Workers: 1, Runner: func(ctx context.Context, spec Spec, _ func(parbs.Progress)) (*Result, error) {
+	sv := New(Options{Workers: 1, Runner: func(ctx context.Context, spec Spec, _ Sink) (*Result, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}})
@@ -483,10 +483,10 @@ func TestShutdownDeadlineHardAborts(t *testing.T) {
 // and ends with a done event carrying the terminal view.
 func TestSSEProgressStream(t *testing.T) {
 	release := make(chan struct{})
-	sv := New(Options{Workers: 1, Runner: func(ctx context.Context, spec Spec, progress func(parbs.Progress)) (*Result, error) {
-		progress(parbs.Progress{Phase: "warmup", CPUCycles: 10, TotalCPUCycles: 100})
+	sv := New(Options{Workers: 1, Runner: func(ctx context.Context, spec Spec, sink Sink) (*Result, error) {
+		sink.Progress(parbs.Progress{Phase: "warmup", CPUCycles: 10, TotalCPUCycles: 100})
 		<-release // keep the job alive until the subscriber is attached
-		progress(parbs.Progress{Phase: "measure", CPUCycles: 50, TotalCPUCycles: 100})
+		sink.Progress(parbs.Progress{Phase: "measure", CPUCycles: 50, TotalCPUCycles: 100})
 		return &Result{Report: json.RawMessage(`{}`)}, nil
 	}})
 	ts := httptest.NewServer(sv.Handler())

@@ -59,6 +59,9 @@ type Job struct {
 	// on it.
 	done chan struct{}
 	subs *broadcaster
+	// live buffers the job's incremental trace chunks for live analysis;
+	// nil unless the spec requested trace events.
+	live *liveTrace
 }
 
 // start transitions the job to running.
@@ -84,6 +87,9 @@ func (j *Job) finish(res *Result, err error, now time.Time) {
 	j.mu.Unlock()
 	close(j.done)
 	j.subs.close()
+	if j.live != nil {
+		j.live.closeStream()
+	}
 }
 
 // finishCached completes the job instantly from a cached result: no
@@ -97,6 +103,9 @@ func (j *Job) finishCached(res *Result, now time.Time) {
 	j.mu.Unlock()
 	close(j.done)
 	j.subs.close()
+	if j.live != nil {
+		j.live.closeStream()
+	}
 }
 
 // Snapshot is a consistent copy of a job's mutable state.
@@ -187,6 +196,9 @@ func (st *Store) NewJob(spec Spec, now time.Time) *Job {
 		done:        make(chan struct{}),
 		subs:        newBroadcaster(),
 	}
+	if spec.Trace != nil && spec.Trace.Events {
+		j.live = newLiveTrace()
+	}
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
 	st.evictLocked()
@@ -244,6 +256,58 @@ func (st *Store) Jobs() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.jobs)
+}
+
+// liveTrace accumulates a running job's incremental trace chunks and lets
+// followers read the growing prefix. Unlike the progress broadcaster it
+// never drops: live analysis needs every byte, not just the newest. The
+// buffer is bounded by the tracer's own MaxEvents cap upstream, so a
+// follower is at most one trace-artifact's worth of memory behind.
+type liveTrace struct {
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+	// notify closes and is replaced whenever the buffer grows or the
+	// stream closes; followers wait on the instance they last observed.
+	notify chan struct{}
+}
+
+func newLiveTrace() *liveTrace {
+	return &liveTrace{notify: make(chan struct{})}
+}
+
+// append adds a chunk (called from the simulation goroutine's sink hook).
+func (lt *liveTrace) append(chunk []byte) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.closed {
+		return
+	}
+	lt.buf = append(lt.buf, chunk...)
+	close(lt.notify)
+	lt.notify = make(chan struct{})
+}
+
+// closeStream marks the stream complete and wakes all followers.
+func (lt *liveTrace) closeStream() {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.closed {
+		return
+	}
+	lt.closed = true
+	close(lt.notify)
+}
+
+// next returns the bytes past from, whether the stream has closed, and a
+// channel that signals further growth (nil data when nothing new yet).
+func (lt *liveTrace) next(from int) (data []byte, closed bool, wait <-chan struct{}) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if from < len(lt.buf) {
+		return lt.buf[from:], lt.closed, lt.notify
+	}
+	return nil, lt.closed, lt.notify
 }
 
 // broadcaster fans a job's progress heartbeats out to its SSE subscribers.

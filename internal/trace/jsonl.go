@@ -91,64 +91,138 @@ type batchEndLine struct {
 	Channel  int32  `json:"channel,omitempty"`
 }
 
+// headerLine builds the run header line with explicit event/drop counts
+// (a completed log writes the real counts; a live stream writes zeros —
+// readers treat them as hints, never hard limits).
+func headerLine(meta Meta, events int, dropped int64) runLine {
+	return runLine{
+		Schema:     Schema,
+		Kind:       "run",
+		Policy:     meta.Policy,
+		Workload:   meta.Workload,
+		Cores:      meta.Cores,
+		Banks:      meta.Banks,
+		Channels:   meta.Channels,
+		CPUPerDRAM: meta.CPUPerDRAM,
+		WarmupDRAM: meta.WarmupDRAM,
+		TotalDRAM:  meta.TotalDRAM,
+		MarkingCap: meta.MarkingCap,
+		ReadBuf:    meta.ReadBufEntries,
+		Events:     events,
+		Dropped:    dropped,
+	}
+}
+
+// eventLine builds the wire struct for one event. pt is the per-thread
+// shape for KindBatch events (nil otherwise).
+func eventLine(ev Event, pt []int32) (any, error) {
+	switch ev.Kind {
+	case KindArrive:
+		return arriveLine{Kind: "arrive", Cycle: ev.Cycle, ID: ev.Req,
+			Thread: ev.Thread, Bank: ev.Bank, Row: ev.Row, Write: ev.Write,
+			Channel: ev.Channel}, nil
+	case KindMark:
+		return markLine{Kind: "mark", Cycle: ev.Cycle, ID: ev.Req,
+			Thread: ev.Thread, Batch: ev.Row, Channel: ev.Channel}, nil
+	case KindCommand:
+		return cmdLine{Kind: "cmd", Cycle: ev.Cycle, ID: ev.Req,
+			Thread: ev.Thread, Cmd: dram.Command(ev.Cmd).String(),
+			Bank: ev.Bank, Row: ev.Row, Rank: ev.Rank, Channel: ev.Channel}, nil
+	case KindComplete:
+		return doneLine{Kind: "done", Cycle: ev.Cycle, ID: ev.Req,
+			Thread: ev.Thread, Latency: ev.Row, Channel: ev.Channel}, nil
+	case KindBatch:
+		return batchLine{Kind: "batch", Cycle: ev.Cycle, Batch: ev.Req,
+			Size: ev.Row, Clipped: ev.Rank, PerThread: pt, Channel: ev.Channel}, nil
+	case KindBatchEnd:
+		return batchEndLine{Kind: "batch_end", Cycle: ev.Cycle,
+			Batch: ev.Req, Duration: ev.Row, Channel: ev.Channel}, nil
+	default:
+		return nil, fmt.Errorf("trace: unknown event kind %d", ev.Kind)
+	}
+}
+
 // WriteJSONL renders the log as schema-versioned JSONL.
 func WriteJSONL(w io.Writer, log *Log) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(runLine{
-		Schema:     Schema,
-		Kind:       "run",
-		Policy:     log.Meta.Policy,
-		Workload:   log.Meta.Workload,
-		Cores:      log.Meta.Cores,
-		Banks:      log.Meta.Banks,
-		CPUPerDRAM: log.Meta.CPUPerDRAM,
-		WarmupDRAM: log.Meta.WarmupDRAM,
-		TotalDRAM:  log.Meta.TotalDRAM,
-		MarkingCap: log.Meta.MarkingCap,
-		ReadBuf:    log.Meta.ReadBufEntries,
-		Events:     len(log.Events),
-		Dropped:    log.Dropped,
-	}); err != nil {
+	if err := enc.Encode(headerLine(log.Meta, len(log.Events), log.Dropped)); err != nil {
 		return err
 	}
 	batch := 0
 	for _, ev := range log.Events {
-		var line any
-		switch ev.Kind {
-		case KindArrive:
-			line = arriveLine{Kind: "arrive", Cycle: ev.Cycle, ID: ev.Req,
-				Thread: ev.Thread, Bank: ev.Bank, Row: ev.Row, Write: ev.Write,
-				Channel: ev.Channel}
-		case KindMark:
-			line = markLine{Kind: "mark", Cycle: ev.Cycle, ID: ev.Req,
-				Thread: ev.Thread, Batch: ev.Row, Channel: ev.Channel}
-		case KindCommand:
-			line = cmdLine{Kind: "cmd", Cycle: ev.Cycle, ID: ev.Req,
-				Thread: ev.Thread, Cmd: dram.Command(ev.Cmd).String(),
-				Bank: ev.Bank, Row: ev.Row, Rank: ev.Rank, Channel: ev.Channel}
-		case KindComplete:
-			line = doneLine{Kind: "done", Cycle: ev.Cycle, ID: ev.Req,
-				Thread: ev.Thread, Latency: ev.Row, Channel: ev.Channel}
-		case KindBatch:
-			var pt []int32
+		var pt []int32
+		if ev.Kind == KindBatch {
 			if batch < len(log.BatchPerThread) {
 				pt = log.BatchPerThread[batch]
 			}
 			batch++
-			line = batchLine{Kind: "batch", Cycle: ev.Cycle, Batch: ev.Req,
-				Size: ev.Row, Clipped: ev.Rank, PerThread: pt, Channel: ev.Channel}
-		case KindBatchEnd:
-			line = batchEndLine{Kind: "batch_end", Cycle: ev.Cycle,
-				Batch: ev.Req, Duration: ev.Row, Channel: ev.Channel}
-		default:
-			return fmt.Errorf("trace: unknown event kind %d", ev.Kind)
+		}
+		line, err := eventLine(ev, pt)
+		if err != nil {
+			return err
 		}
 		if err := enc.Encode(line); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// Cursor incrementally renders a tracer's recorded events as parbs.trace/v1
+// JSONL: each WriteNew call emits the events recorded since the previous
+// call, opening the stream with a header line on the first. The header's
+// events and dropped counts are written as zero — they are unknowable while
+// the run is still recording — so live consumers must treat them as hints
+// and reconcile the real drop count after the run (the completed log's
+// header, written by WriteJSONL, carries the truth).
+//
+// A Cursor shares the Tracer's single-goroutine discipline: call WriteNew
+// only from the goroutine that owns the tracer (in practice, from inside a
+// progress callback, which the engines invoke synchronously on the
+// simulation goroutine) or after the run has returned.
+type Cursor struct {
+	t          *Tracer
+	next       int // first event not yet rendered
+	batches    int // KindBatch events rendered so far (batchPT index)
+	headerDone bool
+}
+
+// NewCursor returns a cursor positioned at the start of t's event stream.
+func (t *Tracer) NewCursor() *Cursor { return &Cursor{t: t} }
+
+// Bound reports whether the tracer has been bound to a run (run metadata
+// is only trustworthy afterwards).
+func (t *Tracer) Bound() bool { return t.bound }
+
+// WriteNew renders every event recorded since the previous call (plus the
+// header line on the first call) and advances the cursor.
+func (c *Cursor) WriteNew(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if !c.headerDone {
+		if err := enc.Encode(headerLine(c.t.meta, 0, 0)); err != nil {
+			return err
+		}
+		c.headerDone = true
+	}
+	for ; c.next < len(c.t.events); c.next++ {
+		ev := c.t.events[c.next]
+		var pt []int32
+		if ev.Kind == KindBatch {
+			if c.batches < len(c.t.batchPT) {
+				pt = c.t.batchPT[c.batches]
+			}
+			c.batches++
+		}
+		line, err := eventLine(ev, pt)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteJSONL renders the tracer's recorded run as schema-versioned JSONL.

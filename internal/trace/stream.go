@@ -48,31 +48,51 @@ func NewScanner(r io.Reader) (*Scanner, error) {
 		}
 		return nil, fmt.Errorf("trace: empty log")
 	}
-	var hdr runLine
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, fmt.Errorf("trace: bad header: %w", err)
-	}
-	if hdr.Schema != Schema {
-		return nil, fmt.Errorf("trace: schema %q, want %q", hdr.Schema, Schema)
+	meta, dropped, events, err := ParseHeader(sc.Bytes())
+	if err != nil {
+		return nil, err
 	}
 	return &Scanner{
-		sc: sc,
-		meta: Meta{
-			Policy:         hdr.Policy,
-			Workload:       hdr.Workload,
-			Cores:          hdr.Cores,
-			Banks:          hdr.Banks,
-			Channels:       hdr.Channels,
-			CPUPerDRAM:     hdr.CPUPerDRAM,
-			WarmupDRAM:     hdr.WarmupDRAM,
-			TotalDRAM:      hdr.TotalDRAM,
-			MarkingCap:     hdr.MarkingCap,
-			ReadBufEntries: hdr.ReadBuf,
-		},
-		drops:  hdr.Dropped,
-		events: hdr.Events,
+		sc:     sc,
+		meta:   meta,
+		drops:  dropped,
+		events: events,
 		lineNo: 1,
 	}, nil
+}
+
+// ParseHeader decodes a parbs.trace/v1 header line into the run metadata
+// plus the header's record-time drop count and promised event count. It is
+// the incremental counterpart of NewScanner's header consumption, exported
+// for line-at-a-time consumers (the analysis layer's live ingester).
+func ParseHeader(raw []byte) (meta Meta, dropped int64, events int, err error) {
+	var hdr runLine
+	if err := json.Unmarshal(raw, &hdr); err != nil {
+		return Meta{}, 0, 0, fmt.Errorf("trace: bad header: %w", err)
+	}
+	if hdr.Schema != Schema {
+		return Meta{}, 0, 0, fmt.Errorf("trace: schema %q, want %q", hdr.Schema, Schema)
+	}
+	return Meta{
+		Policy:         hdr.Policy,
+		Workload:       hdr.Workload,
+		Cores:          hdr.Cores,
+		Banks:          hdr.Banks,
+		Channels:       hdr.Channels,
+		CPUPerDRAM:     hdr.CPUPerDRAM,
+		WarmupDRAM:     hdr.WarmupDRAM,
+		TotalDRAM:      hdr.TotalDRAM,
+		MarkingCap:     hdr.MarkingCap,
+		ReadBufEntries: hdr.ReadBuf,
+	}, hdr.Dropped, hdr.Events, nil
+}
+
+// ParseEventLine decodes one JSONL event line. perThread is non-nil only
+// for KindBatch lines and aliases the decode buffer — copy it before the
+// raw bytes are reused. Exported for line-at-a-time consumers that cannot
+// hand the Scanner a contiguous reader (live tailing of a growing stream).
+func ParseEventLine(raw []byte) (Event, []int32, error) {
+	return parseEventLine(raw)
 }
 
 // Meta returns the run metadata from the header line.

@@ -1,12 +1,21 @@
 #!/bin/sh
-# End-to-end smoke test for the trace-analytics pipeline: build parbs-sim
-# and parbs-trace, record the Section 4.3 memory-attack mix's lifecycle
-# event log under PAR-BS, ingest it through `parbs-trace report`, and
-# assert the bottleneck attribution gives the known answer — thread 0
+# End-to-end smoke test for the trace-analytics pipeline: build parbs-sim,
+# parbs-trace, and parbs-serve, record the Section 4.3 memory-attack mix's
+# lifecycle event log under PAR-BS, ingest it through `parbs-trace report`,
+# and assert the bottleneck attribution gives the known answer — thread 0
 # (matlab, the stream attacker) carries the most queued-wait cycles,
 # because batching shifts the queueing delay onto the heaviest thread.
-# Also checks the JSON rendering agrees and that the written
-# parbs.analysis/v1 snapshot round-trips. Exits nonzero on any failure.
+# Then the observability surfaces on top of that pipeline:
+#
+#   - `parbs-trace report -follow` tails the completed log to the same
+#     final aggregates;
+#   - `parbs-trace diff` of the golden PAR-BS vs FR-FCFS runs reproduces
+#     the seed golden attribution (t0 wait 431139 in the PAR-BS arm) and
+#     shows PAR-BS reducing the attacker's unmarked wait;
+#   - a live SSE analysis session against a running parbs-serve converges
+#     to the identical report the post-hoc analysis endpoint computes.
+#
+# Exits nonzero on any failure.
 #
 # Usage: scripts/analyze_smoke.sh
 #   ANALYZE_OUT=<dir>  keep the artifacts there (default: a temp dir,
@@ -18,11 +27,18 @@ tmp="$(mktemp -d)"
 out="${ANALYZE_OUT:-$tmp}"
 mkdir -p "$out"
 
-cleanup() { rm -rf "$tmp"; }
+serve_pid=""
+cleanup() {
+	[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
 trap cleanup EXIT INT TERM
 
 go build -o "$tmp/parbs-sim" ./cmd/parbs-sim
 go build -o "$tmp/parbs-trace" ./cmd/parbs-trace
+go build -o "$tmp/parbs-serve" ./cmd/parbs-serve
+
+# ---- 1. report + snapshot on the attack run --------------------------------
 
 "$tmp/parbs-sim" -sched PAR-BS -mix matlab,omnetpp,hmmer,sjeng \
 	-cycles 300000 -trace-events "$out/attack.jsonl" >/dev/null
@@ -48,13 +64,117 @@ top = r["top_threads"][0]
 assert top["id"] == 0, f"top thread {top} is not thread 0"
 assert top["cycles"] > 0, "top thread has no wait cycles"
 assert r["requests"] > 0 and len(r["windows"]) > 0
+p = r["latency_pct"]
+assert 0 < p["p50"] <= p["p90"] <= p["p99"], f"percentiles not ordered: {p}"
 PYEOF
 fi
 
 # The snapshot must carry the versioned magic and re-analyze identically.
-head -c 17 "$out/attack.snapshot.bin" | grep -q 'parbs.analysis/v1' || {
-	echo "analyze_smoke: snapshot missing parbs.analysis/v1 magic" >&2
+head -c 17 "$out/attack.snapshot.bin" | grep -q 'parbs.analysis/v2' || {
+	echo "analyze_smoke: snapshot missing parbs.analysis/v2 magic" >&2
 	exit 1
 }
 
-echo "analyze_smoke: OK (t0 is the attributed bottleneck; artifacts in $out)"
+# ---- 2. report -follow converges on the completed log ----------------------
+
+"$tmp/parbs-trace" report -follow -poll 50ms -idle 2s \
+	"$out/attack.jsonl" >"$out/attack.follow.txt"
+grep -q '=== final:' "$out/attack.follow.txt" || {
+	echo "analyze_smoke: -follow produced no final report" >&2
+	exit 1
+}
+
+# ---- 3. golden cross-run diff: PAR-BS vs FR-FCFS ---------------------------
+# The golden configuration (warmup 0, 400k measured CPU cycles) is the one
+# internal/analysis/golden_test.go pins: t0 carries exactly 431139
+# queued-wait cycles under PAR-BS.
+
+for pol in PAR-BS FR-FCFS; do
+	"$tmp/parbs-sim" -sched "$pol" -mix matlab,omnetpp,hmmer,sjeng \
+		-warmup 0 -cycles 400000 \
+		-trace-events "$out/golden-$pol.jsonl" >/dev/null
+done
+"$tmp/parbs-trace" diff -windows 5000 \
+	"$out/golden-FR-FCFS.jsonl" "$out/golden-PAR-BS.jsonl" >"$out/attack.diff.txt"
+grep -q 'analysis diff: A=FR-FCFS  B=PAR-BS' "$out/attack.diff.txt" || {
+	echo "analyze_smoke: diff header wrong:" >&2
+	cat "$out/attack.diff.txt" >&2
+	exit 1
+}
+"$tmp/parbs-trace" diff -json -windows 5000 \
+	"$out/golden-FR-FCFS.jsonl" "$out/golden-PAR-BS.jsonl" >"$out/attack.diff.json"
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$out/attack.diff.json" <<'PYEOF' || exit 1
+import json, sys
+d = json.load(open(sys.argv[1]))
+t0 = d["threads"][0]
+assert t0["b"]["wait"] == 431139, \
+    f"PAR-BS arm t0 wait {t0['b']['wait']}, want seed golden 431139"
+assert t0["d_unmarked"] < 0, \
+    f"PAR-BS should reduce t0's unmarked wait, got delta {t0['d_unmarked']}"
+b = d["batches"]
+assert b["batches_a"] == 0 and b["batches_b"] == 312, f"batches {b}"
+assert not d.get("mismatches"), f"arms misaligned: {d['mismatches']}"
+PYEOF
+fi
+
+# ---- 4. live SSE analysis session against a running parbs-serve ------------
+
+if command -v curl >/dev/null 2>&1 && command -v python3 >/dev/null 2>&1; then
+	addr="127.0.0.1:18380"
+	"$tmp/parbs-serve" -addr "$addr" >"$tmp/serve.log" 2>&1 &
+	serve_pid=$!
+	i=0
+	until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -lt 100 ] || { echo "analyze_smoke: parbs-serve never came up" >&2; exit 1; }
+		sleep 0.1
+	done
+
+	run_id="$(curl -s "http://$addr/v1/runs" -d '{
+		"client": "smoke",
+		"system":    {"cores": 4, "measure_cycles": 300000},
+		"workload":  {"benchmarks": ["matlab", "omnetpp", "hmmer", "sjeng"]},
+		"scheduler": {"name": "PAR-BS"},
+		"trace":     {"events": true}
+	}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')"
+
+	# The live session follows the run's trace stream to completion: the
+	# handler closes the stream after the final report and "done" event.
+	curl -sN "http://$addr/v1/runs/$run_id/events" >/dev/null
+	curl -sN "http://$addr/v1/analysis/$run_id/live" >"$out/live.sse"
+	grep -q '^event: done' "$out/live.sse" || {
+		echo "analyze_smoke: live session never reached done:" >&2
+		tail -5 "$out/live.sse" >&2
+		exit 1
+	}
+
+	# Convergence: the live session's final report must equal the post-hoc
+	# analysis of the same trace, field for field.
+	analysis_id="$(curl -s "http://$addr/v1/analysis" \
+		-H 'Content-Type: application/json' -d "{\"run\": \"$run_id\"}" |
+		python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')"
+	curl -s "http://$addr/v1/analysis/$analysis_id" >"$out/posthoc.json"
+	python3 - "$out/live.sse" "$out/posthoc.json" <<'PYEOF' || exit 1
+import json, sys
+live = None
+name = None
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if line.startswith("event: "):
+        name = line[len("event: "):]
+    elif line.startswith("data: ") and name == "report":
+        live = json.loads(line[len("data: "):])
+posthoc = json.load(open(sys.argv[2]))
+assert live is not None, "no report event in the live stream"
+assert live == posthoc, "live final report diverged from the post-hoc analysis"
+assert live["events"] > 0 and not live.get("ingest_truncated")
+PYEOF
+	kill "$serve_pid" 2>/dev/null || true
+	wait "$serve_pid" 2>/dev/null || true
+	serve_pid=""
+else
+	echo "analyze_smoke: curl/python3 missing, skipping the live-serve session" >&2
+fi
+
+echo "analyze_smoke: OK (t0 is the attributed bottleneck; golden diff 431139 reproduced; artifacts in $out)"

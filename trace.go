@@ -108,3 +108,44 @@ func (t *Tracer) ChromeTrace() ([]byte, error) {
 func WithTrace(t *Tracer) RunOption {
 	return func(rc *runConfig) { rc.tracer = t }
 }
+
+// TraceStream incrementally renders a tracer's event log as TraceSchema
+// JSONL while the run is still executing: each Flush returns the bytes for
+// the events recorded since the previous Flush (the first non-empty flush
+// is prefixed with the stream's header line). Concatenating every chunk
+// yields a valid parbs.trace/v1 stream covering a prefix of the run —
+// except that the live header carries zero event/drop counts (they are
+// unknown mid-run); consumers reconcile the real drop count from the
+// completed log.
+//
+// Flush is only safe where the tracer itself is quiescent: inside a
+// WithProgress callback (the engines invoke progress synchronously on the
+// simulation goroutine) or after RunContext returns. Calling it from any
+// other goroutine during a run is a data race.
+type TraceStream struct {
+	t      *Tracer
+	cursor *trace.Cursor
+}
+
+// Stream returns an incremental JSONL view of the tracer's recording.
+func (t *Tracer) Stream() *TraceStream { return &TraceStream{t: t} }
+
+// Flush returns the JSONL bytes for events recorded since the last call,
+// or nil when the tracer has not yet been bound to a run or nothing new
+// was recorded. See TraceStream for when it is safe to call.
+func (st *TraceStream) Flush() ([]byte, error) {
+	if !st.t.bound || !st.t.inner.Bound() {
+		return nil, nil
+	}
+	if st.cursor == nil {
+		st.cursor = st.t.inner.NewCursor()
+	}
+	var buf bytes.Buffer
+	if err := st.cursor.WriteNew(&buf); err != nil {
+		return nil, err
+	}
+	if buf.Len() == 0 {
+		return nil, nil
+	}
+	return buf.Bytes(), nil
+}
